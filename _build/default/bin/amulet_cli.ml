@@ -1,0 +1,365 @@
+(* The amulet command-line interface.
+
+   Subcommands:
+     fuzz       - run a testing campaign against a defense
+     reproduce  - hunt a known vulnerability with its crafted reproducer
+     run        - execute an assembly file on the simulator and print traces
+     list       - show available defenses, contracts, trace formats
+*)
+
+open Cmdliner
+open Amulet
+open Amulet_defenses
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let defense_arg =
+  let parse s =
+    match Defense.find s with
+    | Some d -> Ok d
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown defense %S (try: %s)" s
+               (String.concat ", " (List.map (fun d -> d.Defense.name) Defense.all))))
+  in
+  let print fmt d = Format.fprintf fmt "%s" d.Defense.name in
+  Arg.conv (parse, print)
+
+let format_arg =
+  let parse s =
+    match Utrace.format_of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg "unknown trace format (l1d+tlb, bp-state, mem-order, bp-order)")
+  in
+  let print fmt f = Format.fprintf fmt "%s" (Utrace.format_name f) in
+  Arg.conv (parse, print)
+
+let contract_arg =
+  let parse s =
+    match Amulet_contracts.Contract.find s with
+    | Some c -> Ok c
+    | None -> Error (`Msg "unknown contract (CT-SEQ, CT-COND, ARCH-SEQ)")
+  in
+  let print fmt c = Format.fprintf fmt "%s" c.Amulet_contracts.Contract.name in
+  Arg.conv (parse, print)
+
+let defense_t =
+  Arg.(
+    value
+    & opt defense_arg Defense.baseline
+    & info [ "d"; "defense" ] ~docv:"DEFENSE" ~doc:"Countermeasure under test.")
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+(* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let programs =
+    Arg.(value & opt int 50 & info [ "p"; "programs" ] ~doc:"Number of test programs.")
+  in
+  let inputs =
+    Arg.(value & opt int 10 & info [ "i"; "inputs" ] ~doc:"Base inputs per program.")
+  in
+  let boosts =
+    Arg.(value & opt int 4 & info [ "b"; "boosts" ] ~doc:"Boosted mutants per base input.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ "opt", Executor.Opt; "naive", Executor.Naive ]) Executor.Opt
+      & info [ "mode" ] ~doc:"Executor mode: $(b,opt) amortizes simulator startup.")
+  in
+  let fmt_ =
+    Arg.(
+      value & opt format_arg Utrace.L1d_tlb
+      & info [ "trace-format" ] ~doc:"Microarchitectural trace format.")
+  in
+  let contract =
+    Arg.(
+      value
+      & opt (some contract_arg) None
+      & info [ "contract" ] ~doc:"Override the defense's default contract.")
+  in
+  let ways =
+    Arg.(value & opt (some int) None & info [ "ways" ] ~doc:"Amplification: L1D ways.")
+  in
+  let mshrs =
+    Arg.(value & opt (some int) None & info [ "mshrs" ] ~doc:"Amplification: MSHR count.")
+  in
+  let stop =
+    Arg.(
+      value & opt (some int) None
+      & info [ "stop-after" ] ~doc:"Stop after this many violations.")
+  in
+  let unaligned =
+    Arg.(
+      value & opt float Generator.default.Generator.unaligned_fraction
+      & info [ "unaligned" ] ~doc:"Fraction of unaligned memory offsets.")
+  in
+  let parallel =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "parallel" ]
+          ~doc:"Parallel campaign instances (the paper ran 16 or 100).")
+  in
+  let prefetcher =
+    Arg.(
+      value & flag
+      & info [ "prefetcher" ]
+          ~doc:"Enable the next-line L1D prefetcher (extension study).")
+  in
+  let save_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save-dir" ] ~docv:"DIR" ~doc:"Save found violations into this directory.")
+  in
+  let run defense programs inputs boosts mode fmt_ contract ways mshrs stop seed
+      unaligned parallel prefetcher save_dir =
+    let sim_config =
+      match ways, mshrs, prefetcher with
+      | None, None, false -> None
+      | _ ->
+          Some
+            {
+              (Defense.config ?l1d_ways:ways ?mshrs defense) with
+              Amulet_uarch.Config.nl_prefetcher = prefetcher;
+            }
+    in
+    let cfg =
+      {
+        Campaign.n_programs = programs;
+        stop_after_violations = stop;
+        seed;
+        classify = true;
+        fuzzer =
+          {
+            Fuzzer.default_config with
+            Fuzzer.n_base_inputs = inputs;
+            boosts_per_input = boosts;
+            executor_mode = mode;
+            trace_format = fmt_;
+            contract;
+            sim_config;
+            generator =
+              { Generator.default with Generator.unaligned_fraction = unaligned };
+          };
+      }
+    in
+    Format.printf "fuzzing %s (%s contract, %s traces, %s executor, seed %d)...@."
+      defense.Defense.name
+      (match contract with
+      | Some c -> c.Amulet_contracts.Contract.name
+      | None -> defense.Defense.contract.Amulet_contracts.Contract.name)
+      (Utrace.format_name fmt_) (Executor.mode_name mode) seed;
+    let r =
+      if parallel > 1 then Campaign.run_parallel ~instances:parallel cfg defense
+      else begin
+        let n = ref 0 in
+        Campaign.run cfg defense ~on_violation:(fun v ->
+            incr n;
+            Format.printf "@.--- violation %d ---@.%a@." !n Violation.pp v)
+      end
+    in
+    if parallel > 1 then
+      List.iteri
+        (fun i v -> Format.printf "@.--- violation %d ---@.%a@." (i + 1) Violation.pp v)
+        r.Campaign.violations;
+    (match save_dir with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iteri
+          (fun i v ->
+            let path = Filename.concat dir (Printf.sprintf "violation_%03d.amulet" i) in
+            Violation_io.save (Violation_io.of_violation v) path;
+            Format.printf "saved %s@." path)
+          r.Campaign.violations);
+    Format.printf "@.%a" Campaign.pp r;
+    if Campaign.detected r then 1 else 0
+  in
+  let term =
+    Term.(
+      const run $ defense_t $ programs $ inputs $ boosts $ mode $ fmt_ $ contract $ ways
+      $ mshrs $ stop $ seed_t $ unaligned $ parallel $ prefetcher $ save_dir)
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a testing campaign against a secure-speculation defense.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* reproduce                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let reproduce_cmd =
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Reproducer name (one of: $(b,figure4-uv1), $(b,figure6-uv2), \
+             $(b,figure8-uv6), $(b,figure9-kv3), $(b,uv3-store-not-cleaned), \
+             $(b,uv4-split-not-cleaned), $(b,uv5-too-much-cleaning), \
+             $(b,spectre-v4)).")
+  in
+  let run name seed =
+    match Reproducers.find name with
+    | None ->
+        Format.eprintf "unknown reproducer %S@." name;
+        2
+    | Some r -> (
+        Format.printf "%s: %s@.defense: %s@.--- program ---@.%s@." r.Reproducers.name
+          r.Reproducers.description r.Reproducers.defense.Defense.name
+          r.Reproducers.asm;
+        match Reproducers.hunt ~seed r with
+        | Some v ->
+            Format.printf "%a@." Violation.pp v;
+            (match v.Violation.signature with
+            | Some s -> Format.printf "root cause signature: %s@." s
+            | None -> ());
+            0
+        | None ->
+            Format.printf "no violation found within the reproducer budget@.";
+            1)
+  in
+  let term = Term.(const run $ name_t $ seed_t) in
+  Cmd.v
+    (Cmd.info "reproduce"
+       ~doc:"Hunt one of the paper's known vulnerabilities with its crafted test.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly file.")
+  in
+  let run file defense seed =
+    let source = In_channel.with_open_text file In_channel.input_all in
+    let flat = Amulet_isa.Program.flatten (Amulet_isa.Asm.parse source) in
+    Format.printf "--- program ---@.%a@." Amulet_isa.Program.pp_flat flat;
+    let rng = Rng.create ~seed in
+    let input = Input.generate rng ~pages:defense.Defense.sandbox_pages in
+    let stats = Stats.create () in
+    let ex = Executor.create ~boot_insts:1000 ~mode:Executor.Opt defense stats in
+    Executor.start_program ex;
+    let outcome, events =
+      let o = Executor.run_input ex flat input in
+      Executor.run_input_logged ex flat input o.Executor.context
+    in
+    Format.printf "--- input ---@.%a@." Input.pp input;
+    Format.printf "--- run: %d cycles%s ---@." outcome.Executor.cycles
+      (match outcome.Executor.run_fault with None -> "" | Some f -> " FAULT: " ^ f);
+    Format.printf "--- uarch trace: %a@." Utrace.pp outcome.Executor.trace;
+    Format.printf "--- debug log (%d events) ---@." (List.length events);
+    List.iter (fun e -> Format.printf "%a@." Amulet_uarch.Event.pp e) events;
+    0
+  in
+  let term = Term.(const run $ file $ defense_t $ seed_t) in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute an assembly file on the simulator with a random input and \
+             print its debug log and trace.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A violation file written by fuzz --save-dir.")
+  in
+  let do_minimize =
+    Arg.(value & flag & info [ "minimize" ] ~doc:"Also minimize the test program.")
+  in
+  let ways =
+    Arg.(value & opt (some int) None & info [ "ways" ] ~doc:"Amplification: L1D ways.")
+  in
+  let mshrs =
+    Arg.(value & opt (some int) None & info [ "mshrs" ] ~doc:"Amplification: MSHR count.")
+  in
+  let run file do_minimize ways mshrs =
+    let stored = Violation_io.load file in
+    Format.printf "defense: %s  contract: %s%s@." stored.Violation_io.defense_name
+      stored.Violation_io.contract_name
+      (match stored.Violation_io.signature with
+      | Some s -> "  (recorded signature: " ^ s ^ ")"
+      | None -> "");
+    Format.printf "--- program ---@.%a@." Amulet_isa.Program.pp_flat
+      stored.Violation_io.program;
+    let sim_config =
+      match ways, mshrs, Defense.find stored.Violation_io.defense_name with
+      | None, None, _ | _, _, None -> None
+      | _, _, Some d -> Some (Defense.config ?l1d_ways:ways ?mshrs d)
+    in
+    let r = Violation_io.reanalyze ~minimize:do_minimize ?sim_config stored in
+    if not r.Violation_io.reproduced then begin
+      Format.printf
+        "violation did NOT reproduce under a fresh context (it may need the          original campaign's microarchitectural context or an amplified          configuration: try --ways/--mshrs)@.";
+      1
+    end
+    else begin
+      (match r.Violation_io.leak_class with
+      | Some c -> Format.printf "reproduced; signature: %s@." (Analysis.class_name c)
+      | None -> ());
+      (match r.Violation_io.minimization with
+      | Some m -> Format.printf "%a" Minimize.pp_result m
+      | None -> ());
+      0
+    end
+  in
+  let term = Term.(const run $ file $ do_minimize $ ways $ mshrs) in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Reload a saved violation, revalidate, classify and optionally minimize it.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Format.printf "defenses:@.";
+    List.iter
+      (fun d ->
+        Format.printf "  %-22s %s (contract %s, %d-page sandbox)@." d.Defense.name
+          d.Defense.description d.Defense.contract.Amulet_contracts.Contract.name
+          d.Defense.sandbox_pages)
+      Defense.all;
+    Format.printf "@.contracts:@.";
+    List.iter
+      (fun c ->
+        Format.printf "  %-10s %s@." c.Amulet_contracts.Contract.name
+          c.Amulet_contracts.Contract.description)
+      Amulet_contracts.Contract.all;
+    Format.printf "@.trace formats:@.";
+    List.iter
+      (fun f -> Format.printf "  %s@." (Utrace.format_name f))
+      Utrace.all_formats;
+    Format.printf "@.reproducers:@.";
+    List.iter
+      (fun r -> Format.printf "  %-24s %s@." r.Reproducers.name r.Reproducers.description)
+      Reproducers.all;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List defenses, contracts, trace formats, reproducers.")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "AMuLeT: automated design-time testing of secure speculation countermeasures" in
+  Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
+    [ fuzz_cmd; reproduce_cmd; run_cmd; analyze_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main)

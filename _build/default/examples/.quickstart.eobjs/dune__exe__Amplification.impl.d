@@ -1,0 +1,1 @@
+examples/amplification.ml: Amulet Amulet_defenses Analysis Campaign Defense Format Fuzzer List Printf String Unix

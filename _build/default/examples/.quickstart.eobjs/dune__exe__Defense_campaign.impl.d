@@ -1,0 +1,1 @@
+examples/defense_campaign.ml: Amulet Amulet_defenses Analysis Campaign Defense Format Fuzzer List Option Printf Reproducers String Violation

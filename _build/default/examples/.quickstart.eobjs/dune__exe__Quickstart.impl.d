@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amulet Amulet_defenses Campaign Defense Format Fuzzer Violation

@@ -1,0 +1,1 @@
+examples/root_cause.ml: Amulet Amulet_defenses Amulet_isa Analysis Defense Executor Format Fuzzer Inst List Program Reproducers Stats Utrace Violation

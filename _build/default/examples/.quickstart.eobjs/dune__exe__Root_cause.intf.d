@@ -1,0 +1,1 @@
+examples/root_cause.mli:

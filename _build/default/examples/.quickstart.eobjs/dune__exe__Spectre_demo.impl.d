@@ -1,0 +1,1 @@
+examples/spectre_demo.ml: Amulet Amulet_contracts Amulet_emu Amulet_isa Amulet_uarch Asm Config Contract Format Int64 Leakage_model List Memory Program Reg Reproducers Simulator State Width

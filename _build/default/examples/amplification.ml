@@ -1,0 +1,52 @@
+(* Leakage amplification (paper §3.4 and Table 6): after patching
+   InvisiSpec's UV1 eviction bug, the default configuration tests clean —
+   but shrinking the contended structures (cache ways, MSHRs) makes the
+   deeper speculative-interference leak (UV2) observable.
+
+   Run with:  dune exec examples/amplification.exe *)
+
+open Amulet
+open Amulet_defenses
+
+let sweep_point ~l1d_ways ~mshrs =
+  let defense = Defense.invisispec_patched in
+  let sim_config = Defense.config ~l1d_ways ~mshrs defense in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Campaign.run
+      {
+        Campaign.n_programs = 120;
+        stop_after_violations = Some 1;
+        seed = 7;
+        classify = true;
+        fuzzer =
+          {
+            Fuzzer.default_config with
+            Fuzzer.n_base_inputs = 8;
+            boosts_per_input = 6;
+            sim_config = Some sim_config;
+          };
+      }
+      defense
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%-34s %8.1f s   %s@."
+    (Printf.sprintf "Patched, %d-way L1D, %d MSHRs" l1d_ways mshrs)
+    dt
+    (if Campaign.detected r then
+       "VIOLATION: "
+       ^ String.concat ", "
+           (List.map (fun (c, _) -> Analysis.class_name c) r.Campaign.violation_classes)
+     else "clean")
+
+let () =
+  Format.printf
+    "Amplifying contention in patched InvisiSpec (Table 6 shape):@.@.";
+  Format.printf "%-34s %10s   %s@." "Configuration" "Time" "Result";
+  sweep_point ~l1d_ways:8 ~mshrs:256;
+  sweep_point ~l1d_ways:2 ~mshrs:256;
+  sweep_point ~l1d_ways:2 ~mshrs:2;
+  Format.printf
+    "@.Smaller structures do not change the design's security; they raise \
+     the@.probability that a short random test case induces the contention a \
+     leak needs.@."

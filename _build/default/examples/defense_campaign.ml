@@ -1,0 +1,63 @@
+(* A miniature version of the paper's Table 4 campaign: test every defense
+   against its contract and summarize what AMuLeT finds.
+
+   Run with:  dune exec examples/defense_campaign.exe
+   (Budgets are scaled down so the whole run takes a few minutes; the bench
+   harness in bench/main.exe runs the full reproduction.) *)
+
+open Amulet
+open Amulet_defenses
+
+let campaign defense ~n_programs ~stop =
+  Campaign.run
+    {
+      Campaign.n_programs;
+      stop_after_violations = stop;
+      seed = 7;
+      classify = true;
+      fuzzer =
+        { Fuzzer.default_config with Fuzzer.n_base_inputs = 8; boosts_per_input = 5 };
+    }
+    defense
+
+let () =
+  Format.printf
+    "Testing secure speculation countermeasures (scaled-down Table 4)...@.@.";
+  let targets =
+    [
+      Defense.baseline, 20, Some 2;
+      Defense.invisispec, 15, Some 2;
+      Defense.cleanupspec, 40, Some 6;
+      Defense.speclfb, 15, Some 2;
+      (* STT's KV3 needs long campaigns (hours in the paper); the crafted
+         reproducer demonstrates it in seconds instead *)
+    ]
+  in
+  let results =
+    List.map (fun (d, n, stop) -> campaign d ~n_programs:n ~stop) targets
+  in
+  Format.printf "%-14s %-9s %-10s %-12s %-12s %s@." "Defense" "Contract"
+    "Detected?" "Avg det (s)" "Thruput" "Unique violations";
+  List.iter
+    (fun r ->
+      Format.printf "%-14s %-9s %-10s %-12s %-12.0f %s@."
+        r.Campaign.defense.Defense.name r.Campaign.contract_name
+        (if Campaign.detected r then "YES" else "no")
+        (match Campaign.avg_detection_time r with
+        | Some t -> Printf.sprintf "%.2f" t
+        | None -> "-")
+        r.Campaign.throughput
+        (String.concat "; "
+           (List.map
+              (fun (c, n) -> Printf.sprintf "%dx %s" n (Analysis.class_name c))
+              r.Campaign.violation_classes)))
+    results;
+  Format.printf
+    "@.STT (ARCH-SEQ) needs far longer random campaigns (the paper reports \
+     ~3 h average@.detection); its KV3 leak reproduces in seconds from the \
+     crafted test instead:@.";
+  match Reproducers.hunt Reproducers.figure9 with
+  | Some v ->
+      Format.printf "  STT violation found: %s@."
+        (Option.value v.Violation.signature ~default:"?")
+  | None -> Format.printf "  (reproducer budget exhausted)@."

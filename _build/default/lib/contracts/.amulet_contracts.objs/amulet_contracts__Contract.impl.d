@@ -1,0 +1,1 @@
+lib/contracts/contract.ml: Format List String

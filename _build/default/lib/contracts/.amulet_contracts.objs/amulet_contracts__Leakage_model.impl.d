@@ -1,0 +1,1 @@
+lib/contracts/leakage_model.ml: Amulet_emu Amulet_isa Contract Emulator Exec Inst List Observation Program Reg State Taint

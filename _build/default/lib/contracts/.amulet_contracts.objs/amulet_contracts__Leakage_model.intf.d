@@ -1,0 +1,1 @@
+lib/contracts/leakage_model.mli: Amulet_emu Amulet_isa Contract Observation State Taint

@@ -1,0 +1,1 @@
+lib/contracts/observation.ml: Format Int64 List

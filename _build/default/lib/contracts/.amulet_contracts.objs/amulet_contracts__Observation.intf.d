@@ -1,0 +1,1 @@
+lib/contracts/observation.mli: Format

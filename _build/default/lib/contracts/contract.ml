@@ -1,0 +1,88 @@
+(** Leakage contracts (Guarnieri et al.).
+
+    A contract pairs an {e observation clause} (what each instruction leaks)
+    with an {e execution clause} (which speculative paths are explored).  The
+    three contracts of the paper's Table 1 are provided, plus combinators to
+    build filter contracts that additionally expose a leak that has been
+    root-caused, so known violations stop being reported (§3.3b). *)
+
+(** Execution clause. *)
+type speculation =
+  | No_speculation
+      (** only the architectural path (CT-SEQ, ARCH-SEQ) *)
+  | Conditional_branches of { window : int; nesting : int }
+      (** explore the mispredicted direction of conditional branches, up to
+          [window] instructions per excursion, nested up to [nesting] deep
+          (CT-COND) *)
+
+type t = {
+  name : string;
+  description : string;
+  observe_pc : bool;
+  observe_addresses : bool;  (** load/store effective addresses *)
+  observe_loaded_values : bool;
+  expose_initial_regs : bool;
+      (** expose the input register file (an "architectural observer") *)
+  speculation : speculation;
+}
+
+let default_window = 64
+let default_nesting = 2
+
+(** CT-SEQ: PC and load/store addresses on the architectural path. *)
+let ct_seq =
+  {
+    name = "CT-SEQ";
+    description = "constant-time observer, sequential execution";
+    observe_pc = true;
+    observe_addresses = true;
+    observe_loaded_values = false;
+    expose_initial_regs = false;
+    speculation = No_speculation;
+  }
+
+(** CT-COND: CT-SEQ plus exploration of mispredicted conditional branches. *)
+let ct_cond =
+  {
+    ct_seq with
+    name = "CT-COND";
+    description = "constant-time observer, mispredicted conditional branches";
+    speculation =
+      Conditional_branches { window = default_window; nesting = default_nesting };
+  }
+
+(** ARCH-SEQ: CT-SEQ plus loaded values and the input register file, on the
+    architectural path (captures STT's non-interference guarantee). *)
+let arch_seq =
+  {
+    ct_seq with
+    name = "ARCH-SEQ";
+    description = "architectural observer, sequential execution";
+    observe_loaded_values = true;
+    expose_initial_regs = true;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Combinators for filter contracts                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Additionally expose loaded values (e.g. to filter a root-caused value
+    leak). *)
+let exposing_loaded_values c =
+  { c with name = c.name ^ "+VALUES"; observe_loaded_values = true }
+
+(** Additionally expose the initial register file. *)
+let exposing_registers c =
+  { c with name = c.name ^ "+REGS"; expose_initial_regs = true }
+
+(** Add (or change) the conditional-branch execution clause. *)
+let with_cond_speculation ?(window = default_window) ?(nesting = default_nesting) c =
+  { c with name = c.name ^ "+COND"; speculation = Conditional_branches { window; nesting } }
+
+let all = [ ct_seq; ct_cond; arch_seq ]
+
+let find name =
+  let canonical = String.uppercase_ascii name in
+  List.find_opt (fun c -> String.uppercase_ascii c.name = canonical) all
+
+let pp fmt c = Format.fprintf fmt "%s" c.name

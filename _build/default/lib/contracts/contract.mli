@@ -1,0 +1,38 @@
+(** Leakage contracts (Guarnieri et al.): an observation clause (what leaks)
+    plus an execution clause (which speculative paths are explored). *)
+
+type speculation =
+  | No_speculation
+  | Conditional_branches of { window : int; nesting : int }
+
+type t = {
+  name : string;
+  description : string;
+  observe_pc : bool;
+  observe_addresses : bool;
+  observe_loaded_values : bool;
+  expose_initial_regs : bool;
+  speculation : speculation;
+}
+
+val default_window : int
+val default_nesting : int
+
+val ct_seq : t
+(** PC and load/store addresses on the architectural path. *)
+
+val ct_cond : t
+(** CT-SEQ plus exploration of mispredicted conditional branches. *)
+
+val arch_seq : t
+(** CT-SEQ plus loaded values and the input register file. *)
+
+(** {1 Filter-contract combinators (§3.3b)} *)
+
+val exposing_loaded_values : t -> t
+val exposing_registers : t -> t
+val with_cond_speculation : ?window:int -> ?nesting:int -> t -> t
+
+val all : t list
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

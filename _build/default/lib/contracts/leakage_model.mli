@@ -1,0 +1,26 @@
+(** The executable leakage model: runs a test case on the sequential
+    emulator under a contract, producing its contract trace (exploring
+    mispredicted branches with rollback per the execution clause) and,
+    optionally, taint information for input boosting. *)
+
+open Amulet_emu
+
+type result = {
+  ctrace : Observation.trace;
+  ctrace_hash : int64;
+  taint : Taint.t option;
+  arch_steps : int;
+  spec_steps : int;  (** instructions explored on mispredicted paths *)
+  fault : string option;
+  final_state_hash : int64;
+}
+
+val collect :
+  ?collect_taint:bool ->
+  ?max_steps:int ->
+  Contract.t ->
+  Amulet_isa.Program.flat ->
+  State.t ->
+  result
+(** Collect the contract trace starting from [state] (which the caller has
+    initialized with the test input; it is mutated). *)

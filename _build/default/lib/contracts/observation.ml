@@ -1,0 +1,54 @@
+(** ISA-level observations and contract traces.
+
+    A contract trace is the sequence of observations the leakage contract
+    exposes for one execution (program, input).  Two executions with equal
+    contract traces are supposed to be microarchitecturally
+    indistinguishable; see {!Contract} for the clause definitions. *)
+
+type t =
+  | Pc of int  (** program counter of a retired/explored instruction *)
+  | Load_addr of int
+  | Store_addr of int
+  | Load_value of int64  (** loaded data (value-exposing contracts) *)
+  | Reg_value of int * int64  (** initial register exposure: (index, value) *)
+  | Spec_enter of int  (** entering a mispredicted path at branch PC *)
+  | Spec_exit  (** rollback point of a mispredicted path *)
+
+type trace = t list
+
+let equal (a : t) (b : t) = a = b
+
+let pp fmt = function
+  | Pc pc -> Format.fprintf fmt "pc:0x%x" pc
+  | Load_addr a -> Format.fprintf fmt "ld:0x%x" a
+  | Store_addr a -> Format.fprintf fmt "st:0x%x" a
+  | Load_value v -> Format.fprintf fmt "val:0x%Lx" v
+  | Reg_value (i, v) -> Format.fprintf fmt "reg%d:0x%Lx" i v
+  | Spec_enter pc -> Format.fprintf fmt "spec-enter@0x%x" pc
+  | Spec_exit -> Format.fprintf fmt "spec-exit"
+
+let pp_trace fmt (tr : trace) =
+  Format.fprintf fmt "@[<hov 2>[%a]@]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ";@ ") pp)
+    tr
+
+(* FNV-1a over the structure, stable across runs (unlike Hashtbl.hash on
+   boxed int64 we fold payloads explicitly). *)
+let fnv_prime = 0x100000001b3L
+let fnv_offset = 0xcbf29ce484222325L
+
+let mix h v = Int64.mul (Int64.logxor h v) fnv_prime
+
+let hash_one h = function
+  | Pc pc -> mix (mix h 1L) (Int64.of_int pc)
+  | Load_addr a -> mix (mix h 2L) (Int64.of_int a)
+  | Store_addr a -> mix (mix h 3L) (Int64.of_int a)
+  | Load_value v -> mix (mix h 4L) v
+  | Reg_value (i, v) -> mix (mix (mix h 5L) (Int64.of_int i)) v
+  | Spec_enter pc -> mix (mix h 6L) (Int64.of_int pc)
+  | Spec_exit -> mix h 7L
+
+(** Order-sensitive digest of a trace. *)
+let hash_trace (tr : trace) : int64 = List.fold_left hash_one fnv_offset tr
+
+let equal_trace a b = List.equal equal a b

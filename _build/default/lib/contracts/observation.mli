@@ -1,0 +1,21 @@
+(** ISA-level observations and contract traces. *)
+
+type t =
+  | Pc of int
+  | Load_addr of int
+  | Store_addr of int
+  | Load_value of int64
+  | Reg_value of int * int64  (** initial register exposure *)
+  | Spec_enter of int  (** entering a mispredicted path at a branch PC *)
+  | Spec_exit
+
+type trace = t list
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_trace : Format.formatter -> trace -> unit
+
+val hash_trace : trace -> int64
+(** Order-sensitive FNV digest, stable across runs. *)
+
+val equal_trace : trace -> trace -> bool

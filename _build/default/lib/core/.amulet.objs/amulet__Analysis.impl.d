@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Amulet_defenses Amulet_isa Amulet_uarch Array Config Event Executor Format Inst List Operand Printf Program Reg String Violation

@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Amulet_defenses Amulet_isa Amulet_uarch Event Executor Format Program Violation

@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Amulet_contracts Amulet_defenses Analysis Defense Domain Executor Float Format Fuzzer Hashtbl List Option Stats Unix Violation

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Amulet_defenses Analysis Defense Format Fuzzer Violation

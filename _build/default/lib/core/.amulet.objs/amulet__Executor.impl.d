@@ -1,0 +1,1 @@
+lib/core/executor.ml: Amulet_defenses Amulet_uarch Config Defense Event Input Simulator Stats Utrace

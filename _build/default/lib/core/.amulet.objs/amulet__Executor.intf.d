@@ -1,0 +1,1 @@
+lib/core/executor.mli: Amulet_defenses Amulet_isa Amulet_uarch Config Defense Event Input Program Simulator Stats Utrace

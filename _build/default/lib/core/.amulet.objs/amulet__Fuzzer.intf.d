@@ -1,0 +1,1 @@
+lib/core/fuzzer.mli: Amulet_contracts Amulet_defenses Amulet_isa Amulet_uarch Contract Defense Executor Generator Program Stats Utrace Violation

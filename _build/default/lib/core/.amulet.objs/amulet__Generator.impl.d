@@ -1,0 +1,1 @@
+lib/core/generator.ml: Amulet_isa Cond Inst Int64 List Operand Printf Program Reg Rng Width

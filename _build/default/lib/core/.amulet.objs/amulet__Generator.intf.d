@@ -1,0 +1,1 @@
+lib/core/generator.mli: Amulet_isa Program Reg Rng

@@ -1,0 +1,1 @@
+lib/core/input.ml: Amulet_emu Amulet_isa Array Bytes Char Format Int64 List Memory Reg Rng State Taint

@@ -1,0 +1,1 @@
+lib/core/input.mli: Amulet_emu Bytes Format Rng State Taint

@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Amulet_contracts Amulet_defenses Amulet_isa Array Defense Executor Format Input Inst Int64 Leakage_model Option Program Stats Utrace Violation

@@ -1,0 +1,1 @@
+lib/core/minimize.mli: Amulet_contracts Amulet_defenses Amulet_isa Amulet_uarch Contract Defense Format Input Program Violation

@@ -1,0 +1,1 @@
+lib/core/reproducers.ml: Amulet_defenses Amulet_isa Analysis Asm Executor Fuzzer List Program Stats String

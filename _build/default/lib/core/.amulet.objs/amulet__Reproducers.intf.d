@@ -1,0 +1,1 @@
+lib/core/reproducers.mli: Amulet_defenses Amulet_isa Amulet_uarch Analysis Program Violation

@@ -1,0 +1,1 @@
+lib/core/utrace.ml: Array Format Int Int64 List Option Printf String

@@ -1,0 +1,1 @@
+lib/core/violation.ml: Amulet_contracts Amulet_isa Amulet_uarch Contract Format Input List Printf Program Utrace

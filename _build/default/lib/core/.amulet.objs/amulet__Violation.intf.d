@@ -1,0 +1,1 @@
+lib/core/violation.mli: Amulet_contracts Amulet_isa Amulet_uarch Contract Format Input Program Utrace

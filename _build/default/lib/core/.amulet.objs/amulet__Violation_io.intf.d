@@ -1,0 +1,1 @@
+lib/core/violation_io.mli: Amulet_isa Amulet_uarch Analysis Input Minimize Program Violation

@@ -1,0 +1,163 @@
+(** Testing campaigns: many fuzzing rounds against one defense, with the
+    metrics the paper's evaluation reports (violations found, average
+    detection time, unique violation classes, testing throughput, campaign
+    execution time — Tables 3, 4, 6). *)
+
+open Amulet_defenses
+
+type config = {
+  fuzzer : Fuzzer.config;
+  n_programs : int;
+  seed : int;
+  stop_after_violations : int option;
+      (** stop the campaign early once this many violations are found *)
+  classify : bool;  (** run root-cause signature classification *)
+}
+
+let default_config =
+  {
+    fuzzer = Fuzzer.default_config;
+    n_programs = 20;
+    seed = 42;
+    stop_after_violations = None;
+    classify = true;
+  }
+
+type result = {
+  defense : Defense.t;
+  contract_name : string;
+  violations : Violation.t list;
+  violation_classes : (Analysis.leak_class * int) list;
+  programs_run : int;
+  discarded_programs : int;
+  test_cases : int;
+  duration : float;  (** seconds *)
+  throughput : float;  (** test cases / second *)
+  detection_times : float list;
+      (** per violation: seconds since the previous find (or campaign start) *)
+}
+
+let count_classes classes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun c -> Hashtbl.replace tbl c (1 + Option.value (Hashtbl.find_opt tbl c) ~default:0))
+    classes;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+
+(** Run a campaign of [cfg.n_programs] fuzzing rounds against [defense].
+    [on_violation] fires as findings come in (progress reporting). *)
+let run ?(on_violation = fun (_ : Violation.t) -> ()) (cfg : config)
+    (defense : Defense.t) : result =
+  let fuzzer = Fuzzer.create ~cfg:cfg.fuzzer ~seed:cfg.seed defense in
+  let started = Unix.gettimeofday () in
+  let violations = ref [] in
+  let classes = ref [] in
+  let detection_times = ref [] in
+  let last_find = ref started in
+  let test_cases = ref 0 in
+  let discarded = ref 0 in
+  let programs = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !programs < cfg.n_programs do
+    incr programs;
+    (match Fuzzer.round fuzzer with
+    | Fuzzer.No_violation _ -> ()
+    | Fuzzer.Discarded _ -> incr discarded
+    | Fuzzer.Found v ->
+        let now = Unix.gettimeofday () in
+        detection_times := (now -. !last_find) :: !detection_times;
+        last_find := now;
+        if cfg.classify then begin
+          let executor =
+            Executor.create ~mode:Executor.Opt
+              ?sim_config:cfg.fuzzer.Fuzzer.sim_config
+              ~format:cfg.fuzzer.Fuzzer.trace_format defense
+              (Stats.create ())
+          in
+          Executor.start_program executor;
+          classes := Analysis.classify_violation executor v :: !classes
+        end;
+        violations := v :: !violations;
+        on_violation v;
+        (match cfg.stop_after_violations with
+        | Some k when List.length !violations >= k -> stop := true
+        | _ -> ()));
+    (* throughput accounting uses the fuzzer's own test-case counter *)
+    test_cases := Stats.test_cases (Fuzzer.stats fuzzer)
+  done;
+  let duration = Unix.gettimeofday () -. started in
+  {
+    defense;
+    contract_name = (Fuzzer.contract fuzzer).Amulet_contracts.Contract.name;
+    violations = List.rev !violations;
+    violation_classes = count_classes !classes;
+    programs_run = !programs;
+    discarded_programs = !discarded;
+    test_cases = !test_cases;
+    duration;
+    throughput = (if duration > 0. then float_of_int !test_cases /. duration else 0.);
+    detection_times = List.rev !detection_times;
+  }
+
+(** Run [instances] independent campaign instances on parallel domains —
+    the paper's methodology (16 or 100 parallel AMuLeT instances) — each
+    with a distinct seed derived from [cfg.seed], and merge the results.
+    Violations, classes and test-case counts are summed; the merged
+    duration is the wall-clock of the slowest instance, so the merged
+    throughput reflects the aggregate rate. *)
+let run_parallel ?(instances = 4) (cfg : config) (defense : Defense.t) : result =
+  assert (instances >= 1);
+  let spawn i =
+    Domain.spawn (fun () -> run { cfg with seed = cfg.seed + (i * 7919) } defense)
+  in
+  let domains = List.init instances spawn in
+  let results = List.map Domain.join domains in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
+  let duration = List.fold_left (fun acc r -> Float.max acc r.duration) 0. results in
+  let merged_classes =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        List.iter
+          (fun (c, n) ->
+            Hashtbl.replace tbl c (n + Option.value (Hashtbl.find_opt tbl c) ~default:0))
+          r.violation_classes)
+      results;
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  in
+  let test_cases = sum (fun r -> r.test_cases) in
+  {
+    defense;
+    contract_name =
+      (match results with r :: _ -> r.contract_name | [] -> assert false);
+    violations = List.concat_map (fun r -> r.violations) results;
+    violation_classes = merged_classes;
+    programs_run = sum (fun r -> r.programs_run);
+    discarded_programs = sum (fun r -> r.discarded_programs);
+    test_cases;
+    duration;
+    throughput = (if duration > 0. then float_of_int test_cases /. duration else 0.);
+    detection_times = List.concat_map (fun r -> r.detection_times) results;
+  }
+
+let detected r = r.violations <> []
+
+let avg_detection_time r =
+  match r.detection_times with
+  | [] -> None
+  | ts -> Some (List.fold_left ( +. ) 0. ts /. float_of_int (List.length ts))
+
+let unique_violations r = List.length r.violation_classes
+
+let pp fmt r =
+  Format.fprintf fmt "defense: %-22s contract: %-9s violations: %-3d unique: %d@."
+    r.defense.Defense.name r.contract_name (List.length r.violations)
+    (unique_violations r);
+  Format.fprintf fmt "  programs: %d (%d discarded)  test cases: %d  time: %.1f s  throughput: %.0f tc/s@."
+    r.programs_run r.discarded_programs r.test_cases r.duration r.throughput;
+  (match avg_detection_time r with
+  | Some t -> Format.fprintf fmt "  avg detection time: %.2f s@." t
+  | None -> ());
+  List.iter
+    (fun (c, n) -> Format.fprintf fmt "  %3dx %s@." n (Analysis.class_name c))
+    r.violation_classes

@@ -1,0 +1,39 @@
+(** Testing campaigns: many fuzzing rounds against one defense, with the
+    metrics the paper's evaluation reports (Tables 3, 4, 6). *)
+
+open Amulet_defenses
+
+type config = {
+  fuzzer : Fuzzer.config;
+  n_programs : int;
+  seed : int;
+  stop_after_violations : int option;
+  classify : bool;
+}
+
+val default_config : config
+
+type result = {
+  defense : Defense.t;
+  contract_name : string;
+  violations : Violation.t list;
+  violation_classes : (Analysis.leak_class * int) list;
+  programs_run : int;
+  discarded_programs : int;
+  test_cases : int;
+  duration : float;
+  throughput : float;  (** test cases per second *)
+  detection_times : float list;
+}
+
+val run : ?on_violation:(Violation.t -> unit) -> config -> Defense.t -> result
+
+val run_parallel : ?instances:int -> config -> Defense.t -> result
+(** The paper's parallel methodology: independent instances on OCaml
+    domains, distinct derived seeds, merged results (durations combine as
+    the slowest instance's wall clock). *)
+
+val detected : result -> bool
+val avg_detection_time : result -> float option
+val unique_violations : result -> int
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,138 @@
+(** The executor: runs test cases on the simulator implementing the
+    countermeasure under test and extracts microarchitectural traces.
+
+    Two modes, mirroring the paper's §3.2 (C3):
+    - [Naive] builds a fresh simulator — paying the full startup cost,
+      including the synthetic warm boot — for {e every input}, and starts
+      from a clean cache;
+    - [Opt] builds one simulator per {e program}, overwrites registers and
+      memory in place between inputs, and primes the L1D before each input
+      (filling every set with out-of-sandbox lines, or flushing, per the
+      defense's harness style).  Predictor state persists across inputs,
+      which widens prediction variety but requires violation validation
+      (see {!Fuzzer}). *)
+
+open Amulet_uarch
+open Amulet_defenses
+
+type mode = Naive | Opt
+
+let mode_name = function Naive -> "naive" | Opt -> "opt"
+
+type t = {
+  defense : Defense.t;
+  sim_config : Config.t;
+  mode : mode;
+  format : Utrace.format;
+  stats : Stats.t;
+  boot_insts : int;
+  mutable sim : Simulator.t option;
+}
+
+type outcome = {
+  trace : Utrace.t;
+  context : Simulator.context;  (** predictor state before the run *)
+  run_fault : string option;
+  cycles : int;
+}
+
+let create ?(boot_insts = Simulator.default_boot_insts) ?(format = Utrace.L1d_tlb)
+    ?sim_config ~mode (defense : Defense.t) (stats : Stats.t) =
+  let sim_config =
+    match sim_config with Some c -> c | None -> Defense.config defense
+  in
+  { defense; sim_config; mode; format; stats; boot_insts; sim = None }
+
+let fresh_simulator t =
+  Stats.time t.stats Stats.Sim_startup (fun () ->
+      Simulator.create ~boot_insts:t.boot_insts
+        ~pages:t.defense.Defense.sandbox_pages t.sim_config)
+
+(** Begin a new test program.  In [Opt] mode this is the only point that
+    pays the simulator startup cost. *)
+let start_program t =
+  match t.mode with
+  | Opt -> t.sim <- Some (fresh_simulator t)
+  | Naive -> t.sim <- None
+
+let get_sim t =
+  match t.sim with
+  | Some s -> s
+  | None ->
+      let s = fresh_simulator t in
+      t.sim <- Some s;
+      s
+
+let extract_trace t sim =
+  Stats.time t.stats Stats.Utrace_extraction (fun () ->
+      match t.format with
+      | Utrace.L1d_tlb ->
+          Utrace.State_snapshot
+            {
+              l1d = Simulator.l1d_tags sim;
+              tlb = Simulator.tlb_pages sim;
+              l1i =
+                (if t.defense.Defense.include_l1i then Some (Simulator.l1i_tags sim)
+                 else None);
+            }
+      | Utrace.Bp_state -> Utrace.Predictor_snapshot (Simulator.bp_state sim)
+      | Utrace.Mem_order -> Utrace.Access_order (Simulator.access_order sim)
+      | Utrace.Bp_order ->
+          Utrace.Prediction_order (Simulator.branch_prediction_order sim)
+      | Utrace.Pc_order -> Utrace.Pc_sequence (Simulator.execution_order sim))
+
+let prime t sim =
+  Stats.time t.stats Stats.Sim_simulate (fun () ->
+      match t.defense.Defense.priming with
+      | Defense.Fill_sets -> ignore (Simulator.prime_with_fills sim)
+      | Defense.Flush -> Simulator.prime_with_flush sim)
+
+(* Run one input on [sim] (which has been primed) and extract its trace. *)
+let run_loaded t sim flat (input : Input.t) =
+  Simulator.load_state sim (Input.to_state input);
+  Simulator.clear_access_order sim;
+  let context = Simulator.snapshot_context sim in
+  let stats_run =
+    Stats.time t.stats Stats.Sim_simulate (fun () -> Simulator.run sim flat)
+  in
+  Stats.count_test_case t.stats;
+  let trace = extract_trace t sim in
+  { trace; context; run_fault = stats_run.Simulator.fault; cycles = stats_run.cycles }
+
+(** Execute one test case (program, input) and produce its trace. *)
+let run_input t flat (input : Input.t) =
+  match t.mode with
+  | Naive ->
+      (* fresh simulator per input; clean caches; no fill priming *)
+      let sim = fresh_simulator t in
+      t.sim <- Some sim;
+      Simulator.prime_with_flush sim;
+      run_loaded t sim flat input
+  | Opt ->
+      let sim = get_sim t in
+      prime t sim;
+      run_loaded t sim flat input
+
+(** Validation rerun (§3.2): execute [input] from an exactly reproduced
+    microarchitectural starting context (predictors, caches, TLB as
+    snapshotted just before some earlier run) so any remaining trace
+    difference between two inputs is caused by the inputs alone. *)
+let run_input_with_context t flat (input : Input.t) (context : Simulator.context) =
+  let sim = get_sim t in
+  Stats.count_validation t.stats;
+  Simulator.restore_context sim context;
+  (run_loaded t sim flat input).trace
+
+(** Re-run an input with debug logging enabled and return the event log
+    (root-cause analysis path). *)
+let run_input_logged t flat (input : Input.t) (context : Simulator.context) =
+  let sim = get_sim t in
+  Simulator.restore_context sim context;
+  let log = Simulator.log sim in
+  Event.clear log;
+  Event.set_enabled log true;
+  let outcome = run_loaded t sim flat input in
+  Event.set_enabled log false;
+  let events = Event.events log in
+  Event.clear log;
+  outcome, events

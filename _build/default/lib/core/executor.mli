@@ -1,0 +1,49 @@
+(** The executor: runs test cases on the simulator under test and extracts
+    microarchitectural traces.
+
+    [Naive] rebuilds the simulator (with its synthetic warm boot) for every
+    input; [Opt] builds one per program, overwrites registers/memory in
+    place and primes the L1D per the defense's harness style (paper §3.2,
+    C3). *)
+
+open Amulet_isa
+open Amulet_uarch
+open Amulet_defenses
+
+type mode = Naive | Opt
+
+val mode_name : mode -> string
+
+type t
+
+type outcome = {
+  trace : Utrace.t;
+  context : Simulator.context;
+      (** full μarch starting context (predictors + caches), snapshotted
+          just before the run — the handle violation validation uses *)
+  run_fault : string option;
+  cycles : int;
+}
+
+val create :
+  ?boot_insts:int ->
+  ?format:Utrace.format ->
+  ?sim_config:Config.t ->
+  mode:mode ->
+  Defense.t ->
+  Stats.t ->
+  t
+
+val start_program : t -> unit
+(** Begin a new test program; in [Opt] mode the only point paying the
+    simulator startup cost. *)
+
+val run_input : t -> Program.flat -> Input.t -> outcome
+
+val run_input_with_context :
+  t -> Program.flat -> Input.t -> Simulator.context -> Utrace.t
+(** Validation rerun from an exactly reproduced starting context. *)
+
+val run_input_logged :
+  t -> Program.flat -> Input.t -> Simulator.context -> outcome * Event.t list
+(** Re-run with the debug log enabled (root-cause analysis). *)

@@ -1,0 +1,228 @@
+(** The relational fuzzing round: generate a program and inputs, collect
+    contract traces (leakage model) and microarchitectural traces
+    (executor), and flag validated contract violations (Definition 2.1).
+
+    Input boosting follows Revizor: one taint-tracking pass per base input
+    identifies the input atoms the contract trace depends on; mutants
+    randomize the complement, guaranteeing same-contract-trace input classes
+    in which any microarchitectural difference is a leak. *)
+
+open Amulet_isa
+open Amulet_contracts
+open Amulet_defenses
+
+type config = {
+  n_base_inputs : int;
+  boosts_per_input : int;  (** mutants per base input *)
+  contract : Contract.t option;  (** override the defense's default contract *)
+  generator : Generator.config;
+  executor_mode : Executor.mode;
+  trace_format : Utrace.format;
+  boot_insts : int;
+  sim_config : Amulet_uarch.Config.t option;  (** override (amplification) *)
+}
+
+let default_config =
+  {
+    n_base_inputs = 10;
+    boosts_per_input = 4;
+    contract = None;
+    generator = Generator.default;
+    executor_mode = Executor.Opt;
+    trace_format = Utrace.L1d_tlb;
+    boot_insts = Amulet_uarch.Simulator.default_boot_insts;
+    sim_config = None;
+  }
+
+type t = {
+  cfg : config;
+  defense : Defense.t;
+  contract : Contract.t;
+  executor : Executor.t;
+  stats : Stats.t;
+  rng : Rng.t;
+  started_at : float;
+}
+
+let create ?(cfg = default_config) ~seed (defense : Defense.t) =
+  let stats = Stats.create () in
+  let contract = Option.value cfg.contract ~default:defense.Defense.contract in
+  let generator =
+    { cfg.generator with Generator.sandbox_pages = defense.Defense.sandbox_pages }
+  in
+  let cfg = { cfg with generator } in
+  let executor =
+    Executor.create ~boot_insts:cfg.boot_insts ~format:cfg.trace_format
+      ?sim_config:cfg.sim_config ~mode:cfg.executor_mode defense stats
+  in
+  {
+    cfg;
+    defense;
+    contract;
+    executor;
+    stats;
+    rng = Rng.create ~seed;
+    started_at = Unix.gettimeofday ();
+  }
+
+let stats t = t.stats
+let contract t = t.contract
+
+(* ------------------------------------------------------------------ *)
+(* Per-program round                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type test_case = {
+  input : Input.t;
+  ctrace_hash : int64;
+  mutable outcome : Executor.outcome option;
+}
+
+type round_result =
+  | No_violation of { test_cases : int }
+  | Found of Violation.t
+  | Discarded of string
+      (** the program faulted in the model or simulator and was dropped *)
+
+(* Contract trace of one input; [collect_taint] additionally runs the taint
+   tracker for boosting. *)
+let ctrace_of t flat input ~collect_taint =
+  Stats.time t.stats Stats.Ctrace_extraction (fun () ->
+      let state = Input.to_state input in
+      Leakage_model.collect ~collect_taint t.contract flat state)
+
+(* Build the input population: base inputs plus taint-directed mutants. *)
+let build_test_cases t flat =
+  let cases = ref [] in
+  let fault = ref None in
+  let n = t.cfg.n_base_inputs in
+  for _ = 1 to n do
+    if !fault = None then begin
+      let base = Input.generate t.rng ~pages:t.cfg.generator.Generator.sandbox_pages in
+      let result = ctrace_of t flat base ~collect_taint:true in
+      match result.Leakage_model.fault with
+      | Some f -> fault := Some f
+      | None ->
+          cases := { input = base; ctrace_hash = result.ctrace_hash; outcome = None } :: !cases;
+          (match result.Leakage_model.taint with
+          | None -> ()
+          | Some taint ->
+              for _ = 1 to t.cfg.boosts_per_input do
+                let mutant = Input.mutate_free t.rng taint base in
+                (* taint tracking is conservative, but verify: a mutant whose
+                   contract trace moved would poison its class *)
+                let mr = ctrace_of t flat mutant ~collect_taint:false in
+                if mr.Leakage_model.fault = None then
+                  cases :=
+                    { input = mutant; ctrace_hash = mr.ctrace_hash; outcome = None }
+                    :: !cases
+              done)
+    end
+  done;
+  match !fault with Some f -> Error f | None -> Ok (List.rev !cases)
+
+(* Group test-case indices by contract-trace hash. *)
+let classes_of cases =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i c ->
+      let existing = Option.value (Hashtbl.find_opt tbl c.ctrace_hash) ~default:[] in
+      Hashtbl.replace tbl c.ctrace_hash (i :: existing))
+    cases;
+  Hashtbl.fold (fun h members acc -> (h, List.rev members) :: acc) tbl []
+
+(* Validate a candidate pair by re-running both inputs from a common,
+   exactly reproduced microarchitectural context (Definition 2.1 fixes the
+   context mu).  Following the paper, each input's starting context is tried
+   in turn — a difference that persists under either shared context is a
+   real, input-caused leak; differences explained entirely by the drifting
+   Opt-mode context disappear here and are rejected. *)
+let validate t flat (a : test_case) (b : test_case) =
+  let try_ctx ctx =
+    let ta = Executor.run_input_with_context t.executor flat a.input ctx in
+    let tb = Executor.run_input_with_context t.executor flat b.input ctx in
+    if Utrace.equal ta tb then None else Some (ta, tb, ctx)
+  in
+  let ctxs =
+    List.filter_map
+      (fun (o : Executor.outcome option) ->
+        Option.map (fun o -> o.Executor.context) o)
+      [ a.outcome; b.outcome ]
+  in
+  List.fold_left
+    (fun acc ctx -> match acc with Some _ -> acc | None -> try_ctx ctx)
+    None ctxs
+
+(** Run one fuzzing round on [flat] (typically a freshly generated program):
+    collect traces for a population of inputs and report the first validated
+    violation, if any. *)
+let test_program t (flat : Program.flat) : round_result =
+  match build_test_cases t flat with
+  | Error f -> Discarded ("leakage model fault: " ^ f)
+  | Ok [] -> Discarded "no test cases"
+  | Ok cases -> (
+      Executor.start_program t.executor;
+      let arr = Array.of_list cases in
+      let sim_fault = ref None in
+      Array.iter
+        (fun c ->
+          if !sim_fault = None then begin
+            let o = Executor.run_input t.executor flat c.input in
+            (match o.Executor.run_fault with
+            | Some f -> sim_fault := Some f
+            | None -> ());
+            c.outcome <- Some o
+          end)
+        arr;
+      match !sim_fault with
+      | Some f -> Discarded ("simulator fault: " ^ f)
+      | None -> (
+          let candidate = ref None in
+          List.iter
+            (fun (_hash, members) ->
+              match members with
+              | first :: rest when !candidate = None ->
+                  let a = arr.(first) in
+                  List.iter
+                    (fun j ->
+                      if !candidate = None then
+                        let b = arr.(j) in
+                        match a.outcome, b.outcome with
+                        | Some oa, Some ob ->
+                            if not (Utrace.equal oa.Executor.trace ob.Executor.trace)
+                            then
+                              (* candidate: validate under a common context *)
+                              (match validate t flat a b with
+                              | Some (ta, tb, ctx) -> candidate := Some (a, b, ta, tb, ctx)
+                              | None -> ())
+                        | _ -> ())
+                    rest
+              | _ -> ())
+            (classes_of (Array.to_list arr));
+          match !candidate with
+          | None -> No_violation { test_cases = Array.length arr }
+          | Some (a, b, ta, tb, ctx) ->
+              Stats.count_violation t.stats;
+              Found
+                {
+                  Violation.program = flat;
+                  program_text = Format.asprintf "%a" Program.pp_flat flat;
+                  input_a = a.input;
+                  input_b = b.input;
+                  trace_a = ta;
+                  trace_b = tb;
+                  context = ctx;
+                  ctrace_hash = a.ctrace_hash;
+                  contract = t.contract;
+                  defense_name = t.defense.Defense.name;
+                  detection_seconds = Unix.gettimeofday () -. t.started_at;
+                  signature = None;
+                }))
+
+(** Generate a fresh random program and fuzz it. *)
+let round t : round_result =
+  let flat =
+    Stats.time t.stats Stats.Test_generation (fun () ->
+        Generator.generate_flat ~cfg:t.cfg.generator t.rng)
+  in
+  test_program t flat

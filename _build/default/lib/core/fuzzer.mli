@@ -1,0 +1,39 @@
+(** The relational fuzzing round: generate a program and a boosted input
+    population, collect contract and microarchitectural traces, and flag
+    validated contract violations (Definition 2.1). *)
+
+open Amulet_isa
+open Amulet_contracts
+open Amulet_defenses
+
+type config = {
+  n_base_inputs : int;
+  boosts_per_input : int;
+  contract : Contract.t option;  (** override the defense's default *)
+  generator : Generator.config;
+  executor_mode : Executor.mode;
+  trace_format : Utrace.format;
+  boot_insts : int;
+  sim_config : Amulet_uarch.Config.t option;  (** amplification override *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?cfg:config -> seed:int -> Defense.t -> t
+val stats : t -> Stats.t
+val contract : t -> Contract.t
+
+type round_result =
+  | No_violation of { test_cases : int }
+  | Found of Violation.t
+  | Discarded of string
+
+val test_program : t -> Program.flat -> round_result
+(** Fuzz one (typically generated) program: build the input population,
+    execute, compare within contract classes, validate candidates under a
+    shared context. *)
+
+val round : t -> round_result
+(** Generate a fresh random program and fuzz it. *)

@@ -1,0 +1,92 @@
+(** Violation minimization.
+
+    Fuzzer-found programs carry dozens of irrelevant instructions; this
+    module shrinks a violation to its essence by repeatedly replacing
+    instructions with [NOP] while the violation persists — the usual
+    delta-debugging step a human performs during the paper's §3.3 root-cause
+    analysis, automated.
+
+    An instruction is kept only if removing it either breaks the
+    contract-trace equality of the two inputs (the pair would no longer be a
+    test for leakage) or makes their microarchitectural traces agree (the
+    leak disappears). *)
+
+open Amulet_isa
+open Amulet_contracts
+open Amulet_defenses
+
+type result = {
+  minimized : Program.flat;
+  removed : int;  (** instructions replaced by NOP *)
+  kept : int;  (** non-NOP instructions remaining (incl. Exit) *)
+}
+
+(* Does the violation still reproduce on [flat] for this input pair?  Both
+   contract-equality and a validated microarchitectural difference must
+   hold, under a fresh executor (same defense/config as the original). *)
+let still_violates ~defense ~contract ~sim_config flat (a : Input.t) (b : Input.t) =
+  let ctrace i = Leakage_model.collect contract flat (Input.to_state i) in
+  let ra = ctrace a and rb = ctrace b in
+  ra.Leakage_model.fault = None
+  && rb.Leakage_model.fault = None
+  && Int64.equal ra.Leakage_model.ctrace_hash rb.Leakage_model.ctrace_hash
+  &&
+  let ex =
+    Executor.create ~boot_insts:200 ?sim_config ~mode:Executor.Opt defense
+      (Stats.create ())
+  in
+  Executor.start_program ex;
+  let oa = Executor.run_input ex flat a in
+  let ob = Executor.run_input ex flat b in
+  let differs ctx =
+    let ta = Executor.run_input_with_context ex flat a ctx in
+    let tb = Executor.run_input_with_context ex flat b ctx in
+    not (Utrace.equal ta tb)
+  in
+  differs oa.Executor.context || differs ob.Executor.context
+
+let nop_count flat =
+  Array.fold_left
+    (fun acc i -> if i = Inst.Nop then acc + 1 else acc)
+    0 flat.Program.code
+
+(** Minimize [v]'s program for its input pair.  [sim_config] must match the
+    configuration the violation was found under (amplified structures
+    etc.). *)
+let minimize ?sim_config (v : Violation.t) : result =
+  let defense =
+    Option.value (Defense.find v.Violation.defense_name) ~default:Defense.baseline
+  in
+  let contract = v.Violation.contract in
+  let original = v.Violation.program in
+  let code = Array.copy original.Program.code in
+  let flat () = { original with Program.code = Array.copy code } in
+  let check () =
+    still_violates ~defense ~contract ~sim_config (flat ())
+      v.Violation.input_a v.Violation.input_b
+  in
+  let removed = ref 0 in
+  (* newest-first: late instructions are most often incidental *)
+  for i = Array.length code - 1 downto 0 do
+    match code.(i) with
+    | Inst.Exit | Inst.Nop -> ()
+    | inst ->
+        code.(i) <- Inst.Nop;
+        if check () then incr removed else code.(i) <- inst
+  done;
+  let minimized = flat () in
+  {
+    minimized;
+    removed = !removed;
+    kept = Array.length code - nop_count minimized;
+  }
+
+let pp_result fmt r =
+  Format.fprintf fmt "minimized to %d instructions (%d removed):@." r.kept r.removed;
+  Array.iteri
+    (fun i inst ->
+      if inst <> Inst.Nop then
+        Format.fprintf fmt "  0x%x: %a@."
+          (Program.pc_of_index r.minimized i)
+          Inst.pp inst)
+    r.minimized.Program.code

@@ -1,0 +1,39 @@
+(** Wall-clock accounting for the executor pipeline (the paper's Table 2
+    breakdown). *)
+
+type category =
+  | Sim_startup
+  | Sim_simulate
+  | Utrace_extraction
+  | Test_generation
+  | Ctrace_extraction
+  | Other
+
+val all_categories : category list
+val category_name : category -> string
+
+type t
+
+val create : unit -> t
+
+val time : t -> category -> (unit -> 'a) -> 'a
+(** Run the thunk, attributing its wall time to the category. *)
+
+val add : t -> category -> float -> unit
+val count_test_case : t -> unit
+val count_violation : t -> unit
+val count_validation : t -> unit
+val total : t -> float
+val elapsed : t -> float
+val seconds : t -> category -> float
+val test_cases : t -> int
+val violations : t -> int
+val validations : t -> int
+
+val close : t -> unit
+(** Attribute unaccounted elapsed time to [Other]. *)
+
+val throughput : t -> float
+(** Test cases per second of elapsed time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,151 @@
+(** Microarchitectural traces — the attacker's observation (paper §3.2, C1).
+
+    Four formats, matching the paper's Table 5 study:
+    - [L1d_tlb] (default): snapshot of the final L1D-cache and D-TLB tags,
+      the realistic software attacker (optionally including L1I tags);
+    - [Bp_state]: snapshot of the branch-predictor state;
+    - [Mem_order]: the ordered list of (PC, address) of all memory accesses,
+      including speculative ones (a probing attacker);
+    - [Bp_order]: the ordered list of branch PCs with predicted targets. *)
+
+type format = L1d_tlb | Bp_state | Mem_order | Bp_order | Pc_order
+
+let format_name = function
+  | L1d_tlb -> "L1D+TLB"
+  | Bp_state -> "BP state"
+  | Mem_order -> "memory access order"
+  | Bp_order -> "branch prediction order"
+  | Pc_order -> "PC sequence"
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "l1d+tlb" | "l1d-tlb" | "default" | "baseline" -> Some L1d_tlb
+  | "bp-state" | "bp_state" -> Some Bp_state
+  | "mem-order" | "mem_order" | "memory-access-order" -> Some Mem_order
+  | "bp-order" | "bp_order" | "branch-prediction-order" -> Some Bp_order
+  | "pc-order" | "pc_order" | "pc-sequence" -> Some Pc_order
+  | _ -> None
+
+(* the paper's Table 5 formats; [Pc_order] is the additional
+   "physical probe" observer from the discussion of trace option 3 *)
+let all_formats = [ L1d_tlb; Bp_state; Mem_order; Bp_order ]
+let extension_formats = [ Pc_order ]
+
+type t =
+  | State_snapshot of { l1d : int list; tlb : int list; l1i : int list option }
+  | Predictor_snapshot of int array
+  | Access_order of (int * int) list  (** (pc, address) *)
+  | Prediction_order of (int * bool * int) list  (** (pc, taken, target) *)
+  | Pc_sequence of int list  (** executed PCs, wrong paths included *)
+
+let equal a b =
+  match a, b with
+  | State_snapshot x, State_snapshot y ->
+      List.equal Int.equal x.l1d y.l1d
+      && List.equal Int.equal x.tlb y.tlb
+      && Option.equal (List.equal Int.equal) x.l1i y.l1i
+  | Predictor_snapshot x, Predictor_snapshot y -> x = y
+  | Access_order x, Access_order y -> x = y
+  | Prediction_order x, Prediction_order y -> x = y
+  | Pc_sequence x, Pc_sequence y -> x = y
+  | ( ( State_snapshot _ | Predictor_snapshot _ | Access_order _
+      | Prediction_order _ | Pc_sequence _ ),
+      _ ) ->
+      false
+
+let fnv = 0x100000001b3L
+let mix h v = Int64.mul (Int64.logxor h (Int64.of_int v)) fnv
+
+let hash = function
+  | State_snapshot { l1d; tlb; l1i } ->
+      let h = List.fold_left mix 0xcbf29ce484222325L l1d in
+      let h = List.fold_left mix (mix h 7) tlb in
+      (match l1i with
+      | None -> h
+      | Some lines -> List.fold_left mix (mix h 13) lines)
+  | Predictor_snapshot words -> Array.fold_left mix 0x9e3779b97f4a7c15L words
+  | Access_order accesses ->
+      List.fold_left (fun h (pc, a) -> mix (mix h pc) a) 0x2545F4914F6CDD1DL accesses
+  | Prediction_order preds ->
+      List.fold_left
+        (fun h (pc, taken, tgt) -> mix (mix (mix h pc) (if taken then 1 else 0)) tgt)
+        0x27d4eb2f165667c5L preds
+  | Pc_sequence pcs -> List.fold_left mix 0x452821e638d01377L pcs
+
+(** Human-readable difference between two traces of the same format:
+    elements present in exactly one side (state formats) or the first
+    diverging position (order formats). *)
+let diff a b : string list =
+  let only l1 l2 = List.filter (fun x -> not (List.mem x l2)) l1 in
+  let hexes label xs =
+    if xs = [] then []
+    else
+      [
+        Printf.sprintf "%s: %s" label
+          (String.concat " " (List.map (Printf.sprintf "0x%x") xs));
+      ]
+  in
+  match a, b with
+  | State_snapshot x, State_snapshot y ->
+      hexes "L1D only in A" (only x.l1d y.l1d)
+      @ hexes "L1D only in B" (only y.l1d x.l1d)
+      @ hexes "TLB pages only in A" (only x.tlb y.tlb)
+      @ hexes "TLB pages only in B" (only y.tlb x.tlb)
+      @ (match x.l1i, y.l1i with
+        | Some xi, Some yi ->
+            hexes "L1I only in A" (only xi yi) @ hexes "L1I only in B" (only yi xi)
+        | _ -> [])
+  | Predictor_snapshot x, Predictor_snapshot y ->
+      let diffs = ref 0 in
+      Array.iteri (fun i v -> if i < Array.length y && v <> y.(i) then incr diffs) x;
+      [ Printf.sprintf "%d predictor entries differ" !diffs ]
+  | Access_order x, Access_order y ->
+      let rec first_div i = function
+        | (px, ax) :: rx, (py, ay) :: ry ->
+            if px = py && ax = ay then first_div (i + 1) (rx, ry)
+            else
+              [
+                Printf.sprintf
+                  "access %d differs: A=(pc 0x%x, addr 0x%x) B=(pc 0x%x, addr 0x%x)" i
+                  px ax py ay;
+              ]
+        | [], [] -> []
+        | _ -> [ Printf.sprintf "access streams diverge in length at %d" i ]
+      in
+      first_div 0 (x, y)
+  | Prediction_order x, Prediction_order y ->
+      let rec first_div i = function
+        | (px, tx, gx) :: rx, (py, ty, gy) :: ry ->
+            if px = py && tx = ty && gx = gy then first_div (i + 1) (rx, ry)
+            else
+              [
+                Printf.sprintf "prediction %d differs: A=(0x%x,%b,0x%x) B=(0x%x,%b,0x%x)"
+                  i px tx gx py ty gy;
+              ]
+        | [], [] -> []
+        | _ -> [ Printf.sprintf "prediction streams diverge in length at %d" i ]
+      in
+      first_div 0 (x, y)
+  | Pc_sequence x, Pc_sequence y ->
+      let rec first_div i = function
+        | px :: rx, py :: ry ->
+            if px = py then first_div (i + 1) (rx, ry)
+            else [ Printf.sprintf "pc %d differs: A=0x%x B=0x%x" i px py ]
+        | [], [] -> []
+        | _ -> [ Printf.sprintf "pc streams diverge in length at %d" i ]
+      in
+      first_div 0 (x, y)
+  | ( ( State_snapshot _ | Predictor_snapshot _ | Access_order _
+      | Prediction_order _ | Pc_sequence _ ),
+      _ ) ->
+      [ "trace formats differ" ]
+
+let pp fmt = function
+  | State_snapshot { l1d; tlb; l1i } ->
+      Format.fprintf fmt "L1D[%d lines] TLB[%d pages]%s" (List.length l1d)
+        (List.length tlb)
+        (match l1i with None -> "" | Some i -> Printf.sprintf " L1I[%d lines]" (List.length i))
+  | Predictor_snapshot w -> Format.fprintf fmt "BP[%d words]" (Array.length w)
+  | Access_order a -> Format.fprintf fmt "order[%d accesses]" (List.length a)
+  | Prediction_order p -> Format.fprintf fmt "preds[%d branches]" (List.length p)
+  | Pc_sequence p -> Format.fprintf fmt "pcs[%d executed]" (List.length p)

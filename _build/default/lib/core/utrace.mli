@@ -1,0 +1,32 @@
+(** Microarchitectural traces — the attacker's observation (paper §3.2, C1).
+
+    The paper's Table 5 formats plus the "PC sequence" physical-probe
+    extension: state snapshots (L1D+TLB, branch predictor) and ordered
+    event streams (memory accesses, branch predictions, executed PCs). *)
+
+type format = L1d_tlb | Bp_state | Mem_order | Bp_order | Pc_order
+
+val format_name : format -> string
+val format_of_string : string -> format option
+
+val all_formats : format list
+(** The paper's Table 5 formats. *)
+
+val extension_formats : format list
+(** [Pc_order], the §3.2 trace-option-3 extension. *)
+
+type t =
+  | State_snapshot of { l1d : int list; tlb : int list; l1i : int list option }
+  | Predictor_snapshot of int array
+  | Access_order of (int * int) list  (** (pc, address) *)
+  | Prediction_order of (int * bool * int) list  (** (pc, taken, target) *)
+  | Pc_sequence of int list  (** executed PCs, wrong paths included *)
+
+val equal : t -> t -> bool
+val hash : t -> int64
+
+val diff : t -> t -> string list
+(** Human-readable difference: elements in exactly one side (state formats)
+    or the first diverging position (order formats); empty when equal. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,40 @@
+(** Contract violations: the fuzzer's findings.
+
+    A violation is a program plus two inputs with equal contract traces but
+    different (validated) microarchitectural traces — Definition 2.1 of the
+    paper.  The [signature] is filled in by {!Analysis} when the violation
+    is root-caused. *)
+
+open Amulet_isa
+open Amulet_contracts
+
+type t = {
+  program : Program.flat;
+  program_text : string;
+  input_a : Input.t;
+  input_b : Input.t;
+  trace_a : Utrace.t;
+  trace_b : Utrace.t;
+  context : Amulet_uarch.Simulator.context;
+      (** the common predictor context under which the violation validated *)
+  ctrace_hash : int64;
+  contract : Contract.t;
+  defense_name : string;
+  detection_seconds : float;  (** since the campaign / program batch began *)
+  mutable signature : string option;
+}
+
+let pp fmt v =
+  Format.fprintf fmt "=== CONTRACT VIOLATION (%s vs %s) ===@." v.defense_name
+    v.contract.Contract.name;
+  Format.fprintf fmt "detected after %.2f s%s@." v.detection_seconds
+    (match v.signature with None -> "" | Some s -> Printf.sprintf "  [signature: %s]" s);
+  Format.fprintf fmt "--- program ---@.%s" v.program_text;
+  Format.fprintf fmt "--- input A --- %a@." Input.pp v.input_a;
+  Format.fprintf fmt "--- input B --- %a@." Input.pp v.input_b;
+  Format.fprintf fmt "--- uarch trace A: %a@." Utrace.pp v.trace_a;
+  Format.fprintf fmt "--- uarch trace B: %a@." Utrace.pp v.trace_b;
+  List.iter (fun line -> Format.fprintf fmt "  %s@." line)
+    (Utrace.diff v.trace_a v.trace_b)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,24 @@
+(** Contract violations: a program and two inputs with equal contract
+    traces but different, validated microarchitectural traces. *)
+
+open Amulet_isa
+open Amulet_contracts
+
+type t = {
+  program : Program.flat;
+  program_text : string;
+  input_a : Input.t;
+  input_b : Input.t;
+  trace_a : Utrace.t;
+  trace_b : Utrace.t;
+  context : Amulet_uarch.Simulator.context;
+      (** the shared context under which the violation validated *)
+  ctrace_hash : int64;
+  contract : Contract.t;
+  defense_name : string;
+  detection_seconds : float;
+  mutable signature : string option;  (** filled in by {!Analysis} *)
+}
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

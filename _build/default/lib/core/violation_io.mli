@@ -1,0 +1,33 @@
+(** Violation persistence: save findings as self-contained text files
+    (program assembly + both inputs) and reload them for later analysis.
+    The original microarchitectural context is not stored; reloaded
+    violations are revalidated under fresh contexts. *)
+
+open Amulet_isa
+
+type stored = {
+  defense_name : string;
+  contract_name : string;
+  program : Program.flat;
+  input_a : Input.t;
+  input_b : Input.t;
+  signature : string option;
+}
+
+exception Format_error of string
+
+val of_violation : Violation.t -> stored
+val save : stored -> string -> unit
+
+val load : string -> stored
+(** Raises {!Format_error} on malformed input. *)
+
+type reanalysis = {
+  reproduced : bool;
+  leak_class : Analysis.leak_class option;
+  minimization : Minimize.result option;
+}
+
+val reanalyze :
+  ?minimize:bool -> ?sim_config:Amulet_uarch.Config.t -> stored -> reanalysis
+(** Revalidate under fresh contexts, classify, and optionally minimize. *)

@@ -1,0 +1,1 @@
+lib/defenses/defense.ml: Amulet_contracts Amulet_uarch Config Contract Format List String

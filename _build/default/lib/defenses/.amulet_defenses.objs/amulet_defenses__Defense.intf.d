@@ -1,0 +1,1 @@
+lib/defenses/defense.mli: Amulet_contracts Amulet_uarch Config Contract Format

@@ -1,0 +1,1 @@
+lib/emu/emulator.ml: Amulet_isa Exec Inst Memory Printf Program State Width

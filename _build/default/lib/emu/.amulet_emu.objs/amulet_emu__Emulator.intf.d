@@ -1,0 +1,1 @@
+lib/emu/emulator.mli: Amulet_isa Inst Program State Width

@@ -1,0 +1,1 @@
+lib/emu/exec.ml: Amulet_isa Cond Flags Inst Int64 Operand Reg Width

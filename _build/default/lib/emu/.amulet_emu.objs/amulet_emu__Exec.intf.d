@@ -1,0 +1,1 @@
+lib/emu/exec.mli: Amulet_isa Flags Inst Operand Reg Width

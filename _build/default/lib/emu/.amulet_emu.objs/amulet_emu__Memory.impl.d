@@ -1,0 +1,1 @@
+lib/emu/memory.ml: Amulet_isa Bytes Char Int64 String Width

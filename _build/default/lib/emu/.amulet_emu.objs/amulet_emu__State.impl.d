@@ -1,0 +1,1 @@
+lib/emu/state.ml: Amulet_isa Array Flags Format Int64 List Memory Reg Width

@@ -1,0 +1,1 @@
+lib/emu/state.mli: Amulet_isa Flags Format Memory Reg Width

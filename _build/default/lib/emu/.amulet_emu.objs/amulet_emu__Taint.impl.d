@@ -1,0 +1,1 @@
+lib/emu/taint.ml: Amulet_isa Array Inst Int List Memory Operand Reg Set Width

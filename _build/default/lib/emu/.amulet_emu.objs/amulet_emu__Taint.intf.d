@@ -1,0 +1,1 @@
+lib/emu/taint.mli: Amulet_isa Inst Memory Reg Set Width

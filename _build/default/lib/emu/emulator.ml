@@ -1,0 +1,160 @@
+(** Sequential architectural emulator.
+
+    Stands in for the Unicorn engine in the original AMuLeT: executes a
+    flattened test program over a {!State.t}, firing hooks for instruction
+    retirement and memory accesses.  Supports lightweight checkpointing
+    (registers snapshot + memory write journal) so the leakage model can
+    explore mispredicted paths and roll back, per the contract's execution
+    clause. *)
+
+open Amulet_isa
+
+(** Fired once per executed instruction, before its effects are applied. *)
+type inst_hook = pc:int -> index:int -> Inst.t -> unit
+
+(** Fired for every memory access performed by an instruction. *)
+type mem_hook =
+  kind:[ `Load | `Store ] -> pc:int -> addr:int -> width:Width.t -> value:int64 -> unit
+
+type hooks = { on_inst : inst_hook option; on_mem : mem_hook option }
+
+let no_hooks = { on_inst = None; on_mem = None }
+
+type t = {
+  flat : Program.flat;
+  state : State.t;
+  mutable index : int;  (** next instruction index *)
+  mutable steps : int;
+  mutable exited : bool;
+  mutable fault : string option;
+      (** set when execution escapes the code region *)
+}
+
+let create flat state = { flat; state; index = 0; steps = 0; exited = false; fault = None }
+
+let pc t = Program.pc_of_index t.flat t.index
+let state t = t.state
+let steps t = t.steps
+let exited t = t.exited
+let fault t = t.fault
+
+let reset t =
+  t.index <- 0;
+  t.steps <- 0;
+  t.exited <- false;
+  t.fault <- None
+
+(* Build the Exec.machine view over architectural state, with hooks. *)
+let machine t (hooks : hooks) ~pc : Exec.machine =
+  let mem = t.state.State.mem in
+  let fire kind addr width value =
+    match hooks.on_mem with
+    | None -> ()
+    | Some h -> h ~kind ~pc ~addr ~width ~value
+  in
+  {
+    Exec.read_reg = State.read_reg t.state;
+    write_reg = (fun w r v -> State.write_reg_width t.state w r v);
+    read_flags = (fun () -> t.state.State.flags);
+    write_flags = (fun f -> t.state.State.flags <- f);
+    load =
+      (fun w addr ->
+        let v = Memory.read mem w addr in
+        fire `Load addr w v;
+        v);
+    store =
+      (fun w addr v ->
+        fire `Store addr w v;
+        Memory.write mem w addr v);
+  }
+
+(** Execute the instruction at the current index.  Returns [`Exit] when the
+    program has terminated (or faulted), [`Continue] otherwise. *)
+let step ?(hooks = no_hooks) t =
+  if t.exited then `Exit
+  else if t.index < 0 || t.index >= Program.length t.flat then begin
+    t.fault <- Some (Printf.sprintf "control flow escaped code region at index %d" t.index);
+    t.exited <- true;
+    `Exit
+  end
+  else begin
+    let inst = Program.get t.flat t.index in
+    let pc = Program.pc_of_index t.flat t.index in
+    (match hooks.on_inst with None -> () | Some h -> h ~pc ~index:t.index inst);
+    let mc = machine t hooks ~pc in
+    t.steps <- t.steps + 1;
+    match Exec.step mc inst with
+    | Exec.Next ->
+        t.index <- t.index + 1;
+        `Continue
+    | Exec.Jump target ->
+        t.index <- target;
+        `Continue
+    | Exec.Exited ->
+        t.exited <- true;
+        `Exit
+  end
+
+(** Run to completion (or until [max_steps], guarding against ill-formed
+    cyclic programs).  Returns the number of instructions executed. *)
+let run ?(hooks = no_hooks) ?(max_steps = 100_000) t =
+  let rec go () =
+    if t.steps >= max_steps then begin
+      t.fault <- Some "step limit exceeded";
+      t.exited <- true
+    end
+    else
+      match step ~hooks t with `Exit -> () | `Continue -> go ()
+  in
+  go ();
+  t.steps
+
+(** Convenience: execute program [flat] over [state] from scratch. *)
+let execute ?hooks ?max_steps flat state =
+  let t = create flat state in
+  ignore (run ?hooks ?max_steps t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Checkpointing (for speculative path exploration)                    *)
+(* ------------------------------------------------------------------ *)
+
+type checkpoint = {
+  cp_index : int;
+  cp_steps : int;
+  cp_exited : bool;
+  cp_regs : State.reg_snapshot;
+  cp_mark : Memory.mark;
+}
+
+(** Take a checkpoint.  Enables memory journaling as a side effect; the
+    journal stays enabled until {!commit} discards all checkpoints. *)
+let checkpoint t : checkpoint =
+  Memory.set_journaling t.state.State.mem true;
+  {
+    cp_index = t.index;
+    cp_steps = t.steps;
+    cp_exited = t.exited;
+    cp_regs = State.snapshot_regs t.state;
+    cp_mark = Memory.mark t.state.State.mem;
+  }
+
+(** Roll execution back to a checkpoint (registers, flags, memory, PC). *)
+let restore t (cp : checkpoint) =
+  State.restore_regs t.state cp.cp_regs;
+  Memory.rollback t.state.State.mem cp.cp_mark;
+  t.index <- cp.cp_index;
+  t.steps <- cp.cp_steps;
+  t.exited <- cp.cp_exited;
+  t.fault <- None
+
+(** Discard checkpoint tracking and stop journaling. *)
+let commit t =
+  Memory.set_journaling t.state.State.mem false;
+  Memory.clear_journal t.state.State.mem
+
+(** Force the next instruction index (used by the leakage model to explore
+    the mispredicted direction of a branch). *)
+let set_index t i = t.index <- i
+
+let current_index t = t.index

@@ -1,0 +1,59 @@
+(** Sequential architectural emulator (the Unicorn stand-in): executes a
+    flattened program over a {!State.t} with instruction/memory hooks and
+    lightweight checkpointing for speculative-path exploration. *)
+
+open Amulet_isa
+
+type inst_hook = pc:int -> index:int -> Inst.t -> unit
+(** Fired once per executed instruction, before its effects. *)
+
+type mem_hook =
+  kind:[ `Load | `Store ] ->
+  pc:int ->
+  addr:int ->
+  width:Width.t ->
+  value:int64 ->
+  unit
+
+type hooks = { on_inst : inst_hook option; on_mem : mem_hook option }
+
+val no_hooks : hooks
+
+type t
+
+val create : Program.flat -> State.t -> t
+val pc : t -> int
+val state : t -> State.t
+val steps : t -> int
+val exited : t -> bool
+
+val fault : t -> string option
+(** Set when control flow escapes the code region or the step limit
+    trips. *)
+
+val reset : t -> unit
+
+val step : ?hooks:hooks -> t -> [ `Continue | `Exit ]
+(** Execute the instruction at the current index. *)
+
+val run : ?hooks:hooks -> ?max_steps:int -> t -> int
+(** Run to completion; returns the number of instructions executed. *)
+
+val execute : ?hooks:hooks -> ?max_steps:int -> Program.flat -> State.t -> t
+(** Convenience: create and run. *)
+
+(** {1 Checkpointing} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Snapshot registers/flags/PC and start journaling memory writes. *)
+
+val restore : t -> checkpoint -> unit
+val commit : t -> unit
+(** Discard checkpoint tracking and stop journaling. *)
+
+val set_index : t -> int -> unit
+(** Force the next instruction index (wrong-path exploration). *)
+
+val current_index : t -> int

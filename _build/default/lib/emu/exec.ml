@@ -1,0 +1,322 @@
+(** Shared architectural semantics of the test ISA.
+
+    Both the sequential emulator (the leakage model's substrate, standing in
+    for Unicorn) and the out-of-order simulator's execute stage call
+    {!step}, so any semantics bug affects both sides identically and cannot
+    masquerade as a contract violation.  The caller supplies a {!machine}
+    interface; the emulator backs it with architectural state, the pipeline
+    with renamed operand values and its load/store queue. *)
+
+open Amulet_isa
+
+(** Abstract machine interface consumed by {!step}. Addresses are absolute
+    (virtual = physical). *)
+type machine = {
+  read_reg : Reg.t -> int64;
+  write_reg : Width.t -> Reg.t -> int64 -> unit;
+      (** width-aware write (see {!State.write_reg_width}) *)
+  read_flags : unit -> Flags.t;
+  write_flags : Flags.t -> unit;
+  load : Width.t -> int -> int64;
+  store : Width.t -> int -> int64 -> unit;
+}
+
+(** Control-flow outcome of one instruction. [Jump] carries the absolute
+    instruction index of the target. *)
+type outcome = Next | Jump of int | Exited
+
+(** Effective address of a memory operand: [base + index*scale + disp],
+    truncated to 48 bits (canonical user-space addresses). *)
+let effective_address ~read_reg (m : Operand.mem) =
+  let base = read_reg m.base in
+  let index =
+    match m.index with
+    | None -> 0L
+    | Some r -> Int64.mul (read_reg r) (Int64.of_int m.scale)
+  in
+  let ea = Int64.add (Int64.add base index) (Int64.of_int m.disp) in
+  Int64.to_int (Int64.logand ea 0x7FFF_FFFF_FFFFL)
+
+(** The memory request an instruction will make, given current register
+    values: [(address, width, direction)]. *)
+let mem_request ~read_reg inst =
+  match Inst.mem_access inst with
+  | None -> None
+  | Some (m, w, dir) -> Some (effective_address ~read_reg m, w, dir)
+
+(* Read an operand value at width [w]. *)
+let read_operand (mc : machine) w = function
+  | Operand.Reg r -> Width.truncate w (mc.read_reg r)
+  | Operand.Imm i -> Width.truncate w i
+  | Operand.Mem m -> mc.load w (effective_address ~read_reg:mc.read_reg m)
+
+(* Write a value to a destination operand at width [w]. *)
+let write_operand (mc : machine) w dst v =
+  match dst with
+  | Operand.Reg r -> mc.write_reg w r v
+  | Operand.Mem m -> mc.store w (effective_address ~read_reg:mc.read_reg m) v
+  | Operand.Imm _ -> invalid_arg "Exec: immediate destination"
+
+(* ADC/SBB thread the carry through two-step unsigned arithmetic. *)
+let add_with_carry w a b cin =
+  let s1 = Width.truncate w (Int64.add a b) in
+  let c1 =
+    match w with
+    | Width.W64 -> Int64.unsigned_compare s1 a < 0
+    | _ -> Int64.unsigned_compare (Int64.add a b) (Width.mask w) > 0
+  in
+  let r = Width.truncate w (Int64.add s1 (if cin then 1L else 0L)) in
+  let c2 = cin && Int64.equal s1 (Width.mask w) in
+  let sa = Width.is_negative w a
+  and sb = Width.is_negative w b
+  and sr = Width.is_negative w r in
+  ( r,
+    {
+      Flags.zf = Int64.equal r 0L;
+      sf = sr;
+      cf = c1 || c2;
+      of_ = sa = sb && sr <> sa;
+      pf = Flags.parity_of r;
+    } )
+
+let sub_with_borrow w a b cin =
+  let s1 = Width.truncate w (Int64.sub a b) in
+  let b1 = Int64.unsigned_compare a b < 0 in
+  let r = Width.truncate w (Int64.sub s1 (if cin then 1L else 0L)) in
+  let b2 = cin && Int64.equal s1 0L in
+  let sa = Width.is_negative w a
+  and sb = Width.is_negative w b
+  and sr = Width.is_negative w r in
+  ( r,
+    {
+      Flags.zf = Int64.equal r 0L;
+      sf = sr;
+      cf = b1 || b2;
+      of_ = sa <> sb && sr <> sa;
+      pf = Flags.parity_of r;
+    } )
+
+(* [cin] is the incoming carry (only consulted by ADC/SBB). *)
+let apply_binop op w a b ~cin =
+  match op with
+  | Inst.Add -> Width.truncate w (Int64.add a b)
+  | Inst.Adc -> fst (add_with_carry w a b cin)
+  | Inst.Sub -> Width.truncate w (Int64.sub a b)
+  | Inst.Sbb -> fst (sub_with_borrow w a b cin)
+  | Inst.And -> Int64.logand a b
+  | Inst.Or -> Int64.logor a b
+  | Inst.Xor -> Int64.logxor a b
+
+let binop_flags op w a b result ~cin =
+  match op with
+  | Inst.Add -> Flags.of_add w a b result
+  | Inst.Adc -> snd (add_with_carry w a b cin)
+  | Inst.Sub -> Flags.of_sub w a b result
+  | Inst.Sbb -> snd (sub_with_borrow w a b cin)
+  | Inst.And | Inst.Or | Inst.Xor -> Flags.of_logic_result w result
+
+(* Byte-reverse the low [bytes w] bytes. *)
+let bswap w v =
+  let n = Width.bytes w in
+  let r = ref 0L in
+  for i = 0 to n - 1 do
+    let byte = Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL in
+    r := Int64.logor !r (Int64.shift_left byte (8 * (n - 1 - i)))
+  done;
+  !r
+
+(* Rotate within the width; returns the result and the new CF (the bit
+   rotated across the boundary).  ZF/SF/PF are unaffected by x86 rotates. *)
+let rotate k w a count =
+  let bits = Width.bits w in
+  let count = count mod bits in
+  if count = 0 then None
+  else
+    let a = Width.truncate w a in
+    let r =
+      match k with
+      | `Rol ->
+          Width.truncate w
+            (Int64.logor (Int64.shift_left a count)
+               (Int64.shift_right_logical a (bits - count)))
+      | `Ror ->
+          Width.truncate w
+            (Int64.logor
+               (Int64.shift_right_logical a count)
+               (Int64.shift_left a (bits - count)))
+    in
+    let cf =
+      match k with
+      | `Rol -> Int64.equal (Int64.logand r 1L) 1L
+      | `Ror -> Width.is_negative w r
+    in
+    Some (r, cf)
+
+let shift_result k w a count =
+  let bits = Width.bits w in
+  let count = count land (if w = Width.W64 then 63 else 31) in
+  if count = 0 then a, None
+  else if count >= bits then begin
+    (* shifts >= width: result defined as 0 (or sign for SAR); CF cleared *)
+    match k with
+    | Inst.Shl | Inst.Shr -> 0L, Some false
+    | Inst.Sar ->
+        let r = if Width.is_negative w a then Width.mask w else 0L in
+        r, Some (Width.is_negative w a)
+    | Inst.Rol | Inst.Ror -> invalid_arg "Exec: rotate handled separately"
+  end
+  else
+    match k with
+    | Inst.Shl ->
+        let r = Width.truncate w (Int64.shift_left a count) in
+        let last = Int64.logand (Int64.shift_left a (count - 1)) (Width.sign_bit w) in
+        r, Some (not (Int64.equal last 0L))
+    | Inst.Shr ->
+        let r = Int64.shift_right_logical (Width.truncate w a) count in
+        let last = Int64.logand (Int64.shift_right_logical (Width.truncate w a) (count - 1)) 1L in
+        r, Some (Int64.equal last 1L)
+    | Inst.Sar ->
+        let sx = Width.sign_extend w a in
+        let r = Width.truncate w (Int64.shift_right sx count) in
+        let last = Int64.logand (Int64.shift_right sx (count - 1)) 1L in
+        r, Some (Int64.equal last 1L)
+    | Inst.Rol | Inst.Ror -> invalid_arg "Exec: rotate handled separately"
+
+(** Execute one instruction.  All reads happen through [mc]; the caller is
+    responsible for ordering (the emulator executes sequentially, the
+    pipeline calls this at completion time with captured operand values). *)
+let step (mc : machine) (inst : Inst.t) : outcome =
+  match inst with
+  | Inst.Nop | Inst.Fence -> Next
+  | Inst.Exit -> Exited
+  | Inst.Binop (op, w, dst, src) ->
+      let a = read_operand mc w dst in
+      let b = read_operand mc w src in
+      let cin = (mc.read_flags ()).Flags.cf in
+      let r = apply_binop op w a b ~cin in
+      mc.write_flags (binop_flags op w a b r ~cin);
+      write_operand mc w dst r;
+      Next
+  | Inst.Mov (w, dst, src) ->
+      let v = read_operand mc w src in
+      write_operand mc w dst v;
+      Next
+  | Inst.Cmp (w, a, b) ->
+      let va = read_operand mc w a in
+      let vb = read_operand mc w b in
+      mc.write_flags (Flags.of_sub w va vb (Width.truncate w (Int64.sub va vb)));
+      Next
+  | Inst.Test (w, a, b) ->
+      let va = read_operand mc w a in
+      let vb = read_operand mc w b in
+      mc.write_flags (Flags.of_logic_result w (Int64.logand va vb));
+      Next
+  | Inst.Unop (u, w, dst) -> (
+      let a = read_operand mc w dst in
+      match u with
+      | Inst.Not ->
+          (* NOT does not affect flags *)
+          write_operand mc w dst (Width.truncate w (Int64.lognot a));
+          Next
+      | Inst.Bswap ->
+          (* BSWAP does not affect flags *)
+          write_operand mc w dst (bswap w a);
+          Next
+      | Inst.Neg ->
+          let r = Width.truncate w (Int64.neg a) in
+          let f = Flags.of_sub w 0L a r in
+          (* x86: CF set iff source non-zero *)
+          mc.write_flags { f with cf = not (Int64.equal a 0L) };
+          write_operand mc w dst r;
+          Next
+      | Inst.Inc ->
+          let r = Width.truncate w (Int64.add a 1L) in
+          let old_cf = (mc.read_flags ()).cf in
+          mc.write_flags (Flags.of_incdec w ~old_cf a 1L r);
+          write_operand mc w dst r;
+          Next
+      | Inst.Dec ->
+          let r = Width.truncate w (Int64.sub a 1L) in
+          let old_cf = (mc.read_flags ()).cf in
+          mc.write_flags (Flags.of_incdec w ~old_cf a (-1L) r);
+          write_operand mc w dst r;
+          Next)
+  | Inst.Shift ((Inst.Rol | Inst.Ror) as k, w, dst, count) -> (
+      let a = read_operand mc w dst in
+      let kind = match k with Inst.Rol -> `Rol | _ -> `Ror in
+      match rotate kind w a count with
+      | None -> Next
+      | Some (r, cf) ->
+          (* rotates only touch CF (and OF for count 1, modeled as 0) *)
+          let old = mc.read_flags () in
+          mc.write_flags { old with Flags.cf; of_ = false };
+          write_operand mc w dst r;
+          Next)
+  | Inst.Shift (k, w, dst, count) -> (
+      let a = read_operand mc w dst in
+      match shift_result k w a count with
+      | _, None -> Next (* count 0: no result write needed, flags unchanged *)
+      | r, Some last_out ->
+          let of_ =
+            if count = 1 then
+              match k with
+              | Inst.Shl -> Width.is_negative w r <> last_out
+              | Inst.Shr -> Width.is_negative w a
+              | Inst.Sar | Inst.Rol | Inst.Ror -> false
+            else false
+          in
+          mc.write_flags (Flags.of_shift w r ~last_out ~of_);
+          write_operand mc w dst r;
+          Next)
+  | Inst.Imul (w, r, src) ->
+      let a = Width.truncate w (mc.read_reg r) in
+      let b = read_operand mc w src in
+      let sa = Width.sign_extend w a and sb = Width.sign_extend w b in
+      let res = Width.truncate w (Int64.mul sa sb) in
+      (* Deterministic simplification of IMUL flags: ZF/SF/PF from the result,
+         CF/OF cleared (the generator never branches on flags of IMUL). *)
+      mc.write_flags (Flags.of_logic_result w res);
+      mc.write_reg w r res;
+      Next
+  | Inst.Movx (ext, w, r, src) ->
+      let v = read_operand mc w src in
+      let extended =
+        match ext with
+        | Inst.Zero -> Width.truncate w v
+        | Inst.Sign -> Width.sign_extend w v
+      in
+      mc.write_reg Width.W64 r extended;
+      Next
+  | Inst.Xchg (w, a, b) ->
+      let va = Width.truncate w (mc.read_reg a) in
+      let vb = Width.truncate w (mc.read_reg b) in
+      mc.write_reg w a vb;
+      mc.write_reg w b va;
+      Next
+  | Inst.Lea (r, m) ->
+      mc.write_reg Width.W64 r
+        (Int64.of_int (effective_address ~read_reg:mc.read_reg m));
+      Next
+  | Inst.Setcc (c, dst) ->
+      let v = if Cond.eval c (mc.read_flags ()) then 1L else 0L in
+      write_operand mc Width.W8 dst v;
+      Next
+  | Inst.Cmovcc (c, w, r, src) ->
+      (* The source (including a memory source) is always read, as on real
+         hardware; only the register write is conditional. *)
+      let v = read_operand mc w src in
+      if Cond.eval c (mc.read_flags ()) then mc.write_reg w r v;
+      Next
+  | Inst.Jmp (Inst.Abs t) -> Jump t
+  | Inst.Jcc (c, Inst.Abs t) ->
+      if Cond.eval c (mc.read_flags ()) then Jump t else Next
+  | Inst.Jmp (Inst.Label l) | Inst.Jcc (_, Inst.Label l) ->
+      invalid_arg ("Exec: unresolved label ." ^ l)
+
+(** Purely compute the taken/not-taken direction of a conditional branch
+    under the given flags (used by the pipeline's branch resolution). *)
+let branch_taken inst flags =
+  match inst with
+  | Inst.Jmp _ -> true
+  | Inst.Jcc (c, _) -> Cond.eval c flags
+  | _ -> invalid_arg "Exec.branch_taken: not a branch"

@@ -1,0 +1,36 @@
+(** Shared architectural semantics of the test ISA.
+
+    Both the sequential emulator and the out-of-order pipeline's execute
+    stage call {!step}, so a semantics bug affects both sides identically
+    and cannot masquerade as a contract violation. *)
+
+open Amulet_isa
+
+type machine = {
+  read_reg : Reg.t -> int64;
+  write_reg : Width.t -> Reg.t -> int64 -> unit;
+  read_flags : unit -> Flags.t;
+  write_flags : Flags.t -> unit;
+  load : Width.t -> int -> int64;
+  store : Width.t -> int -> int64 -> unit;
+}
+(** The abstract machine {!step} runs against. *)
+
+type outcome = Next | Jump of int | Exited
+
+val effective_address : read_reg:(Reg.t -> int64) -> Operand.mem -> int
+(** [base + index*scale + disp], truncated to 48 bits. *)
+
+val mem_request :
+  read_reg:(Reg.t -> int64) ->
+  Inst.t ->
+  (int * Width.t * [ `Load | `Store | `Rmw ]) option
+(** The memory access the instruction will perform given current register
+    values. *)
+
+val step : machine -> Inst.t -> outcome
+(** Execute one instruction through the machine interface. *)
+
+val branch_taken : Inst.t -> Flags.t -> bool
+(** Direction of a branch under the given flags.  Raises [Invalid_argument]
+    on non-branches. *)

@@ -1,0 +1,64 @@
+(** Architectural machine state: register file, flags and sandbox memory. *)
+
+open Amulet_isa
+
+type t = {
+  regs : int64 array;  (** indexed by {!Reg.index} *)
+  mutable flags : Flags.t;
+  mem : Memory.t;
+}
+
+let create ?base ~pages () =
+  {
+    regs = Array.make Reg.count 0L;
+    flags = Flags.initial;
+    mem = Memory.create ?base ~pages ();
+  }
+
+let read_reg t r = t.regs.(Reg.index r)
+let write_reg t r v = t.regs.(Reg.index r) <- v
+
+(** Width-aware register write following x86 conventions: 64-bit writes
+    replace, 32-bit writes zero-extend, 16- and 8-bit writes merge into the
+    low bits of the old value. *)
+let write_reg_width t w r v =
+  let old = read_reg t r in
+  let nv =
+    match w with
+    | Width.W64 -> v
+    | Width.W32 -> Width.truncate Width.W32 v
+    | Width.W16 | Width.W8 ->
+        Int64.logor
+          (Int64.logand old (Int64.lognot (Width.mask w)))
+          (Width.truncate w v)
+  in
+  write_reg t r nv
+
+(** Snapshot of registers and flags (memory is rolled back separately via
+    the journal). *)
+type reg_snapshot = { snap_regs : int64 array; snap_flags : Flags.t }
+
+let snapshot_regs t = { snap_regs = Array.copy t.regs; snap_flags = t.flags }
+
+let restore_regs t s =
+  Array.blit s.snap_regs 0 t.regs 0 (Array.length t.regs);
+  t.flags <- s.snap_flags
+
+let copy t = { regs = Array.copy t.regs; flags = t.flags; mem = Memory.copy t.mem }
+
+let equal a b =
+  Array.for_all2 Int64.equal a.regs b.regs
+  && Flags.equal a.flags b.flags
+  && Memory.equal a.mem b.mem
+
+(** Digest of the full architectural state (regs, flags, memory). *)
+let hash t =
+  let h = ref (Memory.hash t.mem) in
+  Array.iter (fun v -> h := Int64.add (Int64.mul !h 31L) v) t.regs;
+  Int64.add (Int64.mul !h 31L) (Int64.of_int (Flags.to_int t.flags))
+
+let pp fmt t =
+  List.iter
+    (fun r -> Format.fprintf fmt "%-4s = 0x%Lx@." (Reg.name r) (read_reg t r))
+    Reg.all;
+  Format.fprintf fmt "flags = %a@." Flags.pp t.flags

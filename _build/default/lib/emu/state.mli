@@ -1,0 +1,25 @@
+(** Architectural machine state: register file, flags, sandbox memory. *)
+
+open Amulet_isa
+
+type t = { regs : int64 array; mutable flags : Flags.t; mem : Memory.t }
+
+val create : ?base:int -> pages:int -> unit -> t
+val read_reg : t -> Reg.t -> int64
+val write_reg : t -> Reg.t -> int64 -> unit
+
+val write_reg_width : t -> Width.t -> Reg.t -> int64 -> unit
+(** x86 width semantics: 64-bit replaces, 32-bit zero-extends, 16/8-bit
+    merge into the old value. *)
+
+type reg_snapshot
+
+val snapshot_regs : t -> reg_snapshot
+val restore_regs : t -> reg_snapshot -> unit
+val copy : t -> t
+val equal : t -> t -> bool
+
+val hash : t -> int64
+(** Digest of registers, flags and memory. *)
+
+val pp : Format.formatter -> t -> unit

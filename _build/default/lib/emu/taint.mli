@@ -1,0 +1,44 @@
+(** Input-taint tracking for Revizor-style input boosting.
+
+    Input atoms (initial registers and 8-byte sandbox words) whose labels
+    reach a contract observation are {e relevant}; randomizing the
+    complement provably preserves the contract trace while changing
+    speculative behaviour. *)
+
+open Amulet_isa
+
+module Atom_set : Set.S with type elt = int
+
+type atom = Areg of Reg.t | Aword of int
+
+val atom_of_reg : Reg.t -> int
+val atom_of_word : int -> int
+val classify_atom : int -> atom
+
+type t
+
+val create : Memory.t -> t
+
+val step :
+  t ->
+  inst:Inst.t ->
+  request:(int * Width.t * [ `Load | `Store | `Rmw ]) option ->
+  observe_values:bool ->
+  unit
+(** Propagate taint across one instruction.  [request] is the memory access
+    resolved with pre-execution register values; [observe_values] marks
+    loaded data relevant (value-exposing contracts).  Stores that fully
+    cover a word take a strong update (sound because the store's address
+    atoms are pinned as relevant). *)
+
+val relevant : t -> Atom_set.t
+
+val mark_all_regs_relevant : t -> unit
+(** For contracts exposing the initial register file (ARCH-SEQ): boosting
+    must then mutate only memory. *)
+
+val is_relevant_reg : t -> Reg.t -> bool
+val is_relevant_word : t -> int -> bool
+
+val free_atoms : t -> atom list
+(** Atoms safe to randomize (complement of the relevant set). *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Cond Format Inst Int64 List Operand Option Program Reg String Width

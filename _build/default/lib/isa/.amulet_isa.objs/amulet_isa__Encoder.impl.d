@@ -1,0 +1,1 @@
+lib/isa/encoder.ml: Array Buffer Char Cond Format Inst Int64 Operand Program Reg String Sys Width

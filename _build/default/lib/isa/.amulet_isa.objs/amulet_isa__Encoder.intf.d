@@ -1,0 +1,1 @@
+lib/isa/encoder.mli: Program

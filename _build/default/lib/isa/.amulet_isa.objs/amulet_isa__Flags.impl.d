@@ -1,0 +1,1 @@
+lib/isa/flags.ml: Format Int64 Width

@@ -1,0 +1,1 @@
+lib/isa/flags.mli: Format Width

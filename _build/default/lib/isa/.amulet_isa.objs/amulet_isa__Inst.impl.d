@@ -1,0 +1,1 @@
+lib/isa/inst.ml: Cond Format Operand Option Reg Width

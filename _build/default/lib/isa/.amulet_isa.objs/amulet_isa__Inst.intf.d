@@ -1,0 +1,1 @@
+lib/isa/inst.mli: Cond Format Operand Reg Width

@@ -1,0 +1,1 @@
+lib/isa/width.ml: Format Int64 Printf String

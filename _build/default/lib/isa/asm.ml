@@ -1,0 +1,334 @@
+(** Textual assembly for the test ISA.
+
+    Printing goes through {!Program.pp}; this module provides the inverse: a
+    parser for the same Intel-flavoured syntax, used by tests and by the CLI
+    to load hand-written reproducer programs.
+
+    Syntax, one instruction per line:
+    {[
+      .bb_main:                      # block label
+        AND RBX, 0b111111111111     # immediates: decimal, hex, binary
+        MOV RAX, qword ptr [R14 + RBX]
+        JNZ .bb_main.1
+    ]}
+    Comments start with [#] or [;]. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tword of string (* identifier / mnemonic / register / ptr keyword *)
+  | Tint of int64
+  | Tcomma
+  | Tlbracket
+  | Trbracket
+  | Tplus
+  | Tminus
+  | Tstar
+  | Tlabel of string (* .name *)
+
+let strip_comment s =
+  let cut c s = match String.index_opt s c with None -> s | Some i -> String.sub s 0 i in
+  cut '#' (cut ';' s)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let parse_int ~line s =
+  let negate, s =
+    if String.length s > 0 && s.[0] = '-' then true, String.sub s 1 (String.length s - 1)
+    else false, s
+  in
+  let v =
+    try
+      if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+        Int64.of_string s
+      else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'b' || s.[1] = 'B') then
+        Int64.of_string s
+      else Int64.of_string s
+    with Failure _ -> fail line "invalid integer literal %S" s
+  in
+  if negate then Int64.neg v else v
+
+let tokenize ~line s =
+  let s = strip_comment s in
+  let n = String.length s in
+  let tokens = ref [] in
+  let push t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = ',' then (push Tcomma; incr i)
+    else if c = '[' then (push Tlbracket; incr i)
+    else if c = ']' then (push Trbracket; incr i)
+    else if c = '+' then (push Tplus; incr i)
+    else if c = '-' then (push Tminus; incr i)
+    else if c = '*' then (push Tstar; incr i)
+    else if c = ':' then incr i (* label terminator, handled by caller *)
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_word_char s.[!j] do incr j done;
+      push (Tint (parse_int ~line (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if c = '.' || is_word_char c then begin
+      let j = ref !i in
+      while !j < n && is_word_char s.[!j] do incr j done;
+      let word = String.sub s !i (!j - !i) in
+      if word.[0] = '.' then push (Tlabel (String.sub word 1 (String.length word - 1)))
+      else push (Tword word);
+      i := !j
+    end
+    else fail line "unexpected character %C" c
+  done;
+  List.rev !tokens
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type parsed_operand =
+  | Preg of Reg.t
+  | Pimm of int64
+  | Pmem of Width.t option * Operand.mem
+  | Plabel of string
+
+let reg_of_word w = try Some (Reg.of_name w) with Not_found -> None
+
+(* [mem_body] parses the bracketed body: base + index * scale +/- disp *)
+let parse_mem_body ~line tokens =
+  let base, rest =
+    match tokens with
+    | Tword w :: rest -> (
+        match reg_of_word w with
+        | Some r -> r, rest
+        | None -> fail line "expected base register, got %S" w)
+    | _ -> fail line "expected base register in memory operand"
+  in
+  let index = ref None and scale = ref 1 and disp = ref 0 in
+  let rec loop = function
+    | [] -> ()
+    | Tplus :: Tword w :: Tstar :: Tint s :: rest -> (
+        match reg_of_word w with
+        | Some r ->
+            index := Some r;
+            scale := Int64.to_int s;
+            loop rest
+        | None -> fail line "expected index register, got %S" w)
+    | Tplus :: Tword w :: rest -> (
+        match reg_of_word w with
+        | Some r ->
+            index := Some r;
+            loop rest
+        | None -> fail line "expected register after '+', got %S" w)
+    | Tplus :: Tint d :: rest ->
+        disp := !disp + Int64.to_int d;
+        loop rest
+    | Tminus :: Tint d :: rest ->
+        disp := !disp - Int64.to_int d;
+        loop rest
+    | _ -> fail line "malformed memory operand"
+  in
+  loop rest;
+  { Operand.base; index = !index; scale = !scale; disp = !disp }
+
+(* Split tokens of an operand list at top-level commas. *)
+let split_operands tokens =
+  let rec go acc current = function
+    | [] -> List.rev (List.rev current :: acc)
+    | Tcomma :: rest -> go (List.rev current :: acc) [] rest
+    | t :: rest -> go acc (t :: current) rest
+  in
+  match tokens with [] -> [] | _ -> go [] [] tokens
+
+let parse_operand ~line tokens =
+  match tokens with
+  | [ Tword w ] -> (
+      match reg_of_word w with
+      | Some r -> Preg r
+      | None -> fail line "unknown operand %S" w)
+  | [ Tint i ] -> Pimm i
+  | [ Tminus; Tint i ] -> Pimm (Int64.neg i)
+  | [ Tlabel l ] -> Plabel l
+  | Tword kw :: Tword ptr :: Tlbracket :: rest
+    when String.lowercase_ascii ptr = "ptr" -> (
+      match Width.of_ptr_keyword kw with
+      | Some w -> (
+          match List.rev rest with
+          | Trbracket :: body_rev ->
+              Pmem (Some w, parse_mem_body ~line (List.rev body_rev))
+          | _ -> fail line "missing ']' in memory operand")
+      | None -> fail line "unknown pointer width %S" kw)
+  | Tlbracket :: rest -> (
+      match List.rev rest with
+      | Trbracket :: body_rev ->
+          Pmem (None, parse_mem_body ~line (List.rev body_rev))
+      | _ -> fail line "missing ']' in memory operand")
+  | _ -> fail line "cannot parse operand"
+
+let to_operand ~line = function
+  | Preg r -> Operand.Reg r
+  | Pimm i -> Operand.Imm i
+  | Pmem (_, m) -> Operand.Mem m
+  | Plabel _ -> fail line "label not valid here"
+
+(* Width of a two-operand instruction: explicit ptr keyword wins, else 64. *)
+let infer_width ~line:_ ops =
+  let explicit =
+    List.find_map (function Pmem (Some w, _) -> Some w | _ -> None) ops
+  in
+  Option.value explicit ~default:Width.W64
+
+let parse_inst ~line mnemonic operands =
+  let ops = List.map (parse_operand ~line) (split_operands operands) in
+  let w = infer_width ~line ops in
+  let op2 name f =
+    match ops with
+    | [ a; b ] -> f (to_operand ~line a) (to_operand ~line b)
+    | _ -> fail line "%s expects two operands" name
+  in
+  let target name =
+    match ops with
+    | [ Plabel l ] -> Inst.Label l
+    | _ -> fail line "%s expects a label operand" name
+  in
+  let m = String.uppercase_ascii mnemonic in
+  match m with
+  | "NOP" -> Inst.Nop
+  | "ADD" -> op2 m (fun a b -> Inst.Binop (Inst.Add, w, a, b))
+  | "ADC" -> op2 m (fun a b -> Inst.Binop (Inst.Adc, w, a, b))
+  | "SUB" -> op2 m (fun a b -> Inst.Binop (Inst.Sub, w, a, b))
+  | "SBB" -> op2 m (fun a b -> Inst.Binop (Inst.Sbb, w, a, b))
+  | "AND" -> op2 m (fun a b -> Inst.Binop (Inst.And, w, a, b))
+  | "OR" -> op2 m (fun a b -> Inst.Binop (Inst.Or, w, a, b))
+  | "XOR" -> op2 m (fun a b -> Inst.Binop (Inst.Xor, w, a, b))
+  | "MOV" -> op2 m (fun a b -> Inst.Mov (w, a, b))
+  | "CMP" -> op2 m (fun a b -> Inst.Cmp (w, a, b))
+  | "TEST" -> op2 m (fun a b -> Inst.Test (w, a, b))
+  | "NOT" | "NEG" | "INC" | "DEC" | "BSWAP" -> (
+      let u =
+        match m with
+        | "NOT" -> Inst.Not
+        | "NEG" -> Inst.Neg
+        | "INC" -> Inst.Inc
+        | "BSWAP" -> Inst.Bswap
+        | _ -> Inst.Dec
+      in
+      match ops with
+      | [ a ] -> Inst.Unop (u, w, to_operand ~line a)
+      | _ -> fail line "%s expects one operand" m)
+  | "SHL" | "SHR" | "SAR" | "ROL" | "ROR" -> (
+      let k =
+        match m with
+        | "SHL" -> Inst.Shl
+        | "SHR" -> Inst.Shr
+        | "ROL" -> Inst.Rol
+        | "ROR" -> Inst.Ror
+        | _ -> Inst.Sar
+      in
+      match ops with
+      | [ a; Pimm n ] -> Inst.Shift (k, w, to_operand ~line a, Int64.to_int n)
+      | _ -> fail line "%s expects operand, immediate" m)
+  | "IMUL" -> (
+      match ops with
+      | [ Preg r; b ] -> Inst.Imul (w, r, to_operand ~line b)
+      | _ -> fail line "IMUL expects register, operand")
+  | "MOVZX" | "MOVSX" -> (
+      let ext = if m = "MOVZX" then Inst.Zero else Inst.Sign in
+      match ops with
+      | [ Preg r; src ] ->
+          (* the extension width comes from the ptr keyword (defaults W64
+             would make the instruction a plain MOV; require narrower) *)
+          Inst.Movx (ext, w, r, to_operand ~line src)
+      | _ -> fail line "%s expects register, operand" m)
+  | "XCHG" -> (
+      match ops with
+      | [ Preg a; Preg b ] -> Inst.Xchg (w, a, b)
+      | _ -> fail line "XCHG expects two registers")
+  | "LEA" -> (
+      match ops with
+      | [ Preg r; Pmem (_, mem) ] -> Inst.Lea (r, mem)
+      | _ -> fail line "LEA expects register, memory operand")
+  | "JMP" -> Inst.Jmp (target m)
+  | "LFENCE" | "FENCE" -> Inst.Fence
+  | "EXIT" -> Inst.Exit
+  | _ -> (
+      (* SETcc / CMOVcc / Jcc *)
+      let try_prefix prefix make =
+        let pl = String.length prefix in
+        if String.length m > pl && String.sub m 0 pl = prefix then
+          match Cond.of_suffix (String.sub m pl (String.length m - pl)) with
+          | Some c -> Some (make c)
+          | None -> None
+        else None
+      in
+      let result =
+        match
+          try_prefix "CMOV" (fun c ->
+              match ops with
+              | [ Preg r; b ] -> Inst.Cmovcc (c, w, r, to_operand ~line b)
+              | _ -> fail line "CMOVcc expects register, operand")
+        with
+        | Some i -> Some i
+        | None -> (
+            match
+              try_prefix "SET" (fun c ->
+                  match ops with
+                  | [ a ] -> Inst.Setcc (c, to_operand ~line a)
+                  | _ -> fail line "SETcc expects one operand")
+            with
+            | Some i -> Some i
+            | None ->
+                try_prefix "J" (fun c -> Inst.Jcc (c, target m)))
+      in
+      match result with
+      | Some i -> i
+      | None -> fail line "unknown mnemonic %S" mnemonic)
+
+(** Parse a whole program.  Instructions appearing before any label are
+    placed in an implicit block called ["bb0"]. *)
+let parse (source : string) : Program.t =
+  let lines = String.split_on_char '\n' source in
+  let blocks = ref [] in
+  let current_label = ref None in
+  let current_body = ref [] in
+  let flush () =
+    match !current_label, !current_body with
+    | None, [] -> ()
+    | label, body ->
+        let label = Option.value label ~default:"bb0" in
+        blocks := { Program.label; body = List.rev body } :: !blocks
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let text = String.trim (strip_comment raw) in
+      if String.length text = 0 then ()
+      else if text.[0] = '.' && String.length text > 1
+              && text.[String.length text - 1] = ':' then begin
+        flush ();
+        current_label := Some (String.sub text 1 (String.length text - 2));
+        current_body := []
+      end
+      else
+        match tokenize ~line text with
+        | [] -> ()
+        | Tword mnemonic :: rest ->
+            current_body := parse_inst ~line mnemonic rest :: !current_body
+        | _ -> fail line "expected a mnemonic")
+    lines;
+  flush ();
+  Program.make (List.rev !blocks)
+
+(** Round-trip helper: print a program to its canonical textual form. *)
+let print (p : Program.t) = Program.to_string p

@@ -1,0 +1,20 @@
+(** Textual assembly: a parser for the Intel-flavoured syntax that
+    {!Program.pp} prints.
+
+    {[
+      .bb_main:                     # block label
+        AND RBX, 0b111111111000000  # immediates: decimal, hex, binary
+        MOV RAX, qword ptr [R14 + RBX]
+        JNZ .bb_main.1
+    ]}
+    Comments start with [#] or [;]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Program.t
+(** Parse a whole program; instructions before any label form an implicit
+    ["bb0"] block.  Raises {!Parse_error}. *)
+
+val print : Program.t -> string
+(** Canonical textual form (round-trips through {!parse} for programs whose
+    non-64-bit widths appear only on memory operands). *)

@@ -1,0 +1,120 @@
+(** Condition codes for conditional jumps, moves and set instructions. *)
+
+type t =
+  | Z   (** equal / zero *)
+  | NZ  (** not equal / not zero *)
+  | S   (** sign (negative) *)
+  | NS  (** not sign *)
+  | C   (** carry / below *)
+  | NC  (** not carry / above-or-equal *)
+  | O   (** overflow *)
+  | NO  (** not overflow *)
+  | P   (** parity even *)
+  | NP  (** parity odd *)
+  | L   (** signed less *)
+  | GE  (** signed greater-or-equal *)
+  | LE  (** signed less-or-equal *)
+  | G   (** signed greater *)
+  | BE  (** unsigned below-or-equal *)
+  | A   (** unsigned above *)
+
+let all = [ Z; NZ; S; NS; C; NC; O; NO; P; NP; L; GE; LE; G; BE; A ]
+
+let index = function
+  | Z -> 0
+  | NZ -> 1
+  | S -> 2
+  | NS -> 3
+  | C -> 4
+  | NC -> 5
+  | O -> 6
+  | NO -> 7
+  | P -> 8
+  | NP -> 9
+  | L -> 10
+  | GE -> 11
+  | LE -> 12
+  | G -> 13
+  | BE -> 14
+  | A -> 15
+
+let of_index = function
+  | 0 -> Z
+  | 1 -> NZ
+  | 2 -> S
+  | 3 -> NS
+  | 4 -> C
+  | 5 -> NC
+  | 6 -> O
+  | 7 -> NO
+  | 8 -> P
+  | 9 -> NP
+  | 10 -> L
+  | 11 -> GE
+  | 12 -> LE
+  | 13 -> G
+  | 14 -> BE
+  | 15 -> A
+  | i -> invalid_arg (Printf.sprintf "Cond.of_index: %d" i)
+
+(** Evaluate the condition against a flag state. *)
+let eval (c : t) (f : Flags.t) =
+  match c with
+  | Z -> f.zf
+  | NZ -> not f.zf
+  | S -> f.sf
+  | NS -> not f.sf
+  | C -> f.cf
+  | NC -> not f.cf
+  | O -> f.of_
+  | NO -> not f.of_
+  | P -> f.pf
+  | NP -> not f.pf
+  | L -> f.sf <> f.of_
+  | GE -> f.sf = f.of_
+  | LE -> f.zf || f.sf <> f.of_
+  | G -> (not f.zf) && f.sf = f.of_
+  | BE -> f.cf || f.zf
+  | A -> (not f.cf) && not f.zf
+
+(** Mnemonic suffix, e.g. ["Z"] so that a jump prints as [JZ]. *)
+let suffix = function
+  | Z -> "Z"
+  | NZ -> "NZ"
+  | S -> "S"
+  | NS -> "NS"
+  | C -> "C"
+  | NC -> "NC"
+  | O -> "O"
+  | NO -> "NO"
+  | P -> "P"
+  | NP -> "NP"
+  | L -> "L"
+  | GE -> "GE"
+  | LE -> "LE"
+  | G -> "G"
+  | BE -> "BE"
+  | A -> "A"
+
+let of_suffix s =
+  match String.uppercase_ascii s with
+  | "Z" | "E" -> Some Z
+  | "NZ" | "NE" -> Some NZ
+  | "S" -> Some S
+  | "NS" -> Some NS
+  | "C" | "B" -> Some C
+  | "NC" | "AE" -> Some NC
+  | "O" -> Some O
+  | "NO" -> Some NO
+  | "P" -> Some P
+  | "NP" -> Some NP
+  | "L" -> Some L
+  | "GE" -> Some GE
+  | "LE" -> Some LE
+  | "G" -> Some G
+  | "BE" -> Some BE
+  | "A" -> Some A
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+let pp fmt c = Format.pp_print_string fmt (suffix c)

@@ -1,0 +1,21 @@
+(** Condition codes for conditional jumps, moves and set instructions. *)
+
+type t = Z | NZ | S | NS | C | NC | O | NO | P | NP | L | GE | LE | G | BE | A
+
+val all : t list
+
+val index : t -> int
+val of_index : int -> t
+(** Raises [Invalid_argument] when out of range. *)
+
+val eval : t -> Flags.t -> bool
+(** Evaluate the condition against a flag state. *)
+
+val suffix : t -> string
+(** Mnemonic suffix, e.g. ["Z"] (a jump prints as [JZ]). *)
+
+val of_suffix : string -> t option
+(** Accepts aliases ([E]/[NE], [B]/[AE]). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

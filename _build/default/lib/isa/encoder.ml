@@ -1,0 +1,330 @@
+(** Binary encoding of flattened programs.
+
+    AMuLeT packages each test case as a binary (program bytes + input bytes)
+    handed to the executor process; this module provides the program half.
+    The encoding is a compact custom format (not x86 machine code): one tag
+    byte per instruction followed by its operands.  Jump targets must be
+    resolved ({!Inst.Abs}) before encoding; encode a {!Program.t} by
+    flattening it first. *)
+
+exception Decode_error of { offset : int; message : string }
+
+let decode_fail offset fmt =
+  Format.kasprintf (fun message -> raise (Decode_error { offset; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_i32 buf v =
+  add_u8 buf v;
+  add_u8 buf (v asr 8);
+  add_u8 buf (v asr 16);
+  add_u8 buf (v asr 24)
+
+let add_i64 buf v =
+  for i = 0 to 7 do
+    add_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let add_reg buf r = add_u8 buf (Reg.index r)
+let add_width buf w = add_u8 buf (Width.index w)
+let add_cond buf c = add_u8 buf (Cond.index c)
+
+let add_mem buf (m : Operand.mem) =
+  add_reg buf m.base;
+  (match m.index with
+  | None -> add_u8 buf 0xFF
+  | Some r -> add_reg buf r);
+  add_u8 buf m.scale;
+  add_i32 buf m.disp
+
+let add_operand buf = function
+  | Operand.Reg r ->
+      add_u8 buf 0;
+      add_reg buf r
+  | Operand.Imm i ->
+      add_u8 buf 1;
+      add_i64 buf i
+  | Operand.Mem m ->
+      add_u8 buf 2;
+      add_mem buf m
+
+let add_target buf = function
+  | Inst.Abs i -> add_i32 buf i
+  | Inst.Label l -> invalid_arg ("Encoder: unresolved label ." ^ l)
+
+let binop_tag = function
+  | Inst.Add -> 0
+  | Inst.Sub -> 1
+  | Inst.And -> 2
+  | Inst.Or -> 3
+  | Inst.Xor -> 4
+  | Inst.Adc -> 5
+  | Inst.Sbb -> 6
+
+let unop_tag = function
+  | Inst.Not -> 0
+  | Inst.Neg -> 1
+  | Inst.Inc -> 2
+  | Inst.Dec -> 3
+  | Inst.Bswap -> 4
+
+let shift_tag = function
+  | Inst.Shl -> 0
+  | Inst.Shr -> 1
+  | Inst.Sar -> 2
+  | Inst.Rol -> 3
+  | Inst.Ror -> 4
+
+let encode_inst buf (inst : Inst.t) =
+  match inst with
+  | Inst.Nop -> add_u8 buf 0
+  | Inst.Binop (op, w, dst, src) ->
+      add_u8 buf 1;
+      add_u8 buf (binop_tag op);
+      add_width buf w;
+      add_operand buf dst;
+      add_operand buf src
+  | Inst.Mov (w, dst, src) ->
+      add_u8 buf 2;
+      add_width buf w;
+      add_operand buf dst;
+      add_operand buf src
+  | Inst.Cmp (w, a, b) ->
+      add_u8 buf 3;
+      add_width buf w;
+      add_operand buf a;
+      add_operand buf b
+  | Inst.Test (w, a, b) ->
+      add_u8 buf 4;
+      add_width buf w;
+      add_operand buf a;
+      add_operand buf b
+  | Inst.Unop (u, w, op) ->
+      add_u8 buf 5;
+      add_u8 buf (unop_tag u);
+      add_width buf w;
+      add_operand buf op
+  | Inst.Shift (k, w, op, n) ->
+      add_u8 buf 6;
+      add_u8 buf (shift_tag k);
+      add_width buf w;
+      add_operand buf op;
+      add_u8 buf n
+  | Inst.Imul (w, r, src) ->
+      add_u8 buf 7;
+      add_width buf w;
+      add_reg buf r;
+      add_operand buf src
+  | Inst.Lea (r, m) ->
+      add_u8 buf 8;
+      add_reg buf r;
+      add_mem buf m
+  | Inst.Setcc (c, op) ->
+      add_u8 buf 9;
+      add_cond buf c;
+      add_operand buf op
+  | Inst.Cmovcc (c, w, r, src) ->
+      add_u8 buf 10;
+      add_cond buf c;
+      add_width buf w;
+      add_reg buf r;
+      add_operand buf src
+  | Inst.Movx (ext, w, r, src) ->
+      add_u8 buf 15;
+      add_u8 buf (match ext with Inst.Zero -> 0 | Inst.Sign -> 1);
+      add_width buf w;
+      add_reg buf r;
+      add_operand buf src
+  | Inst.Xchg (w, a, b) ->
+      add_u8 buf 16;
+      add_width buf w;
+      add_reg buf a;
+      add_reg buf b
+  | Inst.Jmp t ->
+      add_u8 buf 11;
+      add_target buf t
+  | Inst.Jcc (c, t) ->
+      add_u8 buf 12;
+      add_cond buf c;
+      add_target buf t
+  | Inst.Fence -> add_u8 buf 13
+  | Inst.Exit -> add_u8 buf 14
+
+(** Encode a flattened program.  Layout: magic "AMLT", u32 instruction count,
+    u32 code base, u8 instruction size, then the instructions. *)
+let encode (f : Program.flat) : string =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "AMLT";
+  add_i32 buf (Array.length f.code);
+  add_i32 buf f.code_base;
+  add_u8 buf f.inst_size;
+  Array.iter (encode_inst buf) f.code;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { data : string; mutable pos : int }
+
+let u8 c =
+  if c.pos >= String.length c.data then decode_fail c.pos "unexpected end of data";
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let i32 c =
+  let b0 = u8 c and b1 = u8 c and b2 = u8 c and b3 = u8 c in
+  let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+  (* sign-extend from 32 bits *)
+  (v lsl (Sys.int_size - 32)) asr (Sys.int_size - 32)
+
+let i64 c =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 c)) (8 * i))
+  done;
+  !v
+
+let reg c =
+  let i = u8 c in
+  try Reg.of_index i with Invalid_argument _ -> decode_fail c.pos "bad register %d" i
+
+let width c =
+  let i = u8 c in
+  try Width.of_index i with Invalid_argument _ -> decode_fail c.pos "bad width %d" i
+
+let cond c =
+  let i = u8 c in
+  try Cond.of_index i with Invalid_argument _ -> decode_fail c.pos "bad condition %d" i
+
+let mem c =
+  let base = reg c in
+  let index_byte = u8 c in
+  let index = if index_byte = 0xFF then None else Some (Reg.of_index index_byte) in
+  let scale = u8 c in
+  let disp = i32 c in
+  { Operand.base; index; scale; disp }
+
+let operand c =
+  match u8 c with
+  | 0 -> Operand.Reg (reg c)
+  | 1 -> Operand.Imm (i64 c)
+  | 2 -> Operand.Mem (mem c)
+  | k -> decode_fail c.pos "bad operand kind %d" k
+
+let binop_of_tag c = function
+  | 0 -> Inst.Add
+  | 1 -> Inst.Sub
+  | 2 -> Inst.And
+  | 3 -> Inst.Or
+  | 4 -> Inst.Xor
+  | 5 -> Inst.Adc
+  | 6 -> Inst.Sbb
+  | k -> decode_fail c.pos "bad binop %d" k
+
+let unop_of_tag c = function
+  | 0 -> Inst.Not
+  | 1 -> Inst.Neg
+  | 2 -> Inst.Inc
+  | 3 -> Inst.Dec
+  | 4 -> Inst.Bswap
+  | k -> decode_fail c.pos "bad unop %d" k
+
+let shift_of_tag c = function
+  | 0 -> Inst.Shl
+  | 1 -> Inst.Shr
+  | 2 -> Inst.Sar
+  | 3 -> Inst.Rol
+  | 4 -> Inst.Ror
+  | k -> decode_fail c.pos "bad shift %d" k
+
+let decode_inst c : Inst.t =
+  match u8 c with
+  | 0 -> Inst.Nop
+  | 1 ->
+      let op = binop_of_tag c (u8 c) in
+      let w = width c in
+      let dst = operand c in
+      let src = operand c in
+      Inst.Binop (op, w, dst, src)
+  | 2 ->
+      let w = width c in
+      let dst = operand c in
+      let src = operand c in
+      Inst.Mov (w, dst, src)
+  | 3 ->
+      let w = width c in
+      let a = operand c in
+      let b = operand c in
+      Inst.Cmp (w, a, b)
+  | 4 ->
+      let w = width c in
+      let a = operand c in
+      let b = operand c in
+      Inst.Test (w, a, b)
+  | 5 ->
+      let u = unop_of_tag c (u8 c) in
+      let w = width c in
+      let op = operand c in
+      Inst.Unop (u, w, op)
+  | 6 ->
+      let k = shift_of_tag c (u8 c) in
+      let w = width c in
+      let op = operand c in
+      let n = u8 c in
+      Inst.Shift (k, w, op, n)
+  | 7 ->
+      let w = width c in
+      let r = reg c in
+      let src = operand c in
+      Inst.Imul (w, r, src)
+  | 8 ->
+      let r = reg c in
+      let m = mem c in
+      Inst.Lea (r, m)
+  | 9 ->
+      let cc = cond c in
+      let op = operand c in
+      Inst.Setcc (cc, op)
+  | 10 ->
+      let cc = cond c in
+      let w = width c in
+      let r = reg c in
+      let src = operand c in
+      Inst.Cmovcc (cc, w, r, src)
+  | 11 -> Inst.Jmp (Inst.Abs (i32 c))
+  | 12 ->
+      let cc = cond c in
+      Inst.Jcc (cc, Inst.Abs (i32 c))
+  | 13 -> Inst.Fence
+  | 14 -> Inst.Exit
+  | 15 ->
+      let ext = (match u8 c with 0 -> Inst.Zero | 1 -> Inst.Sign | k -> decode_fail c.pos "bad extend %d" k) in
+      let w = width c in
+      let r = reg c in
+      let src = operand c in
+      Inst.Movx (ext, w, r, src)
+  | 16 ->
+      let w = width c in
+      let a = reg c in
+      let b = reg c in
+      Inst.Xchg (w, a, b)
+  | k -> decode_fail c.pos "bad instruction tag %d" k
+
+(** Inverse of {!encode}. *)
+let decode (data : string) : Program.flat =
+  let c = { data; pos = 0 } in
+  if String.length data < 4 || String.sub data 0 4 <> "AMLT" then
+    decode_fail 0 "bad magic";
+  c.pos <- 4;
+  let count = i32 c in
+  let code_base = i32 c in
+  let inst_size = u8 c in
+  if count < 0 then decode_fail c.pos "bad instruction count %d" count;
+  let code = Array.init count (fun _ -> decode_inst c) in
+  { Program.code; code_base; inst_size }

@@ -1,0 +1,10 @@
+(** Binary encoding of flattened programs (the "test binary" the executor
+    ships; a compact custom format, not x86 machine code). *)
+
+exception Decode_error of { offset : int; message : string }
+
+val encode : Program.flat -> string
+(** Raises [Invalid_argument] on unresolved labels. *)
+
+val decode : string -> Program.flat
+(** Inverse of {!encode}.  Raises {!Decode_error} on malformed input. *)

@@ -1,0 +1,116 @@
+(** Architectural status flags (a subset of x86 RFLAGS sufficient for the
+    conditional instructions in the test ISA). *)
+
+type t = {
+  zf : bool;  (** zero *)
+  sf : bool;  (** sign *)
+  cf : bool;  (** carry *)
+  of_ : bool; (** overflow *)
+  pf : bool;  (** parity (of the low result byte) *)
+}
+
+let initial = { zf = false; sf = false; cf = false; of_ = false; pf = false }
+
+let equal a b =
+  a.zf = b.zf && a.sf = b.sf && a.cf = b.cf && a.of_ = b.of_ && a.pf = b.pf
+
+(** Parity flag value for a result: set if the low byte has an even number of
+    one bits (x86 semantics). *)
+let parity_of v =
+  let byte = Int64.to_int (Int64.logand v 0xFFL) in
+  let rec popcount n acc = if n = 0 then acc else popcount (n lsr 1) (acc + (n land 1)) in
+  popcount byte 0 mod 2 = 0
+
+(** Flags resulting from a logic operation ([AND]/[OR]/[XOR]/[TEST]): CF and
+    OF are cleared, ZF/SF/PF reflect the result at width [w]. *)
+let of_logic_result w result =
+  let r = Width.truncate w result in
+  {
+    zf = Int64.equal r 0L;
+    sf = Width.is_negative w r;
+    cf = false;
+    of_ = false;
+    pf = parity_of r;
+  }
+
+(** Flags for an addition [a + b = result] at width [w]. *)
+let of_add w a b result =
+  let a = Width.truncate w a and b = Width.truncate w b in
+  let r = Width.truncate w result in
+  let full = Int64.add (Width.truncate w a) (Width.truncate w b) in
+  (* Carry out of the width: for W64 compare unsigned; narrower widths can
+     observe the carry directly in bit [bits w] of the untruncated sum. *)
+  let cf =
+    match w with
+    | Width.W64 ->
+        (* unsigned overflow iff result < a (unsigned) *)
+        Int64.unsigned_compare r a < 0
+    | _ -> not (Int64.equal (Int64.logand full (Int64.shift_left 1L (Width.bits w))) 0L)
+  in
+  let sa = Width.is_negative w a
+  and sb = Width.is_negative w b
+  and sr = Width.is_negative w r in
+  {
+    zf = Int64.equal r 0L;
+    sf = sr;
+    cf;
+    of_ = sa = sb && sr <> sa;
+    pf = parity_of r;
+  }
+
+(** Flags for a subtraction [a - b = result] at width [w] (also used by
+    [CMP]). *)
+let of_sub w a b result =
+  let a = Width.truncate w a and b = Width.truncate w b in
+  let r = Width.truncate w result in
+  let sa = Width.is_negative w a
+  and sb = Width.is_negative w b
+  and sr = Width.is_negative w r in
+  {
+    zf = Int64.equal r 0L;
+    sf = sr;
+    cf = Int64.unsigned_compare a b < 0;
+    of_ = sa <> sb && sr <> sa;
+    pf = parity_of r;
+  }
+
+(** Flags after a shift by a non-zero count: [last_out] is the last bit
+    shifted out (the new CF). OF is modeled only for count-1 shifts, matching
+    the defined subset of x86 semantics; other counts leave OF cleared, which
+    keeps the model deterministic. *)
+let of_shift w result ~last_out ~of_ =
+  let r = Width.truncate w result in
+  {
+    zf = Int64.equal r 0L;
+    sf = Width.is_negative w r;
+    cf = last_out;
+    of_;
+    pf = parity_of r;
+  }
+
+(** Flags after [INC]/[DEC], which preserve CF. *)
+let of_incdec w ~old_cf a b result =
+  let f = if Int64.equal b 1L then of_add w a b result else of_sub w a (Int64.neg b) result in
+  { f with cf = old_cf }
+
+let pp fmt f =
+  let b c v = if v then c else '-' in
+  Format.fprintf fmt "[%c%c%c%c%c]" (b 'Z' f.zf) (b 'S' f.sf) (b 'C' f.cf)
+    (b 'O' f.of_) (b 'P' f.pf)
+
+(** Pack into an integer (for hashing and trace inclusion). *)
+let to_int f =
+  (if f.zf then 1 else 0)
+  lor (if f.sf then 2 else 0)
+  lor (if f.cf then 4 else 0)
+  lor (if f.of_ then 8 else 0)
+  lor if f.pf then 16 else 0
+
+let of_int i =
+  {
+    zf = i land 1 <> 0;
+    sf = i land 2 <> 0;
+    cf = i land 4 <> 0;
+    of_ = i land 8 <> 0;
+    pf = i land 16 <> 0;
+  }

@@ -1,0 +1,41 @@
+(** Architectural status flags (subset of x86 RFLAGS). *)
+
+type t = {
+  zf : bool;  (** zero *)
+  sf : bool;  (** sign *)
+  cf : bool;  (** carry *)
+  of_ : bool;  (** overflow *)
+  pf : bool;  (** parity of the low result byte *)
+}
+
+val initial : t
+(** All flags cleared. *)
+
+val equal : t -> t -> bool
+
+val parity_of : int64 -> bool
+(** x86 parity: true when the low byte has an even number of one bits. *)
+
+val of_logic_result : Width.t -> int64 -> t
+(** Flags of [AND]/[OR]/[XOR]/[TEST]: CF = OF = 0; ZF/SF/PF from the
+    result. *)
+
+val of_add : Width.t -> int64 -> int64 -> int64 -> t
+(** [of_add w a b result] — flags of [a + b] at width [w]. *)
+
+val of_sub : Width.t -> int64 -> int64 -> int64 -> t
+(** [of_sub w a b result] — flags of [a - b] at width [w] (also CMP). *)
+
+val of_shift : Width.t -> int64 -> last_out:bool -> of_:bool -> t
+(** Flags of a non-zero-count shift; [last_out] is the last bit shifted
+    out (the new CF). *)
+
+val of_incdec : Width.t -> old_cf:bool -> int64 -> int64 -> int64 -> t
+(** INC/DEC flags: like add/sub but CF preserved from [old_cf]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_int : t -> int
+(** Pack into a small integer (hashing, trace payloads). *)
+
+val of_int : int -> t

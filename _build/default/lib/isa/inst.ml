@@ -1,0 +1,228 @@
+(** Instructions of the test ISA.
+
+    The instruction set is the x86-64 subset used by Revizor-style test
+    generators: integer ALU operations, data movement (including conditional
+    moves), comparisons, shifts, and direct (un)conditional jumps.  Memory
+    operands use [base + index*scale + disp] addressing.  [Exit] terminates a
+    test case (the analogue of gem5's [m5exit] pseudo-instruction) and
+    [Fence] is a full speculation barrier (LFENCE). *)
+
+type binop = Add | Adc | Sub | Sbb | And | Or | Xor
+type unop = Not | Neg | Inc | Dec | Bswap
+type shift_kind = Shl | Shr | Sar | Rol | Ror
+
+(** Extension mode of MOVZX / MOVSX. *)
+type extend = Zero | Sign
+
+(** Jump targets: symbolic labels in source programs, absolute instruction
+    indices after {!Program.flatten} resolves them. *)
+type target = Label of string | Abs of int
+
+type t =
+  | Nop
+  | Binop of binop * Width.t * Operand.t * Operand.t
+      (** [Binop (op, w, dst, src)]: [dst <- dst op src]; [dst] is a register
+          or memory operand, at most one operand is memory. *)
+  | Mov of Width.t * Operand.t * Operand.t
+      (** [Mov (w, dst, src)]: at most one memory operand. *)
+  | Cmp of Width.t * Operand.t * Operand.t  (** flags only *)
+  | Test of Width.t * Operand.t * Operand.t  (** flags only, [a AND b] *)
+  | Unop of unop * Width.t * Operand.t
+  | Shift of shift_kind * Width.t * Operand.t * int  (** immediate count *)
+  | Imul of Width.t * Reg.t * Operand.t  (** two-operand form, reg dst *)
+  | Movx of extend * Width.t * Reg.t * Operand.t
+      (** MOVZX/MOVSX: load [src] at the given (narrow) width and zero- or
+          sign-extend into the full destination register *)
+  | Xchg of Width.t * Reg.t * Reg.t  (** register-register swap *)
+  | Lea of Reg.t * Operand.mem  (** address computation, no memory access *)
+  | Setcc of Cond.t * Operand.t  (** byte destination *)
+  | Cmovcc of Cond.t * Width.t * Reg.t * Operand.t
+  | Jmp of target
+  | Jcc of Cond.t * target
+  | Fence  (** speculation barrier (LFENCE) *)
+  | Exit  (** end of test case *)
+
+(* ------------------------------------------------------------------ *)
+(* Classification                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let is_branch = function Jmp _ | Jcc _ -> true | _ -> false
+let is_cond_branch = function Jcc _ -> true | _ -> false
+
+(** The memory operand accessed by the instruction, with its width and
+    direction.  [`Load] covers pure loads, [`Store] pure stores, [`Rmw]
+    read-modify-write (memory-destination binops and unops). *)
+let mem_access = function
+  | Binop (_, w, Operand.Mem m, _) -> Some (m, w, `Rmw)
+  | Binop (_, w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Mov (w, Operand.Mem m, _) -> Some (m, w, `Store)
+  | Mov (w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Cmp (w, Operand.Mem m, _) | Cmp (w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Test (w, Operand.Mem m, _) | Test (w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Unop (_, w, Operand.Mem m) -> Some (m, w, `Rmw)
+  | Shift (_, w, Operand.Mem m, _) -> Some (m, w, `Rmw)
+  | Imul (w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Movx (_, w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Setcc (_, Operand.Mem m) -> Some (m, Width.W8, `Store)
+  | Cmovcc (_, w, _, Operand.Mem m) -> Some (m, w, `Load)
+  | Nop | Binop _ | Mov _ | Cmp _ | Test _ | Unop _ | Shift _ | Imul _
+  | Movx _ | Xchg _ | Lea _ | Setcc _ | Cmovcc _ | Jmp _ | Jcc _ | Fence
+  | Exit ->
+      None
+
+let is_load i =
+  match mem_access i with
+  | Some (_, _, (`Load | `Rmw)) -> true
+  | Some (_, _, `Store) | None -> false
+
+let is_store i =
+  match mem_access i with
+  | Some (_, _, (`Store | `Rmw)) -> true
+  | Some (_, _, `Load) | None -> false
+
+let is_mem i = Option.is_some (mem_access i)
+
+(** Registers read by the instruction (including address registers of memory
+    operands). *)
+let source_regs inst =
+  let src_of = Operand.source_regs in
+  let addr_of = Operand.address_regs in
+  match inst with
+  | Nop | Fence | Exit | Jmp _ | Jcc _ -> []
+  | Binop (_, _, dst, src) ->
+      (* memory destination contributes address regs; register destination is
+         also a source since binops read-modify-write *)
+      (match dst with
+      | Operand.Reg r -> r :: src_of src
+      | Operand.Mem _ -> addr_of dst @ src_of src
+      | Operand.Imm _ -> src_of src)
+  | Mov (w, dst, src) ->
+      let dst_regs =
+        match dst, w with
+        | Operand.Mem _, _ -> addr_of dst
+        (* sub-32-bit register writes merge into the old value; 32-bit writes
+           zero-extend and 64-bit writes replace, so neither reads [dst] *)
+        | Operand.Reg r, (Width.W8 | Width.W16) -> [ r ]
+        | Operand.Reg _, (Width.W32 | Width.W64) -> []
+        | Operand.Imm _, _ -> []
+      in
+      dst_regs @ src_of src
+  | Cmp (_, a, b) | Test (_, a, b) ->
+      (match a with Operand.Mem _ -> addr_of a | _ -> src_of a) @ src_of b
+  | Unop (_, _, op) | Shift (_, _, op, _) -> (
+      match op with Operand.Mem _ -> addr_of op | _ -> src_of op)
+  | Imul (_, dst, src) -> dst :: src_of src
+  | Movx (_, _, _, src) -> (
+      match src with Operand.Mem _ -> addr_of src | _ -> src_of src)
+  | Xchg (_, a, b) -> [ a; b ]
+  | Lea (_, m) -> Operand.address_regs (Operand.Mem m)
+  | Setcc (_, dst) -> (
+      match dst with
+      | Operand.Mem _ -> addr_of dst
+      | Operand.Reg r -> [ r ] (* byte write merges *)
+      | Operand.Imm _ -> [])
+  | Cmovcc (_, _, dst, src) -> dst :: src_of src
+
+(** Registers written by the instruction. *)
+let dest_regs = function
+  | Binop (_, _, Operand.Reg r, _)
+  | Mov (_, Operand.Reg r, _)
+  | Unop (_, _, Operand.Reg r)
+  | Shift (_, _, Operand.Reg r, _)
+  | Setcc (_, Operand.Reg r) ->
+      [ r ]
+  | Imul (_, r, _) | Lea (r, _) | Cmovcc (_, _, r, _) | Movx (_, _, r, _) -> [ r ]
+  | Xchg (_, a, b) -> [ a; b ]
+  | Nop | Binop _ | Mov _ | Cmp _ | Test _ | Unop _ | Shift _ | Setcc _
+  | Jmp _ | Jcc _ | Fence | Exit ->
+      []
+
+let reads_flags = function
+  | Jcc _ | Setcc _ | Cmovcc _ -> true
+  | Unop ((Inc | Dec), _, _) -> true (* INC/DEC preserve CF *)
+  | Binop ((Adc | Sbb), _, _, _) -> true (* carry in *)
+  | Shift ((Rol | Ror), w, _, n) ->
+      (* rotates preserve ZF/SF/PF, so a rotating count makes them readers *)
+      n mod Width.bits w <> 0
+  | Nop | Binop _ | Mov _ | Cmp _ | Test _ | Unop _ | Shift _ | Imul _
+  | Movx _ | Xchg _ | Lea _ | Jmp _ | Fence | Exit ->
+      false
+
+let writes_flags = function
+  | Binop _ | Cmp _ | Test _ | Imul _ -> true
+  | Unop ((Not | Bswap), _, _) -> false (* NOT and BSWAP do not affect flags *)
+  | Unop ((Neg | Inc | Dec), _, _) -> true
+  | Shift ((Rol | Ror), w, _, n) -> n mod Width.bits w <> 0
+  | Shift ((Shl | Shr | Sar), w, _, n) ->
+      (* a masked count of zero leaves flags untouched, statically *)
+      n land (match w with Width.W64 -> 63 | _ -> 31) <> 0
+  | Nop | Mov _ | Movx _ | Xchg _ | Lea _ | Setcc _ | Cmovcc _ | Jmp _
+  | Jcc _ | Fence | Exit ->
+      false
+
+let branch_target = function Jmp t | Jcc (_, t) -> Some t | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let binop_name = function
+  | Add -> "ADD"
+  | Adc -> "ADC"
+  | Sub -> "SUB"
+  | Sbb -> "SBB"
+  | And -> "AND"
+  | Or -> "OR"
+  | Xor -> "XOR"
+
+let unop_name = function
+  | Not -> "NOT"
+  | Neg -> "NEG"
+  | Inc -> "INC"
+  | Dec -> "DEC"
+  | Bswap -> "BSWAP"
+
+let shift_name = function
+  | Shl -> "SHL"
+  | Shr -> "SHR"
+  | Sar -> "SAR"
+  | Rol -> "ROL"
+  | Ror -> "ROR"
+
+let pp_target fmt = function
+  | Label l -> Format.fprintf fmt ".%s" l
+  | Abs i -> Format.fprintf fmt "@%d" i
+
+let pp fmt inst =
+  let pw w = Operand.pp_with_width w in
+  match inst with
+  | Nop -> Format.fprintf fmt "NOP"
+  | Binop (op, w, dst, src) ->
+      Format.fprintf fmt "%s %a, %a" (binop_name op) (pw w) dst (pw w) src
+  | Mov (w, dst, src) ->
+      Format.fprintf fmt "MOV %a, %a" (pw w) dst (pw w) src
+  | Cmp (w, a, b) -> Format.fprintf fmt "CMP %a, %a" (pw w) a (pw w) b
+  | Test (w, a, b) -> Format.fprintf fmt "TEST %a, %a" (pw w) a (pw w) b
+  | Unop (op, w, dst) -> Format.fprintf fmt "%s %a" (unop_name op) (pw w) dst
+  | Shift (k, w, dst, n) ->
+      Format.fprintf fmt "%s %a, %d" (shift_name k) (pw w) dst n
+  | Imul (w, dst, src) ->
+      Format.fprintf fmt "IMUL %a, %a" Reg.pp dst (pw w) src
+  | Movx (Zero, w, dst, src) ->
+      Format.fprintf fmt "MOVZX %a, %a" Reg.pp dst (pw w) src
+  | Movx (Sign, w, dst, src) ->
+      Format.fprintf fmt "MOVSX %a, %a" Reg.pp dst (pw w) src
+  | Xchg (_, a, b) -> Format.fprintf fmt "XCHG %a, %a" Reg.pp a Reg.pp b
+  | Lea (dst, m) ->
+      Format.fprintf fmt "LEA %a, [%a]" Reg.pp dst Operand.pp_mem_inner m
+  | Setcc (c, dst) ->
+      Format.fprintf fmt "SET%s %a" (Cond.suffix c) (pw Width.W8) dst
+  | Cmovcc (c, w, dst, src) ->
+      Format.fprintf fmt "CMOV%s %a, %a" (Cond.suffix c) Reg.pp dst (pw w) src
+  | Jmp t -> Format.fprintf fmt "JMP %a" pp_target t
+  | Jcc (c, t) -> Format.fprintf fmt "J%s %a" (Cond.suffix c) pp_target t
+  | Fence -> Format.fprintf fmt "LFENCE"
+  | Exit -> Format.fprintf fmt "EXIT"
+
+let to_string inst = Format.asprintf "%a" pp inst
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,70 @@
+(** Instructions of the test ISA: the x86-64 subset that Revizor-style test
+    generators use. *)
+
+type binop = Add | Adc | Sub | Sbb | And | Or | Xor
+type unop = Not | Neg | Inc | Dec | Bswap
+type shift_kind = Shl | Shr | Sar | Rol | Ror
+
+type extend = Zero | Sign
+(** Extension mode of MOVZX / MOVSX. *)
+
+type target = Label of string | Abs of int
+(** Jump targets: symbolic before {!Program.flatten}, absolute instruction
+    indices after. *)
+
+type t =
+  | Nop
+  | Binop of binop * Width.t * Operand.t * Operand.t
+      (** [dst <- dst op src]; at most one memory operand *)
+  | Mov of Width.t * Operand.t * Operand.t
+  | Cmp of Width.t * Operand.t * Operand.t  (** flags only *)
+  | Test of Width.t * Operand.t * Operand.t  (** flags only, [a AND b] *)
+  | Unop of unop * Width.t * Operand.t
+  | Shift of shift_kind * Width.t * Operand.t * int  (** immediate count *)
+  | Imul of Width.t * Reg.t * Operand.t  (** two-operand form *)
+  | Movx of extend * Width.t * Reg.t * Operand.t
+      (** MOVZX/MOVSX: load at the (narrow) width, extend into the full
+          destination register *)
+  | Xchg of Width.t * Reg.t * Reg.t  (** register-register swap *)
+  | Lea of Reg.t * Operand.mem  (** no memory access *)
+  | Setcc of Cond.t * Operand.t  (** byte destination *)
+  | Cmovcc of Cond.t * Width.t * Reg.t * Operand.t
+  | Jmp of target
+  | Jcc of Cond.t * target
+  | Fence  (** speculation barrier (LFENCE) *)
+  | Exit  (** end of test case (m5exit analogue) *)
+
+(** {1 Classification} *)
+
+val is_branch : t -> bool
+val is_cond_branch : t -> bool
+
+val mem_access : t -> (Operand.mem * Width.t * [ `Load | `Store | `Rmw ]) option
+(** The memory operand the instruction accesses, with width and direction
+    ([`Rmw] = read-modify-write). *)
+
+val is_load : t -> bool
+val is_store : t -> bool
+val is_mem : t -> bool
+
+val source_regs : t -> Reg.t list
+(** Registers read, including memory-operand address registers and
+    destinations of merging sub-width or conditional writes. *)
+
+val dest_regs : t -> Reg.t list
+val reads_flags : t -> bool
+
+val writes_flags : t -> bool
+(** Statically exact: [NOT] and zero-count shifts do not write flags. *)
+
+val branch_target : t -> target option
+
+(** {1 Printing} *)
+
+val binop_name : binop -> string
+val unop_name : unop -> string
+val shift_name : shift_kind -> string
+val pp_target : Format.formatter -> target -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

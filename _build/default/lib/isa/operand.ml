@@ -1,0 +1,62 @@
+(** Instruction operands: registers, immediates and memory references. *)
+
+(** A memory reference [base + index*scale + disp], Intel style.  [scale] is
+    1, 2, 4 or 8. *)
+type mem = { base : Reg.t; index : Reg.t option; scale : int; disp : int }
+
+type t =
+  | Reg of Reg.t
+  | Imm of int64
+  | Mem of mem
+
+let mem ?(index = None) ?(scale = 1) ?(disp = 0) base =
+  assert (scale = 1 || scale = 2 || scale = 4 || scale = 8);
+  Mem { base; index; scale; disp }
+
+let is_mem = function Mem _ -> true | Reg _ | Imm _ -> false
+let is_reg = function Reg _ -> true | Mem _ | Imm _ -> false
+let is_imm = function Imm _ -> true | Mem _ | Reg _ -> false
+
+(** Registers read when evaluating the operand as a source (for a memory
+    operand these are the address registers; the loaded data itself is
+    accounted separately). *)
+let source_regs = function
+  | Reg r -> [ r ]
+  | Imm _ -> []
+  | Mem m -> ( match m.index with None -> [ m.base ] | Some i -> [ m.base; i ])
+
+(** Address registers of a memory operand (empty for non-memory operands). *)
+let address_regs = function
+  | Mem m -> ( match m.index with None -> [ m.base ] | Some i -> [ m.base; i ])
+  | Reg _ | Imm _ -> []
+
+let equal_mem a b =
+  Reg.equal a.base b.base
+  && Option.equal Reg.equal a.index b.index
+  && a.scale = b.scale && a.disp = b.disp
+
+let equal a b =
+  match a, b with
+  | Reg x, Reg y -> Reg.equal x y
+  | Imm x, Imm y -> Int64.equal x y
+  | Mem x, Mem y -> equal_mem x y
+  | (Reg _ | Imm _ | Mem _), _ -> false
+
+let pp_mem_inner fmt m =
+  Format.fprintf fmt "%a" Reg.pp m.base;
+  (match m.index with
+  | None -> ()
+  | Some i ->
+      if m.scale = 1 then Format.fprintf fmt " + %a" Reg.pp i
+      else Format.fprintf fmt " + %a*%d" Reg.pp i m.scale);
+  if m.disp > 0 then Format.fprintf fmt " + %d" m.disp
+  else if m.disp < 0 then Format.fprintf fmt " - %d" (-m.disp)
+
+(** Print with an explicit width keyword for memory operands, e.g.
+    ["qword ptr [R14 + RAX]"]. *)
+let pp_with_width w fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm i -> Format.fprintf fmt "%Ld" i
+  | Mem m -> Format.fprintf fmt "%s ptr [%a]" (Width.ptr_keyword w) pp_mem_inner m
+
+let pp fmt op = pp_with_width Width.W64 fmt op

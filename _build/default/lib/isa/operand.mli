@@ -1,0 +1,31 @@
+(** Instruction operands: registers, immediates and memory references. *)
+
+type mem = { base : Reg.t; index : Reg.t option; scale : int; disp : int }
+(** [base + index*scale + disp], Intel style; [scale] is 1, 2, 4 or 8. *)
+
+type t = Reg of Reg.t | Imm of int64 | Mem of mem
+
+val mem : ?index:Reg.t option -> ?scale:int -> ?disp:int -> Reg.t -> t
+(** Build a memory operand; asserts the scale is valid. *)
+
+val is_mem : t -> bool
+val is_reg : t -> bool
+val is_imm : t -> bool
+
+val source_regs : t -> Reg.t list
+(** Registers read when the operand is evaluated as a source (address
+    registers for memory operands). *)
+
+val address_regs : t -> Reg.t list
+(** Address registers of a memory operand; empty otherwise. *)
+
+val equal_mem : mem -> mem -> bool
+val equal : t -> t -> bool
+
+val pp_mem_inner : Format.formatter -> mem -> unit
+(** The bracketed body, e.g. ["R14 + RAX*2 + 8"]. *)
+
+val pp_with_width : Width.t -> Format.formatter -> t -> unit
+(** Print with an explicit size keyword on memory operands. *)
+
+val pp : Format.formatter -> t -> unit

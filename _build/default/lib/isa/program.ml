@@ -1,0 +1,110 @@
+(** Test programs: a list of labelled basic blocks forming a directed acyclic
+    control-flow graph (as produced by the Revizor-style generator), plus the
+    flattened, label-resolved form consumed by the emulator and the
+    simulator. *)
+
+type block = { label : string; body : Inst.t list }
+
+type t = { blocks : block list }
+(** Execution starts at the first block.  Control falls through from one
+    block to the next unless a jump redirects it.  The last block ends the
+    test case (an [Exit] is appended during flattening if absent). *)
+
+(** A flattened program: instruction array with jump targets resolved to
+    absolute indices, and the address of each instruction (for PC traces).
+    Instructions are laid out [inst_size] bytes apart starting at
+    [code_base], giving every instruction a distinct, stable PC. *)
+type flat = {
+  code : Inst.t array;
+  code_base : int;
+  inst_size : int;
+}
+
+let code_base_default = 0x40_0000
+let inst_size_default = 4
+
+exception Unknown_label of string
+
+let make blocks = { blocks }
+
+let block_labels p = List.map (fun b -> b.label) p.blocks
+
+let num_instructions p =
+  List.fold_left (fun acc b -> acc + List.length b.body) 0 p.blocks
+
+(** Resolve labels and append a final [Exit] if the program does not already
+    end with one.  Raises {!Unknown_label} for a jump to a label that names
+    no block. *)
+let flatten ?(code_base = code_base_default) ?(inst_size = inst_size_default)
+    (p : t) : flat =
+  let index_of_label = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace index_of_label b.label !next;
+      next := !next + List.length b.body)
+    p.blocks;
+  let resolve = function
+    | Inst.Label l -> (
+        match Hashtbl.find_opt index_of_label l with
+        | Some i -> Inst.Abs i
+        | None -> raise (Unknown_label l))
+    | Inst.Abs i -> Inst.Abs i
+  in
+  let resolve_inst = function
+    | Inst.Jmp t -> Inst.Jmp (resolve t)
+    | Inst.Jcc (c, t) -> Inst.Jcc (c, resolve t)
+    | i -> i
+  in
+  let insts =
+    List.concat_map (fun b -> List.map resolve_inst b.body) p.blocks
+  in
+  let insts =
+    match List.rev insts with
+    | Inst.Exit :: _ -> insts
+    | _ -> insts @ [ Inst.Exit ]
+  in
+  { code = Array.of_list insts; code_base; inst_size }
+
+(** Program counter of instruction index [i]. *)
+let pc_of_index (f : flat) i = f.code_base + (i * f.inst_size)
+
+(** Inverse of {!pc_of_index}; [None] if [pc] is out of the code region or
+    misaligned. *)
+let index_of_pc (f : flat) pc =
+  let off = pc - f.code_base in
+  if off < 0 || off mod f.inst_size <> 0 then None
+  else
+    let i = off / f.inst_size in
+    if i < Array.length f.code then Some i else None
+
+let length (f : flat) = Array.length f.code
+let get (f : flat) i = f.code.(i)
+
+(** True if every jump target is a forward reference (acyclic control flow),
+    which guarantees termination of sequential execution. *)
+let is_dag (f : flat) =
+  let ok = ref true in
+  Array.iteri
+    (fun i inst ->
+      match Inst.branch_target inst with
+      | Some (Inst.Abs t) -> if t <= i then ok := false
+      | Some (Inst.Label _) -> ok := false
+      | None -> ())
+    f.code;
+  !ok
+
+let pp_flat fmt (f : flat) =
+  Array.iteri
+    (fun i inst ->
+      Format.fprintf fmt "0x%x: %a@." (pc_of_index f i) Inst.pp inst)
+    f.code
+
+let pp fmt (p : t) =
+  List.iter
+    (fun b ->
+      Format.fprintf fmt ".%s:@." b.label;
+      List.iter (fun i -> Format.fprintf fmt "  %a@." Inst.pp i) b.body)
+    p.blocks
+
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,37 @@
+(** Test programs: labelled basic blocks forming a DAG, and the flattened
+    label-resolved form consumed by the emulator and the simulator. *)
+
+type block = { label : string; body : Inst.t list }
+
+type t = { blocks : block list }
+(** Execution starts at the first block; control falls through between
+    blocks unless redirected by a jump. *)
+
+type flat = { code : Inst.t array; code_base : int; inst_size : int }
+(** Flattened program: resolved jump targets; instruction [i] has PC
+    [code_base + i*inst_size]. *)
+
+val code_base_default : int
+val inst_size_default : int
+
+exception Unknown_label of string
+
+val make : block list -> t
+val block_labels : t -> string list
+val num_instructions : t -> int
+
+val flatten : ?code_base:int -> ?inst_size:int -> t -> flat
+(** Resolve labels and append a final [Exit] when absent.  Raises
+    {!Unknown_label}. *)
+
+val pc_of_index : flat -> int -> int
+val index_of_pc : flat -> int -> int option
+val length : flat -> int
+val get : flat -> int -> Inst.t
+
+val is_dag : flat -> bool
+(** True when every jump is a forward reference (termination guarantee). *)
+
+val pp_flat : Format.formatter -> flat -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,96 @@
+(** General-purpose registers of the test ISA.
+
+    The register file mirrors the subset of x86-64 that Revizor-style test
+    generators use: fourteen general-purpose registers.  [R14] is reserved by
+    convention as the memory-sandbox base pointer and is never selected as a
+    destination by the program generator (see {!Amulet.Generator}). *)
+
+type t =
+  | RAX
+  | RBX
+  | RCX
+  | RDX
+  | RSI
+  | RDI
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+(** Number of architectural registers. *)
+let count = 14
+
+(** Registers in index order. *)
+let all = [ RAX; RBX; RCX; RDX; RSI; RDI; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+(** Dense index of a register, in [0, count). *)
+let index = function
+  | RAX -> 0
+  | RBX -> 1
+  | RCX -> 2
+  | RDX -> 3
+  | RSI -> 4
+  | RDI -> 5
+  | R8 -> 6
+  | R9 -> 7
+  | R10 -> 8
+  | R11 -> 9
+  | R12 -> 10
+  | R13 -> 11
+  | R14 -> 12
+  | R15 -> 13
+
+(** Inverse of {!index}.  Raises [Invalid_argument] on out-of-range input. *)
+let of_index = function
+  | 0 -> RAX
+  | 1 -> RBX
+  | 2 -> RCX
+  | 3 -> RDX
+  | 4 -> RSI
+  | 5 -> RDI
+  | 6 -> R8
+  | 7 -> R9
+  | 8 -> R10
+  | 9 -> R11
+  | 10 -> R12
+  | 11 -> R13
+  | 12 -> R14
+  | 13 -> R15
+  | i -> invalid_arg (Printf.sprintf "Reg.of_index: %d" i)
+
+(** The sandbox base register (never written by generated programs). *)
+let sandbox_base = R14
+
+let name = function
+  | RAX -> "RAX"
+  | RBX -> "RBX"
+  | RCX -> "RCX"
+  | RDX -> "RDX"
+  | RSI -> "RSI"
+  | RDI -> "RDI"
+  | R8 -> "R8"
+  | R9 -> "R9"
+  | R10 -> "R10"
+  | R11 -> "R11"
+  | R12 -> "R12"
+  | R13 -> "R13"
+  | R14 -> "R14"
+  | R15 -> "R15"
+
+(** Parse a register name (case-insensitive).  Raises [Not_found] if the
+    string does not name a register. *)
+let of_name s =
+  let s = String.uppercase_ascii s in
+  let rec find = function
+    | [] -> raise Not_found
+    | r :: rest -> if String.equal (name r) s then r else find rest
+  in
+  find all
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare (index a) (index b)
+let pp fmt r = Format.pp_print_string fmt (name r)

@@ -1,0 +1,45 @@
+(** General-purpose registers of the test ISA.
+
+    Fourteen x86-64-style registers; [R14] is reserved by convention as the
+    memory-sandbox base pointer and is never written by generated
+    programs. *)
+
+type t =
+  | RAX
+  | RBX
+  | RCX
+  | RDX
+  | RSI
+  | RDI
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+val count : int
+(** Number of architectural registers. *)
+
+val all : t list
+(** Registers in index order. *)
+
+val index : t -> int
+(** Dense index in [\[0, count)]. *)
+
+val of_index : int -> t
+(** Inverse of {!index}.  Raises [Invalid_argument] when out of range. *)
+
+val sandbox_base : t
+(** The sandbox base register ([R14]). *)
+
+val name : t -> string
+
+val of_name : string -> t
+(** Parse a register name, case-insensitive.  Raises [Not_found]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

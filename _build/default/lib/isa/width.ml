@@ -1,0 +1,63 @@
+(** Operand widths, in the x86 tradition: 1, 2, 4 and 8 bytes. *)
+
+type t = W8 | W16 | W32 | W64
+
+let all = [ W8; W16; W32; W64 ]
+
+let bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+let bits = function W8 -> 8 | W16 -> 16 | W32 -> 32 | W64 -> 64
+
+(** Bit mask covering the width, e.g. [0xFFFF] for [W16]. *)
+let mask = function
+  | W8 -> 0xFFL
+  | W16 -> 0xFFFFL
+  | W32 -> 0xFFFF_FFFFL
+  | W64 -> -1L
+
+(** Sign-bit mask for the width. *)
+let sign_bit = function
+  | W8 -> 0x80L
+  | W16 -> 0x8000L
+  | W32 -> 0x8000_0000L
+  | W64 -> Int64.min_int
+
+(** Truncate a value to the width (zero upper bits). *)
+let truncate w v = Int64.logand v (mask w)
+
+(** Sign-extend the low [bits w] bits of [v] to 64 bits. *)
+let sign_extend w v =
+  match w with
+  | W64 -> v
+  | _ ->
+      let shift = 64 - bits w in
+      Int64.shift_right (Int64.shift_left v shift) shift
+
+(** True if the sign bit of [v] (interpreted at width [w]) is set. *)
+let is_negative w v = not (Int64.equal (Int64.logand v (sign_bit w)) 0L)
+
+let of_index = function
+  | 0 -> W8
+  | 1 -> W16
+  | 2 -> W32
+  | 3 -> W64
+  | i -> invalid_arg (Printf.sprintf "Width.of_index: %d" i)
+
+let index = function W8 -> 0 | W16 -> 1 | W32 -> 2 | W64 -> 3
+
+(** Memory-operand size keyword, as in Intel assembly syntax. *)
+let ptr_keyword = function
+  | W8 -> "byte"
+  | W16 -> "word"
+  | W32 -> "dword"
+  | W64 -> "qword"
+
+let of_ptr_keyword s =
+  match String.lowercase_ascii s with
+  | "byte" -> Some W8
+  | "word" -> Some W16
+  | "dword" -> Some W32
+  | "qword" -> Some W64
+  | _ -> None
+
+let equal (a : t) (b : t) = a = b
+let pp fmt w = Format.fprintf fmt "%s" (ptr_keyword w)

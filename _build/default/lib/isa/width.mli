@@ -1,0 +1,33 @@
+(** Operand widths: 1, 2, 4 and 8 bytes. *)
+
+type t = W8 | W16 | W32 | W64
+
+val all : t list
+val bytes : t -> int
+val bits : t -> int
+
+val mask : t -> int64
+(** Bit mask covering the width, e.g. [0xFFFF] for [W16]. *)
+
+val sign_bit : t -> int64
+
+val truncate : t -> int64 -> int64
+(** Zero the bits above the width. *)
+
+val sign_extend : t -> int64 -> int64
+(** Sign-extend the low [bits w] bits to 64 bits. *)
+
+val is_negative : t -> int64 -> bool
+(** True if the value's sign bit (at this width) is set. *)
+
+val of_index : int -> t
+(** Raises [Invalid_argument] when out of range. *)
+
+val index : t -> int
+
+val ptr_keyword : t -> string
+(** Intel-syntax size keyword: ["byte"], ["word"], ["dword"], ["qword"]. *)
+
+val of_ptr_keyword : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/uarch/event.ml: Format List Printf

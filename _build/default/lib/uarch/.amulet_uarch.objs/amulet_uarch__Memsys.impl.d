@@ -1,0 +1,1 @@
+lib/uarch/memsys.ml: Amulet_isa Cache Config Event Hashtbl List Queue Tlb Width

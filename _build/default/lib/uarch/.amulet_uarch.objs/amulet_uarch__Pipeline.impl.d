@@ -1,0 +1,1 @@
+lib/uarch/pipeline.ml: Amulet_emu Amulet_isa Array Branch_pred Config Event Exec Flags Hashtbl Inst Int64 List Mdp Memory Memsys Operand Printf Program Reg State Width

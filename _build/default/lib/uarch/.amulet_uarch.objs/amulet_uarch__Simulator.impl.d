@@ -1,0 +1,1 @@
+lib/uarch/simulator.ml: Amulet_emu Amulet_isa Array Branch_pred Cache Cond Config Event Inst Int64 Mdp Memory Memsys Operand Pipeline Program Reg State Tlb Width

@@ -1,0 +1,104 @@
+(** Gshare branch direction predictor with a branch target buffer.
+
+    The pattern history table (PHT) of 2-bit saturating counters is indexed
+    by [pc XOR global history].  The BTB records targets of taken branches
+    and is part of the branch-predictor-state microarchitectural trace
+    format.  The global history register is updated speculatively at fetch
+    and repaired on squash, so each predicted branch records the history it
+    was fetched under. *)
+
+type t = {
+  history_bits : int;
+  table : int array;  (** 2-bit counters, 0..3, init 1 (weakly not-taken) *)
+  table_mask : int;
+  btb_tags : int array;  (** -1 = empty *)
+  btb_targets : int array;
+  btb_mask : int;
+  mutable history : int;  (** speculative global history *)
+}
+
+let create ~history_bits ~table_bits ~btb_bits =
+  let table_size = 1 lsl table_bits in
+  let btb_size = 1 lsl btb_bits in
+  {
+    history_bits;
+    table = Array.make table_size 1;
+    table_mask = table_size - 1;
+    btb_tags = Array.make btb_size (-1);
+    btb_targets = Array.make btb_size 0;
+    btb_mask = btb_size - 1;
+    history = 0;
+  }
+
+let history t = t.history
+
+let pht_index t ~pc ~history = (pc lsr 2) lxor history land t.table_mask
+
+(** Predict the direction of the branch at [pc] under the current
+    speculative history. *)
+let predict t ~pc =
+  let idx = pht_index t ~pc ~history:t.history in
+  t.table.(idx) >= 2
+
+(** Predicted target from the BTB, if any (our fetch engine decodes direct
+    targets itself; the BTB exists for the BP-state trace and target
+    bookkeeping). *)
+let btb_lookup t ~pc =
+  let idx = (pc lsr 2) land t.btb_mask in
+  if t.btb_tags.(idx) = pc then Some t.btb_targets.(idx) else None
+
+(** Push a (speculative) outcome into the global history at fetch. *)
+let speculate_history t ~taken =
+  t.history <-
+    ((t.history lsl 1) lor (if taken then 1 else 0))
+    land ((1 lsl t.history_bits) - 1)
+
+(** Restore the history register (squash recovery). *)
+let set_history t h = t.history <- h
+
+(** Train the PHT (at resolution, with the fetch-time history) and the BTB
+    (with the actual target when taken). *)
+let train t ~pc ~history ~taken ~target =
+  let idx = pht_index t ~pc ~history in
+  let c = t.table.(idx) in
+  t.table.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1));
+  if taken then begin
+    let bidx = (pc lsr 2) land t.btb_mask in
+    t.btb_tags.(bidx) <- pc;
+    t.btb_targets.(bidx) <- target
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (validation reruns) and the BP-state trace                *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  snap_table : int array;
+  snap_btb_tags : int array;
+  snap_btb_targets : int array;
+  snap_history : int;
+}
+
+let snapshot t =
+  {
+    snap_table = Array.copy t.table;
+    snap_btb_tags = Array.copy t.btb_tags;
+    snap_btb_targets = Array.copy t.btb_targets;
+    snap_history = t.history;
+  }
+
+let restore t s =
+  Array.blit s.snap_table 0 t.table 0 (Array.length t.table);
+  Array.blit s.snap_btb_tags 0 t.btb_tags 0 (Array.length t.btb_tags);
+  Array.blit s.snap_btb_targets 0 t.btb_targets 0 (Array.length t.btb_targets);
+  t.history <- s.snap_history
+
+(** Flat dump of all predictor state (the BP-state trace format). *)
+let state_words t =
+  Array.concat [ t.table; t.btb_tags; t.btb_targets; [| t.history |] ]
+
+let reset t =
+  Array.fill t.table 0 (Array.length t.table) 1;
+  Array.fill t.btb_tags 0 (Array.length t.btb_tags) (-1);
+  Array.fill t.btb_targets 0 (Array.length t.btb_targets) 0;
+  t.history <- 0

@@ -1,0 +1,33 @@
+(** Gshare branch direction predictor with a BTB.  The global history is
+    updated speculatively at fetch and repaired on squash. *)
+
+type t
+
+val create : history_bits:int -> table_bits:int -> btb_bits:int -> t
+val history : t -> int
+
+val predict : t -> pc:int -> bool
+(** Predicted direction under the current speculative history. *)
+
+val btb_lookup : t -> pc:int -> int option
+val speculate_history : t -> taken:bool -> unit
+val set_history : t -> int -> unit
+
+val train : t -> pc:int -> history:int -> taken:bool -> target:int -> unit
+(** Update the PHT with the fetch-time history and the BTB with the actual
+    target. *)
+
+type snapshot = {
+  snap_table : int array;
+  snap_btb_tags : int array;
+  snap_btb_targets : int array;
+  snap_history : int;
+}
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val state_words : t -> int array
+(** Flat dump of all predictor state (the BP-state trace format). *)
+
+val reset : t -> unit

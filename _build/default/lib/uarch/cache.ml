@@ -1,0 +1,168 @@
+(** Set-associative cache tag array with true-LRU replacement.
+
+    Only tags and replacement state are modeled: data always lives in the
+    simulator's architectural memory image, so the cache determines {e
+    timing} and the {e final-state microarchitectural trace}, never values.
+    Addresses are byte addresses; lines are identified by their line-aligned
+    address. *)
+
+type way = { mutable tag : int; mutable valid : bool; mutable lru : int }
+
+type t = {
+  name : string;
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  data : way array array;  (** [data.(set).(way)] *)
+  mutable tick : int;  (** LRU clock *)
+}
+
+let create ~name ~sets ~ways ~line_bytes =
+  assert (sets > 0 && ways > 0);
+  assert (line_bytes land (line_bytes - 1) = 0);
+  {
+    name;
+    sets;
+    ways;
+    line_bytes;
+    data = Array.init sets (fun _ ->
+        Array.init ways (fun _ -> { tag = 0; valid = false; lru = 0 }));
+    tick = 0;
+  }
+
+(** Line-aligned address containing byte address [addr]. *)
+let line_of t addr = addr land lnot (t.line_bytes - 1)
+
+let set_of t line = line / t.line_bytes mod t.sets
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find_way t line =
+  let set = t.data.(set_of t line) in
+  let rec go i =
+    if i >= t.ways then None
+    else if set.(i).valid && set.(i).tag = line then Some set.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(** Is the line present? (no replacement-state update) *)
+let probe t line = Option.is_some (find_way t line)
+
+(** Is the line present? Updates LRU on hit. *)
+let touch t line =
+  match find_way t line with
+  | Some w ->
+      w.lru <- next_tick t;
+      true
+  | None -> false
+
+(** Does the set of [line] have an invalid (free) way? *)
+let has_free_way t line =
+  Array.exists (fun w -> not w.valid) t.data.(set_of t line)
+
+(** The line that would be evicted to make room for [line] (LRU victim), or
+    [None] if a free way exists.  Does not modify state (gem5 Ruby's
+    [cacheProbe]). *)
+let victim_of t line =
+  let set = t.data.(set_of t line) in
+  if Array.exists (fun w -> not w.valid) set then None
+  else begin
+    let victim = ref set.(0) in
+    Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
+    Some !victim.tag
+  end
+
+(** Install [line], evicting the LRU victim if the set is full.  Returns the
+    evicted line, if any.  Installing an already-present line just refreshes
+    its LRU state. *)
+let install t line =
+  match find_way t line with
+  | Some w ->
+      w.lru <- next_tick t;
+      None
+  | None ->
+      let set = t.data.(set_of t line) in
+      let free = Array.to_seq set |> Seq.find (fun w -> not w.valid) in
+      let target, evicted =
+        match free with
+        | Some w -> w, None
+        | None ->
+            let victim = ref set.(0) in
+            Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
+            !victim, Some !victim.tag
+      in
+      target.tag <- line;
+      target.valid <- true;
+      target.lru <- next_tick t;
+      evicted
+
+(** Remove [line] if present; returns whether it was present. *)
+let invalidate t line =
+  match find_way t line with
+  | Some w ->
+      w.valid <- false;
+      true
+  | None -> false
+
+(** Evict the LRU victim of [line]'s set (without installing anything);
+    returns the evicted line.  This models the InvisiSpec implementation bug
+    UV1, where a speculative miss on a full set triggers an L1 replacement
+    even though no line is installed. *)
+let force_replacement t line =
+  let set = t.data.(set_of t line) in
+  if Array.exists (fun w -> not w.valid) set then None
+  else begin
+    let victim = ref set.(0) in
+    Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
+    !victim.valid <- false;
+    Some !victim.tag
+  end
+
+(** All valid line addresses, sorted (the final-state trace). *)
+let tags t =
+  let acc = ref [] in
+  Array.iter
+    (fun set -> Array.iter (fun w -> if w.valid then acc := w.tag :: !acc) set)
+    t.data;
+  List.sort compare !acc
+
+let reset t =
+  Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.data;
+  t.tick <- 0
+
+let occupancy t = List.length (tags t)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (validation reruns restore the exact cache context)       *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = { snap_ways : (int * bool * int) array array; snap_tick : int }
+
+let snapshot t : snapshot =
+  {
+    snap_ways =
+      Array.map (Array.map (fun w -> (w.tag, w.valid, w.lru))) t.data;
+    snap_tick = t.tick;
+  }
+
+let restore t (s : snapshot) =
+  Array.iteri
+    (fun i set ->
+      Array.iteri
+        (fun j (tag, valid, lru) ->
+          let w = t.data.(i).(j) in
+          w.tag <- tag;
+          w.valid <- valid;
+          w.lru <- lru)
+        set)
+    s.snap_ways;
+  t.tick <- s.snap_tick
+
+let pp fmt t =
+  Format.fprintf fmt "%s(%dx%d): [%a]" t.name t.sets t.ways
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ")
+       (fun f l -> Format.fprintf f "0x%x" l))
+    (tags t)

@@ -1,0 +1,45 @@
+(** Set-associative cache tag array with true-LRU replacement.  Only tags
+    and replacement state are modeled: the cache determines timing and the
+    final-state trace, never values. *)
+
+type t
+
+val create : name:string -> sets:int -> ways:int -> line_bytes:int -> t
+val line_of : t -> int -> int
+(** Line-aligned address containing the byte address. *)
+
+val set_of : t -> int -> int
+
+val probe : t -> int -> bool
+(** Presence check without touching replacement state. *)
+
+val touch : t -> int -> bool
+(** Presence check; updates LRU on hit. *)
+
+val has_free_way : t -> int -> bool
+
+val victim_of : t -> int -> int option
+(** The line an install would evict (LRU victim); [None] if a way is free.
+    Pure (gem5 Ruby's [cacheProbe]). *)
+
+val install : t -> int -> int option
+(** Install a line; returns the evicted victim, if any. *)
+
+val invalidate : t -> int -> bool
+
+val force_replacement : t -> int -> int option
+(** Evict the LRU victim of the line's set without installing anything
+    (models InvisiSpec's UV1 bug). *)
+
+val tags : t -> int list
+(** All valid line addresses, sorted — the final-state trace. *)
+
+val reset : t -> unit
+val occupancy : t -> int
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,145 @@
+(** Simulator debug-event log.
+
+    The analogue of gem5's debug flags: a structured record of everything
+    relevant that happened during a run.  Violation root-cause analysis
+    (paper §3.3) diffs these logs side-by-side; the signature classifier
+    that identifies unique violations greps them.  Logging is switched off
+    during fuzzing campaigns and re-enabled when a violating test case is
+    re-run for analysis. *)
+
+type mem_kind = Demand_load | Spec_load | Store | Expose | Fetch | Prime | Prefetch
+
+let mem_kind_name = function
+  | Demand_load -> "Load"
+  | Spec_load -> "SpecLd"
+  | Store -> "Store"
+  | Expose -> "Expose"
+  | Fetch -> "Fetch"
+  | Prime -> "Prime"
+  | Prefetch -> "Prefetch"
+
+type squash_reason = Branch_mispredict | Memdep_violation
+
+type t =
+  | Fetched of { cycle : int; pc : int; disasm : string }
+  | Predicted of { cycle : int; pc : int; taken : bool; target : int }
+  | Executed of { cycle : int; pc : int; disasm : string; spec : bool }
+  | Mem_access of {
+      cycle : int;
+      pc : int;
+      kind : mem_kind;
+      addr : int;
+      line : int;
+      spec : bool;
+    }
+  | Cache_install of { cycle : int; cache : string; line : int }
+  | Cache_evict of { cycle : int; cache : string; line : int }
+  | Mshr_alloc of { cycle : int; line : int }
+  | Mshr_stall of { cycle : int; kind : mem_kind; line : int }
+      (** request at the controller-queue head could not get an MSHR *)
+  | Spec_buffer_fill of { cycle : int; line : int }
+  | Spec_eviction of { cycle : int; line : int; victim : int }
+      (** an L1 replacement triggered by a speculative request (UV1) *)
+  | Expose_issued of { cycle : int; line : int }
+  | Split_access of { cycle : int; pc : int; line1 : int; line2 : int }
+  | Cleanup of { cycle : int; line : int; restored : int option }
+  | Cleanup_missing of { cycle : int; line : int; reason : string }
+      (** squash found speculative state with no cleanup metadata *)
+  | Tlb_fill of { cycle : int; page : int; tainted : bool; by_store : bool }
+  | Taint_blocked of { cycle : int; pc : int }
+  | Lfb_unprotected of { cycle : int; pc : int; line : int }
+      (** SpecLFB treated a speculative load as safe (UV6 signature) *)
+  | Squashed of { cycle : int; pc : int; reason : squash_reason }
+  | Committed of { cycle : int; pc : int; disasm : string }
+
+type log = { mutable events : t list; mutable enabled : bool }
+
+let create ?(enabled = false) () = { events = []; enabled }
+let clear log = log.events <- []
+let set_enabled log on = log.enabled <- on
+let record log e = if log.enabled then log.events <- e :: log.events
+let events log = List.rev log.events
+
+let cycle_of = function
+  | Fetched { cycle; _ }
+  | Predicted { cycle; _ }
+  | Executed { cycle; _ }
+  | Mem_access { cycle; _ }
+  | Cache_install { cycle; _ }
+  | Cache_evict { cycle; _ }
+  | Mshr_alloc { cycle; _ }
+  | Mshr_stall { cycle; _ }
+  | Spec_buffer_fill { cycle; _ }
+  | Spec_eviction { cycle; _ }
+  | Expose_issued { cycle; _ }
+  | Split_access { cycle; _ }
+  | Cleanup { cycle; _ }
+  | Cleanup_missing { cycle; _ }
+  | Tlb_fill { cycle; _ }
+  | Taint_blocked { cycle; _ }
+  | Lfb_unprotected { cycle; _ }
+  | Squashed { cycle; _ }
+  | Committed { cycle; _ } ->
+      cycle
+
+let pp fmt = function
+  | Fetched { cycle; pc; disasm } ->
+      Format.fprintf fmt "%6d FETCH   0x%x: %s" cycle pc disasm
+  | Predicted { cycle; pc; taken; target } ->
+      Format.fprintf fmt "%6d PREDICT 0x%x %s -> 0x%x" cycle pc
+        (if taken then "taken" else "not-taken")
+        target
+  | Executed { cycle; pc; disasm; spec } ->
+      Format.fprintf fmt "%6d EXEC%s 0x%x: %s" cycle
+        (if spec then "(s)" else "   ")
+        pc disasm
+  | Mem_access { cycle; pc; kind; addr; line; spec } ->
+      Format.fprintf fmt "%6d MEM     %s%s pc=0x%x addr=0x%x line=0x%x" cycle
+        (mem_kind_name kind)
+        (if spec then "(spec)" else "")
+        pc addr line
+  | Cache_install { cycle; cache; line } ->
+      Format.fprintf fmt "%6d INSTALL %s line=0x%x" cycle cache line
+  | Cache_evict { cycle; cache; line } ->
+      Format.fprintf fmt "%6d EVICT   %s line=0x%x" cycle cache line
+  | Mshr_alloc { cycle; line } ->
+      Format.fprintf fmt "%6d MSHR    alloc line=0x%x" cycle line
+  | Mshr_stall { cycle; kind; line } ->
+      Format.fprintf fmt "%6d MSHR    stall %s line=0x%x" cycle
+        (mem_kind_name kind) line
+  | Spec_buffer_fill { cycle; line } ->
+      Format.fprintf fmt "%6d SPECBUF fill line=0x%x" cycle line
+  | Spec_eviction { cycle; line; victim } ->
+      Format.fprintf fmt "%6d SPECEVT spec miss line=0x%x evicted victim=0x%x"
+        cycle line victim
+  | Expose_issued { cycle; line } ->
+      Format.fprintf fmt "%6d EXPOSE  line=0x%x" cycle line
+  | Split_access { cycle; pc; line1; line2 } ->
+      Format.fprintf fmt "%6d SPLIT   pc=0x%x lines=0x%x,0x%x" cycle pc line1
+        line2
+  | Cleanup { cycle; line; restored } ->
+      Format.fprintf fmt "%6d CLEANUP line=0x%x%s" cycle line
+        (match restored with
+        | None -> ""
+        | Some v -> Printf.sprintf " restored=0x%x" v)
+  | Cleanup_missing { cycle; line; reason } ->
+      Format.fprintf fmt "%6d NOCLEAN line=0x%x (%s)" cycle line reason
+  | Tlb_fill { cycle; page; tainted; by_store } ->
+      Format.fprintf fmt "%6d TLBFILL page=0x%x%s%s" cycle page
+        (if tainted then " tainted" else "")
+        (if by_store then " by-store" else "")
+  | Taint_blocked { cycle; pc } ->
+      Format.fprintf fmt "%6d TAINT   blocked pc=0x%x" cycle pc
+  | Lfb_unprotected { cycle; pc; line } ->
+      Format.fprintf fmt "%6d LFB     unprotected spec load pc=0x%x line=0x%x"
+        cycle pc line
+  | Squashed { cycle; pc; reason } ->
+      Format.fprintf fmt "%6d SQUASH  pc=0x%x (%s)" cycle pc
+        (match reason with
+        | Branch_mispredict -> "branch mispredict"
+        | Memdep_violation -> "memory-dependence violation")
+  | Committed { cycle; pc; disasm } ->
+      Format.fprintf fmt "%6d COMMIT  0x%x: %s" cycle pc disasm
+
+let pp_log fmt log =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp e) (events log)

@@ -1,0 +1,35 @@
+(** Memory-dependence predictor.
+
+    A PC-indexed table of 2-bit saturating counters, in the spirit of gem5's
+    store-set predictor collapsed to a single table: a load predicted
+    conflict-free may issue past older stores with unresolved addresses
+    (enabling Spectre-v4 behaviour on the baseline); a memory-order violation
+    trains the counter so the replayed load waits. *)
+
+type t = { table : int array; mask : int }
+
+let create ~bits =
+  let size = 1 lsl bits in
+  { table = Array.make size 0; mask = size - 1 }
+
+let index t pc = (pc lsr 2) land t.mask
+
+(** May the load at [pc] bypass older unresolved stores? *)
+let predict_bypass t ~pc = t.table.(index t pc) < 2
+
+(** A bypass by the load at [pc] caused a memory-order violation. *)
+let train_violation t ~pc =
+  let i = index t pc in
+  t.table.(i) <- min 3 (t.table.(i) + 2)
+
+(** Slow decay on a correct bypass, so stale conflict predictions fade. *)
+let train_correct t ~pc =
+  let i = index t pc in
+  if t.table.(i) > 0 then t.table.(i) <- t.table.(i) - 1
+
+type snapshot = int array
+
+let snapshot t : snapshot = Array.copy t.table
+let restore t (s : snapshot) = Array.blit s 0 t.table 0 (Array.length t.table)
+let state_words t = Array.copy t.table
+let reset t = Array.fill t.table 0 (Array.length t.table) 0

@@ -1,0 +1,17 @@
+(** Memory-dependence predictor: PC-indexed saturating counters in the
+    spirit of gem5's store sets.  Cold entries allow loads to bypass older
+    unresolved stores (enabling Spectre-v4 on the baseline). *)
+
+type t
+
+val create : bits:int -> t
+val predict_bypass : t -> pc:int -> bool
+val train_violation : t -> pc:int -> unit
+val train_correct : t -> pc:int -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val state_words : t -> int array
+val reset : t -> unit

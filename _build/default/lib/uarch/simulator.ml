@@ -1,0 +1,238 @@
+(** Simulator facade: the unit the AMuLeT executor drives.
+
+    Owns the persistent microarchitectural state (caches, TLB, predictors)
+    plus the committed architectural state, and runs flattened programs
+    through the out-of-order pipeline.  Creation is deliberately heavyweight
+    (structure allocation plus a synthetic warm-boot workload), standing in
+    for gem5's multi-second process startup; the AMuLeT-Opt executor
+    amortizes it by reusing one simulator across all inputs of a program,
+    overwriting registers and memory in place (paper §3.2, C3). *)
+
+open Amulet_isa
+open Amulet_emu
+
+type t = {
+  cfg : Config.t;
+  log : Event.log;
+  ms : Memsys.t;
+  bp : Branch_pred.t;
+  mdp : Mdp.t;
+  mutable arch : State.t;
+  mutable total_cycles : int;
+  mutable total_insts : int;
+  mutable runs : int;
+  mutable last_bpred_order : (int * bool * int) list;
+      (** (pc, predicted taken, predicted target) of the last run *)
+  mutable last_exec_order : int list;
+      (** PCs in execution order (incl. wrong-path) of the last run *)
+}
+
+type run_stats = {
+  cycles : int;
+  committed_insts : int;
+  squashes : int;
+  fault : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Warm boot (the synthetic startup workload)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A boot program exercising the whole core: dependent ALU chains, memory
+   traffic and branches — the simulator analogue of gem5 initializing Ruby,
+   loading the binary and warming its event queues. *)
+let boot_program ~insts =
+  let body = ref [] in
+  let n = max 16 (insts / 8) in
+  for i = n downto 1 do
+    let disp = i * 8 mod 2048 in
+    body :=
+      Inst.Binop (Inst.Add, Width.W64, Operand.Reg Reg.RAX, Operand.Imm (Int64.of_int i))
+      :: Inst.Mov (Width.W64, Operand.mem ~disp Reg.sandbox_base, Operand.Reg Reg.RAX)
+      :: Inst.Mov (Width.W64, Operand.Reg Reg.RBX, Operand.mem ~disp Reg.sandbox_base)
+      :: Inst.Binop (Inst.Xor, Width.W64, Operand.Reg Reg.RCX, Operand.Reg Reg.RBX)
+      :: Inst.Cmp (Width.W64, Operand.Reg Reg.RCX, Operand.Imm 0L)
+      :: Inst.Setcc (Cond.NZ, Operand.Reg Reg.RDX)
+      :: Inst.Shift (Inst.Shl, Width.W64, Operand.Reg Reg.RDX, 1)
+      :: Inst.Unop (Inst.Inc, Width.W64, Operand.Reg Reg.RSI)
+      :: !body
+  done;
+  Program.flatten (Program.make [ { Program.label = "boot"; body = !body } ])
+
+let default_boot_insts = 20_000
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_flat t flat : run_stats =
+  let p = Pipeline.create t.cfg t.ms t.bp t.mdp t.log t.arch flat in
+  let r = Pipeline.run p in
+  t.last_bpred_order <- Pipeline.branch_prediction_order p;
+  t.last_exec_order <- Pipeline.execution_order p;
+  t.total_cycles <- t.total_cycles + r.Pipeline.cycles;
+  t.total_insts <- t.total_insts + r.Pipeline.committed_insts;
+  t.runs <- t.runs + 1;
+  (* drain per-run transient state; persistent state (caches, predictors)
+     survives for the next run *)
+  Memsys.reset_transient t.ms |> ignore;
+  {
+    cycles = r.Pipeline.cycles;
+    committed_insts = r.Pipeline.committed_insts;
+    squashes = r.Pipeline.squashes;
+    fault = r.Pipeline.fault;
+  }
+
+(** Create a simulator.  [boot_insts > 0] runs the synthetic warm-boot
+    workload, making creation cost realistic (AMuLeT-Naive pays it per
+    input; AMuLeT-Opt once per test program). *)
+let create ?(boot_insts = default_boot_insts) ?(pages = 1) (cfg : Config.t) =
+  let log = Event.create () in
+  let t =
+    {
+      cfg;
+      log;
+      ms = Memsys.create cfg log;
+      bp =
+        Branch_pred.create ~history_bits:cfg.bp_history_bits
+          ~table_bits:cfg.bp_table_bits ~btb_bits:cfg.btb_bits;
+      mdp = Mdp.create ~bits:cfg.mdp_bits;
+      arch = State.create ~pages ();
+      total_cycles = 0;
+      total_insts = 0;
+      runs = 0;
+      last_bpred_order = [];
+      last_exec_order = [];
+    }
+  in
+  if boot_insts > 0 then begin
+    let boot = boot_program ~insts:boot_insts in
+    ignore (run_flat t boot);
+    (* boot effects must not leak into the first test case *)
+    Memsys.flush_caches t.ms;
+    Branch_pred.reset t.bp;
+    Mdp.reset t.mdp;
+    t.arch <- State.create ~pages ()
+  end;
+  t
+
+let config t = t.cfg
+let log t = t.log
+let arch_state t = t.arch
+
+(* ------------------------------------------------------------------ *)
+(* Test-case state management (the AMuLeT-Opt in-place overwrite)      *)
+(* ------------------------------------------------------------------ *)
+
+(** Overwrite registers and sandbox memory in place from [state] — the
+    Opt-executor path that avoids restarting the simulator. *)
+let load_state t (state : State.t) =
+  Array.blit state.State.regs 0 t.arch.State.regs 0 (Array.length state.State.regs);
+  t.arch.State.flags <- state.State.flags;
+  Memory.blit ~src:state.State.mem ~dst:t.arch.State.mem
+
+(** Run a test program to completion over the current architectural state. *)
+let run t (flat : Program.flat) : run_stats = run_flat t flat
+
+(* ------------------------------------------------------------------ *)
+(* Cache priming                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Base address of the priming region: disjoint from the sandbox but
+    mapping onto the same L1 sets. *)
+let prime_base = 0x10_0000
+
+(** A program of plain loads that fills every L1D set with
+    [ways]-per-set addresses from outside the sandbox (paper §3.2, C2:
+    starting from fully-occupied sets makes both installs and evictions
+    visible).  It costs [sets * ways] instructions, which is exactly the
+    Opt executor's per-input simulation overhead the paper describes. *)
+let prime_program (cfg : Config.t) =
+  let body = ref [] in
+  for way = cfg.l1d_ways - 1 downto 0 do
+    for set = cfg.l1d_sets - 1 downto 0 do
+      let addr = prime_base + (way * 0x1000) + (set * cfg.line_bytes) in
+      body :=
+        Inst.Mov
+          (Width.W64, Operand.Reg Reg.R15, Operand.mem ~disp:addr Reg.R15)
+        :: !body
+    done
+  done;
+  Program.flatten (Program.make [ { Program.label = "prime"; body = !body } ])
+
+(** Prime the L1D by running the fill program through the pipeline (the
+    realistic path: it costs simulated instructions).  R15 is zeroed for
+    absolute addressing and the TLB/L1I are reset afterwards via simulator
+    hooks, as the real harness does. *)
+let prime_with_fills t =
+  let saved_r15 = State.read_reg t.arch Reg.R15 in
+  State.write_reg t.arch Reg.R15 0L;
+  let stats = run_flat t (prime_program t.cfg) in
+  State.write_reg t.arch Reg.R15 saved_r15;
+  Memsys.reset_tlb t.ms;
+  Memsys.reset_l1i t.ms;
+  stats
+
+(** Prime by direct invalidation (the simulator hook used for CleanupSpec
+    and SpecLFB in §3.5): clean caches, no simulated instructions. *)
+let prime_with_flush t = Memsys.flush_caches t.ms
+
+(* ------------------------------------------------------------------ *)
+(* Microarchitectural state extraction                                 *)
+(* ------------------------------------------------------------------ *)
+
+let l1d_tags t = Memsys.l1d_tags t.ms
+let l1i_tags t = Memsys.l1i_tags t.ms
+let tlb_pages t = Memsys.tlb_pages t.ms
+
+let bp_state t =
+  Array.append (Branch_pred.state_words t.bp) (Mdp.state_words t.mdp)
+
+let access_order t = Memsys.access_order t.ms
+let clear_access_order t = Memsys.clear_access_order t.ms
+let branch_prediction_order t = t.last_bpred_order
+let execution_order t = t.last_exec_order
+
+(* ------------------------------------------------------------------ *)
+(* Predictor context snapshots (violation validation, §3.2)            *)
+(* ------------------------------------------------------------------ *)
+
+type context = {
+  ctx_bp : Branch_pred.snapshot;
+  ctx_mdp : Mdp.snapshot;
+  ctx_l1d : Cache.snapshot;
+  ctx_l1i : Cache.snapshot;
+  ctx_l2 : Cache.snapshot;
+  ctx_tlb : Tlb.snapshot;
+}
+
+let snapshot_context t =
+  {
+    ctx_bp = Branch_pred.snapshot t.bp;
+    ctx_mdp = Mdp.snapshot t.mdp;
+    ctx_l1d = Cache.snapshot t.ms.Memsys.l1d;
+    ctx_l1i = Cache.snapshot t.ms.Memsys.l1i;
+    ctx_l2 = Cache.snapshot t.ms.Memsys.l2;
+    ctx_tlb = Tlb.snapshot t.ms.Memsys.tlb;
+  }
+
+let restore_context t ctx =
+  Branch_pred.restore t.bp ctx.ctx_bp;
+  Mdp.restore t.mdp ctx.ctx_mdp;
+  Cache.restore t.ms.Memsys.l1d ctx.ctx_l1d;
+  Cache.restore t.ms.Memsys.l1i ctx.ctx_l1i;
+  Cache.restore t.ms.Memsys.l2 ctx.ctx_l2;
+  Tlb.restore t.ms.Memsys.tlb ctx.ctx_tlb
+
+let reset_predictors t =
+  Branch_pred.reset t.bp;
+  Mdp.reset t.mdp
+
+let flush_caches t = Memsys.flush_caches t.ms
+let reset_tlb t = Memsys.reset_tlb t.ms
+let reset_l1i t = Memsys.reset_l1i t.ms
+
+(* cumulative counters (for throughput accounting) *)
+let total_cycles t = t.total_cycles
+let total_insts t = t.total_insts
+let runs t = t.runs

@@ -1,0 +1,85 @@
+(** Fully-associative data TLB with LRU replacement.
+
+    Entries map virtual page numbers (address / 4096; virtual = physical in
+    SE mode).  The final set of cached page numbers is part of the default
+    microarchitectural trace, which is how the STT speculative-store leak
+    (KV3) becomes visible. *)
+
+let page_bits = 12
+
+type entry = { mutable page : int; mutable valid : bool; mutable lru : int }
+
+type t = { entries : entry array; mutable tick : int }
+
+let create ~entries =
+  assert (entries > 0);
+  {
+    entries = Array.init entries (fun _ -> { page = 0; valid = false; lru = 0 });
+    tick = 0;
+  }
+
+let page_of_addr addr = addr lsr page_bits
+
+let next_tick t =
+  t.tick <- t.tick + 1;
+  t.tick
+
+let find t page =
+  Array.to_seq t.entries |> Seq.find (fun e -> e.valid && e.page = page)
+
+let probe t page = Option.is_some (find t page)
+
+(** Translate an access to [page]: hit updates LRU, miss installs the entry
+    (evicting the LRU victim).  Returns [`Hit] or [`Miss]. *)
+let access t page =
+  match find t page with
+  | Some e ->
+      e.lru <- next_tick t;
+      `Hit
+  | None ->
+      let target =
+        match Array.to_seq t.entries |> Seq.find (fun e -> not e.valid) with
+        | Some e -> e
+        | None ->
+            let victim = ref t.entries.(0) in
+            Array.iter (fun e -> if e.lru < !victim.lru then victim := e) t.entries;
+            !victim
+      in
+      target.page <- page;
+      target.valid <- true;
+      target.lru <- next_tick t;
+      `Miss
+
+(** All cached page numbers, sorted. *)
+let pages t =
+  let acc = ref [] in
+  Array.iter (fun e -> if e.valid then acc := e.page :: !acc) t.entries;
+  List.sort compare !acc
+
+let reset t =
+  Array.iter (fun e -> e.valid <- false) t.entries;
+  t.tick <- 0
+
+type snapshot = { snap_entries : (int * bool * int) array; snap_tick : int }
+
+let snapshot t : snapshot =
+  {
+    snap_entries = Array.map (fun e -> (e.page, e.valid, e.lru)) t.entries;
+    snap_tick = t.tick;
+  }
+
+let restore t (s : snapshot) =
+  Array.iteri
+    (fun i (page, valid, lru) ->
+      let e = t.entries.(i) in
+      e.page <- page;
+      e.valid <- valid;
+      e.lru <- lru)
+    s.snap_entries;
+  t.tick <- s.snap_tick
+
+let pp fmt t =
+  Format.fprintf fmt "TLB: [%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ")
+       (fun f p -> Format.fprintf f "0x%x" (p lsl page_bits)))
+    (pages t)

@@ -1,0 +1,23 @@
+(** Fully-associative data TLB with LRU replacement; part of the default
+    microarchitectural trace (how STT's KV3 leak becomes visible). *)
+
+type t
+
+val page_bits : int
+val create : entries:int -> t
+val page_of_addr : int -> int
+val probe : t -> int -> bool
+
+val access : t -> int -> [ `Hit | `Miss ]
+(** Translate: hit updates LRU, miss installs (evicting the LRU victim). *)
+
+val pages : t -> int list
+(** Cached page numbers, sorted. *)
+
+val reset : t -> unit
+
+type snapshot
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val pp : Format.formatter -> t -> unit

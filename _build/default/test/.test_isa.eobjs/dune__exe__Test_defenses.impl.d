@@ -1,0 +1,1 @@
+test/test_defenses.ml: Alcotest Amulet Amulet_defenses Amulet_isa Amulet_uarch Analysis Asm Campaign Defense Executor Fuzzer Generator List Option Program Stats Violation

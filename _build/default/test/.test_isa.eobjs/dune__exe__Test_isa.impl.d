@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Amulet Amulet_isa Array Asm Cond Encoder Flags Inst Int64 List Operand Printf Program QCheck2 QCheck_alcotest Reg String Width

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Amulet_isa Amulet_uarch Branch_pred Cache Config Event Format List Mdp Memsys QCheck2 QCheck_alcotest String Tlb
