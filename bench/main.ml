@@ -548,6 +548,71 @@ let extension_parallel () =
         (Unix.gettimeofday () -. t0))
     [ 1; 2; 4 ]
 
+(* Robustness: fault containment under chaos injection, and the wall-clock
+   cost of crash-safe journaling. *)
+let extension_robustness () =
+  section "Extension: campaign robustness (chaos injection + journal overhead)";
+  let qdir = Filename.temp_file "amulet-bench-quarantine" "" in
+  Sys.remove qdir;
+  let chaos = Fault.injector ~p_crash:0.02 ~p_timeout:0.02 ~p_sim_fault:0.02 ~seed:99 () in
+  let r =
+    run_campaign ~classify:false ~seed:11 ~programs:(scale 20)
+      { (fuzzer_cfg ~inputs:6 ~boosts:3 ()) with
+        Fuzzer.chaos = Some chaos;
+        quarantine_dir = Some qdir;
+        deadline_ms = Some 5000.;
+      }
+      Defense.baseline
+  in
+  Format.printf
+    "chaos campaign: %d programs, %d discarded, %d quarantined, %d violations@."
+    r.Campaign.programs_run r.Campaign.discarded_programs r.Campaign.quarantined
+    (List.length r.Campaign.violations);
+  List.iter
+    (fun (c, n) -> Format.printf "  fault %-20s %d@." (Fault.class_name c) n)
+    r.Campaign.fault_counts;
+  (* journal-write overhead: the checkpoint a campaign pays every
+     [checkpoint_every] rounds, measured on this campaign's final state *)
+  let j =
+    {
+      Journal.seed = 11;
+      n_programs = r.Campaign.programs_run;
+      defense_name = r.Campaign.defense.Defense.name;
+      contract_name = r.Campaign.contract_name;
+      programs_run = r.Campaign.programs_run;
+      discarded = r.Campaign.discarded_programs;
+      test_cases = r.Campaign.test_cases;
+      fault_counts = r.Campaign.fault_counts;
+      detection_times = r.Campaign.detection_times;
+      violations = List.map Violation_io.of_violation r.Campaign.violations;
+    }
+  in
+  let jpath = Filename.temp_file "amulet-bench" ".journal" in
+  let reps = 200 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    Journal.save j jpath
+  done;
+  let write_ms = (Unix.gettimeofday () -. t0) *. 1000. /. float_of_int reps in
+  Sys.remove jpath;
+  Format.printf "journal checkpoint write: %.3f ms (atomic temp+rename, %d reps)@."
+    write_ms reps;
+  (* machine-readable summary line for downstream tooling *)
+  let faults_json =
+    String.concat ","
+      (List.map
+         (fun (c, n) -> Printf.sprintf "\"%s\":%d" (Fault.class_name c) n)
+         r.Campaign.fault_counts)
+  in
+  Format.printf
+    "{\"bench\":\"robustness\",\"programs\":%d,\"discarded\":%d,\"quarantined\":%d,\"faults\":{%s},\"journal_write_ms\":%.3f}@."
+    r.Campaign.programs_run r.Campaign.discarded_programs r.Campaign.quarantined
+    faults_json write_ms;
+  if Sys.file_exists qdir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat qdir f)) (Sys.readdir qdir);
+    Sys.rmdir qdir
+  end
+
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -569,4 +634,5 @@ let () =
   extension_ghostminion ();
   extension_prefetcher ();
   extension_parallel ();
+  extension_robustness ();
   Format.printf "@.%s@.done.@." hline

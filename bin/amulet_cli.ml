@@ -119,8 +119,55 @@ let fuzz_cmd =
       value & opt (some string) None
       & info [ "save-dir" ] ~docv:"DIR" ~doc:"Save found violations into this directory.")
   in
+  let deadline_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget per fuzzing round; a round that blows it is \
+             classified and discarded instead of stalling the campaign.")
+  in
+  let quarantine_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "quarantine-dir" ] ~docv:"DIR"
+          ~doc:"Save the program+input of every discarded round here for triage.")
+  in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Checkpoint campaign progress into this file (atomic \
+             write-temp-then-rename) so a killed campaign can be resumed.")
+  in
+  let resume =
+    Arg.(
+      value & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume a journaled campaign from its last checkpoint.  The seed \
+             is taken from the journal; the defense must match.  Implies \
+             $(b,--journal) FILE unless one is given.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 10
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Rounds between journal checkpoints.")
+  in
+  let chaos =
+    Arg.(
+      value & opt (some float) None
+      & info [ "chaos" ] ~docv:"P"
+          ~doc:
+            "Robustness self-test: inject a crash/timeout/fault into each \
+             test case with probability P each (so ~3P of rounds misbehave); \
+             the campaign must classify and survive all of them.")
+  in
   let run defense programs inputs boosts mode fmt_ contract ways mshrs stop seed
-      unaligned parallel prefetcher save_dir =
+      unaligned parallel prefetcher save_dir deadline_ms quarantine_dir journal
+      resume checkpoint_every chaos =
     let sim_config =
       match ways, mshrs, prefetcher with
       | None, None, false -> None
@@ -130,6 +177,38 @@ let fuzz_cmd =
               (Defense.config ?l1d_ways:ways ?mshrs defense) with
               Amulet_uarch.Config.nl_prefetcher = prefetcher;
             }
+    in
+    let resume_journal =
+      Option.map
+        (fun path ->
+          let j = Journal.load path in
+          if j.Journal.defense_name <> defense.Defense.name then
+            failwith
+              (Printf.sprintf
+                 "journal %s was written for defense %s, not %s (pass -d %s)"
+                 path j.Journal.defense_name defense.Defense.name
+                 j.Journal.defense_name);
+          j)
+        resume
+    in
+    (* a resumed campaign replays the journal's seed and keeps checkpointing
+       into the same file unless another --journal is given *)
+    let seed =
+      match resume_journal with Some j -> j.Journal.seed | None -> seed
+    in
+    let programs =
+      match resume_journal with
+      | Some j -> max programs j.Journal.n_programs
+      | None -> programs
+    in
+    let journal_path =
+      match journal, resume with Some _, _ -> journal | None, r -> r
+    in
+    let chaos_injector =
+      Option.map
+        (fun p ->
+          Fault.injector ~p_crash:p ~p_timeout:p ~p_sim_fault:p ~seed ())
+        chaos
     in
     let cfg =
       {
@@ -146,6 +225,9 @@ let fuzz_cmd =
             trace_format = fmt_;
             contract;
             sim_config;
+            deadline_ms;
+            quarantine_dir;
+            chaos = chaos_injector;
             generator =
               { Generator.default with Generator.unaligned_fraction = unaligned };
           };
@@ -157,11 +239,24 @@ let fuzz_cmd =
       | Some c -> c.Amulet_contracts.Contract.name
       | None -> defense.Defense.contract.Amulet_contracts.Contract.name)
       (Utrace.format_name fmt_) (Executor.mode_name mode) seed;
+    (match resume_journal with
+    | Some j ->
+        Format.printf "resuming from checkpoint: %d/%d rounds done, %d violation(s)@."
+          j.Journal.programs_run j.Journal.n_programs
+          (List.length j.Journal.violations)
+    | None -> ());
     let r =
-      if parallel > 1 then Campaign.run_parallel ~instances:parallel cfg defense
+      if parallel > 1 then begin
+        if journal_path <> None then
+          Format.eprintf
+            "note: --journal/--resume apply to single-instance campaigns; \
+             ignored with --parallel@.";
+        Campaign.run_parallel ~instances:parallel cfg defense
+      end
       else begin
         let n = ref 0 in
-        Campaign.run cfg defense ~on_violation:(fun v ->
+        Campaign.run ?journal_path ~checkpoint_every ?resume:resume_journal cfg
+          defense ~on_violation:(fun v ->
             incr n;
             Format.printf "@.--- violation %d ---@.%a@." !n Violation.pp v)
       end
@@ -186,7 +281,8 @@ let fuzz_cmd =
   let term =
     Term.(
       const run $ defense_t $ programs $ inputs $ boosts $ mode $ fmt_ $ contract $ ways
-      $ mshrs $ stop $ seed_t $ unaligned $ parallel $ prefetcher $ save_dir)
+      $ mshrs $ stop $ seed_t $ unaligned $ parallel $ prefetcher $ save_dir
+      $ deadline_ms $ quarantine_dir $ journal $ resume $ checkpoint_every $ chaos)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a testing campaign against a secure-speculation defense.")
@@ -257,7 +353,9 @@ let run_cmd =
     in
     Format.printf "--- input ---@.%a@." Input.pp input;
     Format.printf "--- run: %d cycles%s ---@." outcome.Executor.cycles
-      (match outcome.Executor.run_fault with None -> "" | Some f -> " FAULT: " ^ f);
+      (match outcome.Executor.run_fault with
+      | None -> ""
+      | Some f -> " FAULT: " ^ Fault.to_string f);
     Format.printf "--- uarch trace: %a@." Utrace.pp outcome.Executor.trace;
     Format.printf "--- debug log (%d events) ---@." (List.length events);
     List.iter (fun e -> Format.printf "%a@." Amulet_uarch.Event.pp e) events;

@@ -1,7 +1,13 @@
 (** Testing campaigns: many fuzzing rounds against one defense, with the
     metrics the paper's evaluation reports (violations found, average
     detection time, unique violation classes, testing throughput, campaign
-    execution time — Tables 3, 4, 6). *)
+    execution time — Tables 3, 4, 6).
+
+    Campaigns are supervised: every round is reseeded from (campaign seed,
+    round index) so it is reproducible in isolation, misbehaving rounds
+    degrade to classified {!Fault.t} discards, progress can be journaled
+    crash-safely and resumed, and parallel instances are restarted on crash
+    and merged defensively. *)
 
 open Amulet_defenses
 
@@ -30,6 +36,9 @@ type result = {
   violation_classes : (Analysis.leak_class * int) list;
   programs_run : int;
   discarded_programs : int;
+  fault_counts : (Fault.cls * int) list;
+      (** per-class counts of every discarded/contained fault *)
+  quarantined : int;  (** test cases saved to the quarantine corpus *)
   test_cases : int;
   duration : float;  (** seconds *)
   throughput : float;  (** test cases / second *)
@@ -44,21 +53,86 @@ let count_classes classes =
     classes;
   Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
 
+(* Round [i] of a campaign always runs on this derived seed, whether it is
+   reached in one uninterrupted run or after any number of kill/--resume
+   cycles: resumability depends only on (seed, i). *)
+let round_seed seed i = seed + ((i + 1) * 2654435761)
+
+let classify_one cfg defense v =
+  let executor =
+    Executor.create ~mode:Executor.Opt ?sim_config:cfg.fuzzer.Fuzzer.sim_config
+      ~format:cfg.fuzzer.Fuzzer.trace_format defense (Stats.create ())
+  in
+  Executor.start_program executor;
+  Analysis.classify_violation executor v
+
 (** Run a campaign of [cfg.n_programs] fuzzing rounds against [defense].
-    [on_violation] fires as findings come in (progress reporting). *)
-let run ?(on_violation = fun (_ : Violation.t) -> ()) (cfg : config)
-    (defense : Defense.t) : result =
+    [on_violation] fires as findings come in (progress reporting).
+    [journal_path] checkpoints progress atomically every [checkpoint_every]
+    rounds; [resume] continues from a loaded checkpoint instead of round
+    0. *)
+let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
+    ?(checkpoint_every = 10) ?resume (cfg : config) (defense : Defense.t) :
+    result =
   let fuzzer = Fuzzer.create ~cfg:cfg.fuzzer ~seed:cfg.seed defense in
   let started = Unix.gettimeofday () in
-  let violations = ref [] in
-  let classes = ref [] in
-  let detection_times = ref [] in
+  (* baselines carried over from the checkpoint being resumed *)
+  let base_programs, base_discarded, base_tc, base_faults, base_times, base_violations =
+    match resume with
+    | None -> 0, 0, 0, [], [], []
+    | Some (j : Journal.t) ->
+        let vs =
+          List.map
+            (Violation_io.rehydrate ?sim_config:cfg.fuzzer.Fuzzer.sim_config)
+            j.Journal.violations
+        in
+        ( j.Journal.programs_run,
+          j.Journal.discarded,
+          j.Journal.test_cases,
+          j.Journal.fault_counts,
+          j.Journal.detection_times,
+          vs )
+  in
+  let violations = ref (List.rev base_violations) in
+  let classes =
+    ref (if cfg.classify then List.map (classify_one cfg defense) base_violations else [])
+  in
+  let detection_times = ref (List.rev base_times) in
   let last_find = ref started in
-  let test_cases = ref 0 in
-  let discarded = ref 0 in
-  let programs = ref 0 in
+  let test_cases = ref base_tc in
+  let discarded = ref base_discarded in
+  let programs = ref base_programs in
   let stop = ref false in
+  let merged_faults () =
+    let c = Fault.Counters.create () in
+    Fault.Counters.add_list c base_faults;
+    Fault.Counters.merge c (Stats.fault_counters (Fuzzer.stats fuzzer));
+    Fault.Counters.to_list c
+  in
+  let checkpoint () =
+    match journal_path with
+    | None -> ()
+    | Some path ->
+        Journal.save
+          {
+            Journal.seed = cfg.seed;
+            n_programs = cfg.n_programs;
+            defense_name = defense.Defense.name;
+            contract_name = (Fuzzer.contract fuzzer).Amulet_contracts.Contract.name;
+            programs_run = !programs;
+            discarded = !discarded;
+            test_cases = !test_cases;
+            fault_counts = merged_faults ();
+            detection_times = List.rev !detection_times;
+            violations = List.rev_map Violation_io.of_violation !violations;
+          }
+          path
+  in
+  (match cfg.stop_after_violations with
+  | Some k when List.length !violations >= k -> stop := true
+  | _ -> ());
   while (not !stop) && !programs < cfg.n_programs do
+    Fuzzer.reseed fuzzer ~seed:(round_seed cfg.seed !programs);
     incr programs;
     (match Fuzzer.round fuzzer with
     | Fuzzer.No_violation _ -> ()
@@ -67,24 +141,17 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) (cfg : config)
         let now = Unix.gettimeofday () in
         detection_times := (now -. !last_find) :: !detection_times;
         last_find := now;
-        if cfg.classify then begin
-          let executor =
-            Executor.create ~mode:Executor.Opt
-              ?sim_config:cfg.fuzzer.Fuzzer.sim_config
-              ~format:cfg.fuzzer.Fuzzer.trace_format defense
-              (Stats.create ())
-          in
-          Executor.start_program executor;
-          classes := Analysis.classify_violation executor v :: !classes
-        end;
+        if cfg.classify then classes := classify_one cfg defense v :: !classes;
         violations := v :: !violations;
         on_violation v;
         (match cfg.stop_after_violations with
         | Some k when List.length !violations >= k -> stop := true
         | _ -> ()));
     (* throughput accounting uses the fuzzer's own test-case counter *)
-    test_cases := Stats.test_cases (Fuzzer.stats fuzzer)
+    test_cases := base_tc + Stats.test_cases (Fuzzer.stats fuzzer);
+    if (!programs - base_programs) mod checkpoint_every = 0 then checkpoint ()
   done;
+  checkpoint ();
   let duration = Unix.gettimeofday () -. started in
   {
     defense;
@@ -93,25 +160,19 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) (cfg : config)
     violation_classes = count_classes !classes;
     programs_run = !programs;
     discarded_programs = !discarded;
+    fault_counts = merged_faults ();
+    quarantined = Fuzzer.quarantined fuzzer;
     test_cases = !test_cases;
     duration;
     throughput = (if duration > 0. then float_of_int !test_cases /. duration else 0.);
     detection_times = List.rev !detection_times;
   }
 
-(** Run [instances] independent campaign instances on parallel domains —
-    the paper's methodology (16 or 100 parallel AMuLeT instances) — each
-    with a distinct seed derived from [cfg.seed], and merge the results.
-    Violations, classes and test-case counts are summed; the merged
-    duration is the wall-clock of the slowest instance, so the merged
-    throughput reflects the aggregate rate. *)
-let run_parallel ?(instances = 4) (cfg : config) (defense : Defense.t) : result =
-  assert (instances >= 1);
-  let spawn i =
-    Domain.spawn (fun () -> run { cfg with seed = cfg.seed + (i * 7919) } defense)
-  in
-  let domains = List.init instances spawn in
-  let results = List.map Domain.join domains in
+(* ------------------------------------------------------------------ *)
+(* Parallel campaigns                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let merge_results (defense : Defense.t) crash_counts results : result =
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
   let duration = List.fold_left (fun acc r -> Float.max acc r.duration) 0. results in
   let merged_classes =
@@ -125,6 +186,12 @@ let run_parallel ?(instances = 4) (cfg : config) (defense : Defense.t) : result 
       results;
     Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
   in
+  let fault_counts =
+    let c = Fault.Counters.create () in
+    List.iter (fun r -> Fault.Counters.add_list c r.fault_counts) results;
+    Fault.Counters.merge c crash_counts;
+    Fault.Counters.to_list c
+  in
   let test_cases = sum (fun r -> r.test_cases) in
   {
     defense;
@@ -134,11 +201,71 @@ let run_parallel ?(instances = 4) (cfg : config) (defense : Defense.t) : result 
     violation_classes = merged_classes;
     programs_run = sum (fun r -> r.programs_run);
     discarded_programs = sum (fun r -> r.discarded_programs);
+    fault_counts;
+    quarantined = sum (fun r -> r.quarantined);
     test_cases;
     duration;
     throughput = (if duration > 0. then float_of_int test_cases /. duration else 0.);
     detection_times = List.concat_map (fun r -> r.detection_times) results;
   }
+
+(** Run [instances] independent campaign instances on parallel domains —
+    the paper's methodology (16 or 100 parallel AMuLeT instances) — each
+    with a distinct seed derived from [cfg.seed], and merge the results.
+
+    Supervised: a crashing instance never takes down the others — its
+    domain is joined defensively, the crash is recorded as an
+    {!Fault.Instance_crash}, and the instance is restarted with a freshly
+    derived seed up to [retries] times.  The merge covers every instance
+    that completed; only if {e all} instances exhaust their retries does
+    the call raise.  [instance_cfg] overrides the per-instance config
+    derivation (supervision tests use it to plant a crashing instance). *)
+let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg (cfg : config)
+    (defense : Defense.t) : result =
+  assert (instances >= 1);
+  let cfg_of i attempt =
+    let base =
+      match instance_cfg with
+      | Some f -> f i
+      | None -> { cfg with seed = cfg.seed + (i * 7919) }
+    in
+    (* restarts must not replay the crashing seed *)
+    { base with seed = base.seed + (attempt * 104729) }
+  in
+  let crash_counts = Fault.Counters.create () in
+  let results = Array.make instances None in
+  let pending = ref (List.init instances (fun i -> (i, 0))) in
+  while !pending <> [] do
+    let batch = !pending in
+    pending := [];
+    let domains =
+      List.map
+        (fun (i, attempt) ->
+          ( i,
+            attempt,
+            Domain.spawn (fun () ->
+                try Ok (run (cfg_of i attempt) defense)
+                with exn -> Error (Fault.exn_info exn)) ))
+        batch
+    in
+    List.iter
+      (fun (i, attempt, d) ->
+        let outcome =
+          (* the spawned thunk catches everything, but join defensively
+             anyway: a domain that dies outside the thunk (e.g. out of
+             memory) must not discard the other instances' results *)
+          try Domain.join d with exn -> Error (Fault.exn_info exn)
+        in
+        match outcome with
+        | Ok r -> results.(i) <- Some r
+        | Error info ->
+            Fault.Counters.record crash_counts (Fault.Instance_crash info);
+            if attempt < retries then pending := (i, attempt + 1) :: !pending)
+      domains
+  done;
+  match List.filter_map Fun.id (Array.to_list results) with
+  | [] -> failwith "Campaign.run_parallel: every instance crashed (retries exhausted)"
+  | survivors -> merge_results defense crash_counts survivors
 
 let detected r = r.violations <> []
 
@@ -155,6 +282,15 @@ let pp fmt r =
     (unique_violations r);
   Format.fprintf fmt "  programs: %d (%d discarded)  test cases: %d  time: %.1f s  throughput: %.0f tc/s@."
     r.programs_run r.discarded_programs r.test_cases r.duration r.throughput;
+  (match r.fault_counts with
+  | [] -> ()
+  | counts ->
+      Format.fprintf fmt "  faults:";
+      List.iter
+        (fun (c, n) -> Format.fprintf fmt " %s=%d" (Fault.class_name c) n)
+        counts;
+      if r.quarantined > 0 then Format.fprintf fmt "  (quarantined: %d)" r.quarantined;
+      Format.fprintf fmt "@.");
   (match avg_detection_time r with
   | Some t -> Format.fprintf fmt "  avg detection time: %.2f s@." t
   | None -> ());

@@ -20,18 +20,48 @@ type result = {
   violation_classes : (Analysis.leak_class * int) list;
   programs_run : int;
   discarded_programs : int;
+  fault_counts : (Fault.cls * int) list;
+      (** per-class counts of every discarded/contained fault *)
+  quarantined : int;  (** test cases saved to the quarantine corpus *)
   test_cases : int;
   duration : float;
   throughput : float;  (** test cases per second *)
   detection_times : float list;
 }
 
-val run : ?on_violation:(Violation.t -> unit) -> config -> Defense.t -> result
+val round_seed : int -> int -> int
+(** [round_seed seed i]: the derived seed round [i] always runs on —
+    identical whether the round is reached in one uninterrupted run or
+    after any number of kill/resume cycles. *)
 
-val run_parallel : ?instances:int -> config -> Defense.t -> result
+val run :
+  ?on_violation:(Violation.t -> unit) ->
+  ?journal_path:string ->
+  ?checkpoint_every:int ->
+  ?resume:Journal.t ->
+  config ->
+  Defense.t ->
+  result
+(** [journal_path] checkpoints progress atomically every [checkpoint_every]
+    (default 10) rounds and at campaign end; [resume] continues from a
+    loaded checkpoint instead of round 0 and, with the same seed and
+    config, ends with the same totals as an uninterrupted run. *)
+
+val run_parallel :
+  ?instances:int ->
+  ?retries:int ->
+  ?instance_cfg:(int -> config) ->
+  config ->
+  Defense.t ->
+  result
 (** The paper's parallel methodology: independent instances on OCaml
     domains, distinct derived seeds, merged results (durations combine as
-    the slowest instance's wall clock). *)
+    the slowest instance's wall clock).  Supervised: crashed instances are
+    recorded as {!Fault.Instance_crash}, restarted on fresh seeds up to
+    [retries] (default 2) times, and the merge covers every surviving
+    instance — one crashing domain no longer discards the others' results.
+    Raises only if every instance exhausts its retries.  [instance_cfg]
+    overrides per-instance config derivation (supervision tests). *)
 
 val detected : result -> bool
 val avg_detection_time : result -> float option

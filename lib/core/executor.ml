@@ -26,22 +26,24 @@ type t = {
   format : Utrace.format;
   stats : Stats.t;
   boot_insts : int;
+  chaos : Fault.chaos option;
   mutable sim : Simulator.t option;
 }
 
 type outcome = {
   trace : Utrace.t;
   context : Simulator.context;  (** predictor state before the run *)
-  run_fault : string option;
+  run_fault : Fault.t option;
   cycles : int;
 }
 
 let create ?(boot_insts = Simulator.default_boot_insts) ?(format = Utrace.L1d_tlb)
-    ?sim_config ~mode (defense : Defense.t) (stats : Stats.t) =
+    ?sim_config ?chaos ~mode (defense : Defense.t) (stats : Stats.t) =
   let sim_config =
     match sim_config with Some c -> c | None -> Defense.config defense
   in
-  { defense; sim_config; mode; format; stats; boot_insts; sim = None }
+  let chaos = Option.map Fault.arm chaos in
+  { defense; sim_config; mode; format; stats; boot_insts; chaos; sim = None }
 
 let fresh_simulator t =
   Stats.time t.stats Stats.Sim_startup (fun () ->
@@ -87,6 +89,19 @@ let prime t sim =
       | Defense.Fill_sets -> ignore (Simulator.prime_with_fills sim)
       | Defense.Flush -> Simulator.prime_with_flush sim)
 
+(* The chaos hook (robustness self-tests): one draw per test case may raise
+   an injected crash or substitute an injected fault for the real outcome. *)
+let chaos_fault t =
+  match t.chaos with
+  | None -> None
+  | Some chaos -> (
+      match Fault.sample chaos with
+      | `None -> None
+      | `Crash -> raise (Fault.Injected_crash "chaos: executor crash")
+      | `Timeout ->
+          Some (Fault.Deadline_exceeded { elapsed_ms = 0.; deadline_ms = 0. })
+      | `Sim_fault -> Some (Fault.Injected "chaos: simulator fault"))
+
 (* Run one input on [sim] (which has been primed) and extract its trace. *)
 let run_loaded t sim flat (input : Input.t) =
   Simulator.load_state sim (Input.to_state input);
@@ -97,7 +112,12 @@ let run_loaded t sim flat (input : Input.t) =
   in
   Stats.count_test_case t.stats;
   let trace = extract_trace t sim in
-  { trace; context; run_fault = stats_run.Simulator.fault; cycles = stats_run.cycles }
+  let run_fault =
+    match chaos_fault t with
+    | Some _ as injected -> injected
+    | None -> Option.map Fault.of_run_fault stats_run.Simulator.fault
+  in
+  { trace; context; run_fault; cycles = stats_run.cycles }
 
 (** Execute one test case (program, input) and produce its trace. *)
 let run_input t flat (input : Input.t) =

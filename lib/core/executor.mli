@@ -21,7 +21,7 @@ type outcome = {
   context : Simulator.context;
       (** full μarch starting context (predictors + caches), snapshotted
           just before the run — the handle violation validation uses *)
-  run_fault : string option;
+  run_fault : Fault.t option;
   cycles : int;
 }
 
@@ -29,10 +29,14 @@ val create :
   ?boot_insts:int ->
   ?format:Utrace.format ->
   ?sim_config:Config.t ->
+  ?chaos:Fault.injector ->
   mode:mode ->
   Defense.t ->
   Stats.t ->
   t
+(** [chaos], when set, arms a probabilistic fault injector: each test case
+    may raise {!Fault.Injected_crash} or report an injected fault instead of
+    its real outcome (robustness self-tests only). *)
 
 val start_program : t -> unit
 (** Begin a new test program; in [Opt] mode the only point paying the

@@ -20,6 +20,16 @@ type config = {
   trace_format : Utrace.format;
   boot_insts : int;
   sim_config : Amulet_uarch.Config.t option;  (** override (amplification) *)
+  deadline_ms : float option;
+      (** wall-clock budget per round; a round that blows it degrades to a
+          classified discard (complements the simulator's [max_cycles]) *)
+  quarantine_dir : string option;
+      (** where to save the program+input of every discarded round *)
+  chaos : Fault.injector option;  (** fault injection (self-tests) *)
+  isolate_rounds : bool;
+      (** catch exceptions escaping a round and degrade them to classified
+          discards; on by default — turned off only by supervision tests
+          that need a whole instance to crash *)
 }
 
 let default_config =
@@ -32,6 +42,10 @@ let default_config =
     trace_format = Utrace.L1d_tlb;
     boot_insts = Amulet_uarch.Simulator.default_boot_insts;
     sim_config = None;
+    deadline_ms = None;
+    quarantine_dir = None;
+    chaos = None;
+    isolate_rounds = true;
   }
 
 type t = {
@@ -40,8 +54,9 @@ type t = {
   contract : Contract.t;
   executor : Executor.t;
   stats : Stats.t;
-  rng : Rng.t;
+  mutable rng : Rng.t;
   started_at : float;
+  mutable quarantined : int;
 }
 
 let create ?(cfg = default_config) ~seed (defense : Defense.t) =
@@ -53,7 +68,8 @@ let create ?(cfg = default_config) ~seed (defense : Defense.t) =
   let cfg = { cfg with generator } in
   let executor =
     Executor.create ~boot_insts:cfg.boot_insts ~format:cfg.trace_format
-      ?sim_config:cfg.sim_config ~mode:cfg.executor_mode defense stats
+      ?sim_config:cfg.sim_config ?chaos:cfg.chaos ~mode:cfg.executor_mode
+      defense stats
   in
   {
     cfg;
@@ -63,10 +79,17 @@ let create ?(cfg = default_config) ~seed (defense : Defense.t) =
     stats;
     rng = Rng.create ~seed;
     started_at = Unix.gettimeofday ();
+    quarantined = 0;
   }
 
 let stats t = t.stats
 let contract t = t.contract
+let quarantined t = t.quarantined
+
+(** Replace the PRNG stream.  Campaigns reseed before every round with a
+    seed derived from (campaign seed, round index), making each round
+    reproducible in isolation — the property journal resume relies on. *)
+let reseed t ~seed = t.rng <- Rng.create ~seed
 
 (* ------------------------------------------------------------------ *)
 (* Per-program round                                                   *)
@@ -81,8 +104,27 @@ type test_case = {
 type round_result =
   | No_violation of { test_cases : int }
   | Found of Violation.t
-  | Discarded of string
-      (** the program faulted in the model or simulator and was dropped *)
+  | Discarded of Fault.t
+      (** the round misbehaved (model/simulator fault, blown deadline,
+          crash, injected fault) and was classified and dropped *)
+
+(* Per-round wall-clock budget.  Raised internally, converted to a
+   classified [Discarded] before test_program returns. *)
+exception Deadline of Fault.t
+
+type deadline = { round_started : float; budget_ms : float option }
+
+let deadline_start t =
+  { round_started = Unix.gettimeofday (); budget_ms = t.cfg.deadline_ms }
+
+let check_deadline d =
+  match d.budget_ms with
+  | None -> ()
+  | Some budget ->
+      let elapsed_ms = 1000. *. (Unix.gettimeofday () -. d.round_started) in
+      if elapsed_ms > budget then
+        raise
+          (Deadline (Fault.Deadline_exceeded { elapsed_ms; deadline_ms = budget }))
 
 (* Contract trace of one input; [collect_taint] additionally runs the taint
    tracker for boosting. *)
@@ -91,23 +133,26 @@ let ctrace_of t flat input ~collect_taint =
       let state = Input.to_state input in
       Leakage_model.collect ~collect_taint t.contract flat state)
 
-(* Build the input population: base inputs plus taint-directed mutants. *)
-let build_test_cases t flat =
+(* Build the input population: base inputs plus taint-directed mutants.
+   A model fault aborts the population and names the offending input. *)
+let build_test_cases t flat dl =
   let cases = ref [] in
   let fault = ref None in
   let n = t.cfg.n_base_inputs in
   for _ = 1 to n do
     if !fault = None then begin
+      check_deadline dl;
       let base = Input.generate t.rng ~pages:t.cfg.generator.Generator.sandbox_pages in
       let result = ctrace_of t flat base ~collect_taint:true in
       match result.Leakage_model.fault with
-      | Some f -> fault := Some f
+      | Some f -> fault := Some (Fault.of_run_fault f, base)
       | None ->
           cases := { input = base; ctrace_hash = result.ctrace_hash; outcome = None } :: !cases;
           (match result.Leakage_model.taint with
           | None -> ()
           | Some taint ->
               for _ = 1 to t.cfg.boosts_per_input do
+                check_deadline dl;
                 let mutant = Input.mutate_free t.rng taint base in
                 (* taint tracking is conservative, but verify: a mutant whose
                    contract trace moved would poison its class *)
@@ -119,7 +164,30 @@ let build_test_cases t flat =
               done)
     end
   done;
-  match !fault with Some f -> Error f | None -> Ok (List.rev !cases)
+  match !fault with Some (f, input) -> Error (f, input) | None -> Ok (List.rev !cases)
+
+(* ------------------------------------------------------------------ *)
+(* Fault containment: count, quarantine, discard                       *)
+(* ------------------------------------------------------------------ *)
+
+let quarantine t flat ?input fault =
+  match t.cfg.quarantine_dir with
+  | None -> ()
+  | Some dir -> (
+      t.quarantined <- t.quarantined + 1;
+      (* quarantine is best-effort evidence capture: an unwritable corpus
+         directory must not take the campaign down *)
+      try
+        ignore
+          (Violation_io.save_quarantine ~dir ~seq:t.quarantined ~fault
+             ~defense_name:t.defense.Defense.name
+             ~contract_name:t.contract.Contract.name flat input)
+      with Sys_error _ -> ())
+
+let discard t flat ?input fault =
+  Stats.count_fault t.stats fault;
+  quarantine t flat ?input fault;
+  Discarded fault
 
 (* Group test-case indices by contract-trace hash. *)
 let classes_of cases =
@@ -153,13 +221,12 @@ let validate t flat (a : test_case) (b : test_case) =
     (fun acc ctx -> match acc with Some _ -> acc | None -> try_ctx ctx)
     None ctxs
 
-(** Run one fuzzing round on [flat] (typically a freshly generated program):
-    collect traces for a population of inputs and report the first validated
-    violation, if any. *)
-let test_program t (flat : Program.flat) : round_result =
-  match build_test_cases t flat with
-  | Error f -> Discarded ("leakage model fault: " ^ f)
-  | Ok [] -> Discarded "no test cases"
+(* The round body; may raise ({!Deadline}, decoder errors, injected
+   crashes) — {!test_program} contains whatever escapes. *)
+let test_program_exn t (flat : Program.flat) dl : round_result =
+  match build_test_cases t flat dl with
+  | Error (f, input) -> discard t flat ~input f
+  | Ok [] -> discard t flat Fault.Empty_population
   | Ok cases -> (
       Executor.start_program t.executor;
       let arr = Array.of_list cases in
@@ -167,21 +234,23 @@ let test_program t (flat : Program.flat) : round_result =
       Array.iter
         (fun c ->
           if !sim_fault = None then begin
+            check_deadline dl;
             let o = Executor.run_input t.executor flat c.input in
             (match o.Executor.run_fault with
-            | Some f -> sim_fault := Some f
+            | Some f -> sim_fault := Some (f, c.input)
             | None -> ());
             c.outcome <- Some o
           end)
         arr;
       match !sim_fault with
-      | Some f -> Discarded ("simulator fault: " ^ f)
+      | Some (f, input) -> discard t flat ~input f
       | None -> (
           let candidate = ref None in
           List.iter
             (fun (_hash, members) ->
               match members with
               | first :: rest when !candidate = None ->
+                  check_deadline dl;
                   let a = arr.(first) in
                   List.iter
                     (fun j ->
@@ -219,10 +288,32 @@ let test_program t (flat : Program.flat) : round_result =
                   signature = None;
                 }))
 
+(** Run one fuzzing round on [flat] (typically a freshly generated program):
+    collect traces for a population of inputs and report the first validated
+    violation, if any.  Fault-isolated: a blown deadline always degrades to
+    a classified discard, and (unless [isolate_rounds] is off) so does any
+    exception escaping the round. *)
+let test_program t (flat : Program.flat) : round_result =
+  let dl = deadline_start t in
+  let contained () =
+    try test_program_exn t flat dl with Deadline fault -> discard t flat fault
+  in
+  if t.cfg.isolate_rounds then
+    try contained () with exn -> discard t flat (Fault.of_exn exn)
+  else contained ()
+
 (** Generate a fresh random program and fuzz it. *)
 let round t : round_result =
-  let flat =
+  let gen () =
     Stats.time t.stats Stats.Test_generation (fun () ->
         Generator.generate_flat ~cfg:t.cfg.generator t.rng)
   in
-  test_program t flat
+  if t.cfg.isolate_rounds then
+    match gen () with
+    | flat -> test_program t flat
+    | exception exn ->
+        (* no program to quarantine: the generator itself misbehaved *)
+        let fault = Fault.of_exn exn in
+        Stats.count_fault t.stats fault;
+        Discarded fault
+  else test_program t (gen ())

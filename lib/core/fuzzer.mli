@@ -15,6 +15,10 @@ type config = {
   trace_format : Utrace.format;
   boot_insts : int;
   sim_config : Amulet_uarch.Config.t option;  (** amplification override *)
+  deadline_ms : float option;  (** wall-clock budget per round *)
+  quarantine_dir : string option;  (** corpus dir for discarded rounds *)
+  chaos : Fault.injector option;  (** fault injection (self-tests) *)
+  isolate_rounds : bool;  (** contain exceptions escaping a round *)
 }
 
 val default_config : config
@@ -25,10 +29,17 @@ val create : ?cfg:config -> seed:int -> Defense.t -> t
 val stats : t -> Stats.t
 val contract : t -> Contract.t
 
+val quarantined : t -> int
+(** Test cases written to the quarantine corpus so far. *)
+
+val reseed : t -> seed:int -> unit
+(** Replace the PRNG stream; campaigns reseed per round so every round is
+    reproducible in isolation (the property journal resume relies on). *)
+
 type round_result =
   | No_violation of { test_cases : int }
   | Found of Violation.t
-  | Discarded of string
+  | Discarded of Fault.t
 
 val test_program : t -> Program.flat -> round_result
 (** Fuzz one (typically generated) program: build the input population,

@@ -1,0 +1,146 @@
+(** Crash-safe campaign journaling: atomic checkpoints of campaign progress
+    with embedded {!Violation_io} blocks, replayed by [fuzz --resume]. *)
+
+exception Format_error of string
+
+type t = {
+  seed : int;
+  n_programs : int;
+  defense_name : string;
+  contract_name : string;
+  programs_run : int;
+  discarded : int;
+  test_cases : int;
+  fault_counts : (Fault.cls * int) list;
+  detection_times : float list;
+  violations : Violation_io.stored list;
+}
+
+let magic = "amulet-journal 1"
+let violation_marker = "--- violation ---"
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let output out (j : t) =
+  Printf.fprintf out "%s\n" magic;
+  Printf.fprintf out "[campaign]\n";
+  Printf.fprintf out "seed=%d\n" j.seed;
+  Printf.fprintf out "n_programs=%d\n" j.n_programs;
+  Printf.fprintf out "defense=%s\n" j.defense_name;
+  Printf.fprintf out "contract=%s\n" j.contract_name;
+  Printf.fprintf out "programs_run=%d\n" j.programs_run;
+  Printf.fprintf out "discarded=%d\n" j.discarded;
+  Printf.fprintf out "test_cases=%d\n" j.test_cases;
+  Printf.fprintf out "faults=%s\n"
+    (String.concat ","
+       (List.map
+          (fun (c, n) -> Printf.sprintf "%s:%d" (Fault.class_name c) n)
+          j.fault_counts));
+  Printf.fprintf out "detection_times=%s\n"
+    (String.concat "," (List.map (Printf.sprintf "%.6f") j.detection_times));
+  List.iter
+    (fun s ->
+      Printf.fprintf out "%s\n" violation_marker;
+      Violation_io.output out s)
+    j.violations
+
+(** Atomic checkpoint: write [path].tmp in full, then rename over [path] —
+    a kill at any instant leaves the previous or the new checkpoint intact,
+    never a torn file. *)
+let save (j : t) path =
+  let tmp = path ^ ".tmp" in
+  let out = open_out tmp in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> output out j);
+  Sys.rename tmp path
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_faults s =
+  if String.trim s = "" then []
+  else
+    List.map
+      (fun item ->
+        match String.index_opt item ':' with
+        | Some colon -> (
+            let name = String.sub item 0 colon in
+            let count = String.sub item (colon + 1) (String.length item - colon - 1) in
+            match Fault.class_of_name name, int_of_string_opt count with
+            | Some c, Some n -> (c, n)
+            | _ -> raise (Format_error ("bad fault count: " ^ item)))
+        | None -> raise (Format_error ("bad fault count: " ^ item)))
+      (String.split_on_char ',' s)
+
+let parse_times s =
+  if String.trim s = "" then []
+  else
+    List.map
+      (fun item ->
+        match float_of_string_opt item with
+        | Some f -> f
+        | None -> raise (Format_error ("bad detection time: " ^ item)))
+      (String.split_on_char ',' s)
+
+let load path : t =
+  let lines = In_channel.with_open_text path In_channel.input_lines in
+  (match lines with
+  | m :: _ when m = magic -> ()
+  | _ -> raise (Format_error "missing journal magic header"));
+  (* split into the campaign header and one chunk per embedded violation *)
+  let chunks =
+    List.fold_left
+      (fun acc line ->
+        if line = violation_marker then [] :: acc
+        else match acc with cur :: rest -> (line :: cur) :: rest | [] -> [ [ line ] ])
+      [ [] ] lines
+    |> List.rev_map List.rev
+  in
+  let header, violation_chunks =
+    match chunks with h :: v -> h, v | [] -> raise (Format_error "empty journal")
+  in
+  let meta = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if line = magic || (String.length line > 0 && line.[0] = '[') || String.trim line = ""
+      then ()
+      else
+        match String.index_opt line '=' with
+        | Some eq ->
+            Hashtbl.replace meta
+              (String.sub line 0 eq)
+              (String.sub line (eq + 1) (String.length line - eq - 1))
+        | None -> raise (Format_error ("bad journal line: " ^ line)))
+    header;
+  let find k =
+    match Hashtbl.find_opt meta k with
+    | Some v -> v
+    | None -> raise (Format_error ("missing journal key " ^ k))
+  in
+  let int_of k =
+    match int_of_string_opt (find k) with
+    | Some n -> n
+    | None -> raise (Format_error ("bad integer for " ^ k))
+  in
+  let violations =
+    List.map
+      (fun chunk ->
+        try Violation_io.parse chunk
+        with Violation_io.Format_error e ->
+          raise (Format_error ("embedded violation: " ^ e)))
+      (List.filter (fun c -> c <> []) violation_chunks)
+  in
+  {
+    seed = int_of "seed";
+    n_programs = int_of "n_programs";
+    defense_name = find "defense";
+    contract_name = find "contract";
+    programs_run = int_of "programs_run";
+    discarded = int_of "discarded";
+    test_cases = int_of "test_cases";
+    fault_counts = parse_faults (find "faults");
+    detection_times = parse_times (find "detection_times");
+    violations;
+  }

@@ -1,0 +1,32 @@
+(** Crash-safe campaign journaling.
+
+    A journal is a periodic checkpoint of campaign progress — seed, rounds
+    completed, per-class fault counts, and every violation found so far in
+    its {!Violation_io} stored form — written atomically (temp file then
+    rename) so a kill at any instant leaves either the previous or the new
+    checkpoint, never a torn file.  [amulet fuzz --resume <journal>]
+    continues from the last checkpoint; because campaigns reseed the fuzzer
+    per round from (seed, round index), the resumed run replays the exact
+    remaining rounds and ends with the same totals as an uninterrupted
+    run. *)
+
+exception Format_error of string
+
+type t = {
+  seed : int;
+  n_programs : int;  (** target round count of the journaled campaign *)
+  defense_name : string;
+  contract_name : string;
+  programs_run : int;  (** rounds completed at checkpoint time *)
+  discarded : int;
+  test_cases : int;
+  fault_counts : (Fault.cls * int) list;
+  detection_times : float list;
+  violations : Violation_io.stored list;
+}
+
+val save : t -> string -> unit
+(** Atomic checkpoint: write-temp-then-rename over [path]. *)
+
+val load : string -> t
+(** Raises {!Format_error} on malformed input. *)

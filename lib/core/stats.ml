@@ -27,6 +27,7 @@ type t = {
   mutable test_cases : int;
   mutable violations : int;
   mutable validations : int;
+  faults : Fault.Counters.t;
 }
 
 let create () =
@@ -38,6 +39,7 @@ let create () =
     test_cases = 0;
     violations = 0;
     validations = 0;
+    faults = Fault.Counters.create ();
   }
 
 let bucket t c = Hashtbl.find t.buckets c
@@ -57,6 +59,9 @@ let add t c seconds =
 let count_test_case t = t.test_cases <- t.test_cases + 1
 let count_violation t = t.violations <- t.violations + 1
 let count_validation t = t.validations <- t.validations + 1
+let count_fault t f = Fault.Counters.record t.faults f
+let fault_counters t = t.faults
+let fault_counts t = Fault.Counters.to_list t.faults
 
 let total t = Hashtbl.fold (fun _ b acc -> acc +. !b) t.buckets 0.
 let elapsed t = Unix.gettimeofday () -. t.started_at

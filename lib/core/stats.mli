@@ -23,6 +23,12 @@ val add : t -> category -> float -> unit
 val count_test_case : t -> unit
 val count_violation : t -> unit
 val count_validation : t -> unit
+
+val count_fault : t -> Fault.t -> unit
+(** Record one classified fault (discarded round, injected fault, crash). *)
+
+val fault_counters : t -> Fault.Counters.t
+val fault_counts : t -> (Fault.cls * int) list
 val total : t -> float
 val elapsed : t -> float
 val seconds : t -> category -> float

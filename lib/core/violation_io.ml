@@ -56,27 +56,29 @@ let write_input out label (i : Input.t) =
   in
   lines 0
 
+(** Write the sectioned text form of [s] to an open channel (the format
+    {!save} puts in a file; {!Journal} embeds the same blocks). *)
+let output out (s : stored) =
+  Printf.fprintf out "amulet-violation 1\n";
+  Printf.fprintf out "[meta]\n";
+  Printf.fprintf out "defense=%s\n" s.defense_name;
+  Printf.fprintf out "contract=%s\n" s.contract_name;
+  (match s.signature with
+  | Some sig_ -> Printf.fprintf out "signature=%s\n" sig_
+  | None -> ());
+  Printf.fprintf out "[program]\n";
+  (* assembly of the flattened program: one instruction per line with
+     resolved @index targets, re-parseable below *)
+  Array.iter
+    (fun inst -> Printf.fprintf out "%s\n" (Inst.to_string inst))
+    s.program.Program.code;
+  write_input out "input_a" s.input_a;
+  write_input out "input_b" s.input_b
+
 (** Save to [path] (overwrites). *)
 let save (s : stored) path =
   let out = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out out)
-    (fun () ->
-      Printf.fprintf out "amulet-violation 1\n";
-      Printf.fprintf out "[meta]\n";
-      Printf.fprintf out "defense=%s\n" s.defense_name;
-      Printf.fprintf out "contract=%s\n" s.contract_name;
-      (match s.signature with
-      | Some sig_ -> Printf.fprintf out "signature=%s\n" sig_
-      | None -> ());
-      Printf.fprintf out "[program]\n";
-      (* assembly of the flattened program: one instruction per line with
-         resolved @index targets, re-parseable below *)
-      Array.iter
-        (fun inst -> Printf.fprintf out "%s\n" (Inst.to_string inst))
-        s.program.Program.code;
-      write_input out "input_a" s.input_a;
-      write_input out "input_b" s.input_b)
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> output out s)
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -111,9 +113,8 @@ let parse_flat_instruction line =
           | None -> raise (Format_error ("bad branch: " ^ line))
         else raise (Format_error ("bad target line: " ^ line))
 
-(** Load a violation file written by {!save}. *)
-let load path : stored =
-  let lines = In_channel.with_open_text path In_channel.input_lines in
+(** Parse the lines of a violation block as written by {!output}. *)
+let parse (lines : string list) : stored =
   (match lines with
   | magic :: _ when String.length magic >= 16 && String.sub magic 0 16 = "amulet-violation"
     ->
@@ -171,6 +172,90 @@ let load path : stored =
     input_a = { Input.regs = regs_a; mem = bytes_of_hex (Buffer.contents mem_a) };
     input_b = { Input.regs = regs_b; mem = bytes_of_hex (Buffer.contents mem_b) };
     signature = Hashtbl.find_opt meta "signature";
+  }
+
+(** Load a violation file written by {!save}. *)
+let load path : stored =
+  parse (In_channel.with_open_text path In_channel.input_lines)
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine corpus                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mkdir_p dir =
+  let rec go d =
+    if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      (try Sys.mkdir d 0o755 with Sys_error _ -> ())
+    end
+  in
+  go dir
+
+(** Quarantine a misbehaving test case: write the program (and the offending
+    input, when one is identified) plus its classified fault into [dir] for
+    later triage.  Returns the path written. *)
+let save_quarantine ~dir ~seq ~(fault : Fault.t) ~defense_name ~contract_name
+    (program : Program.flat) (input : Input.t option) : string =
+  mkdir_p dir;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "q%04d_%s.amulet" seq (Fault.class_name (Fault.class_of fault)))
+  in
+  let out = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () ->
+      Printf.fprintf out "amulet-quarantine 1\n";
+      Printf.fprintf out "[meta]\n";
+      Printf.fprintf out "defense=%s\n" defense_name;
+      Printf.fprintf out "contract=%s\n" contract_name;
+      Printf.fprintf out "fault=%s\n" (Fault.class_name (Fault.class_of fault));
+      Printf.fprintf out "fault_detail=%s\n" (Fault.to_string fault);
+      Printf.fprintf out "[program]\n";
+      Array.iter
+        (fun inst -> Printf.fprintf out "%s\n" (Inst.to_string inst))
+        program.Program.code;
+      match input with
+      | Some i -> write_input out "input_a" i
+      | None -> ());
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Rehydration (journal resume)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebuild a full {!Violation.t} from its stored form by re-executing both
+    inputs (the stored form omits traces and the microarchitectural
+    context).  Used when resuming a journaled campaign. *)
+let rehydrate ?sim_config (s : stored) : Violation.t =
+  let defense =
+    Option.value (Amulet_defenses.Defense.find s.defense_name)
+      ~default:Amulet_defenses.Defense.baseline
+  in
+  let contract =
+    Option.value
+      (Amulet_contracts.Contract.find s.contract_name)
+      ~default:defense.Amulet_defenses.Defense.contract
+  in
+  let ex =
+    Executor.create ?sim_config ~mode:Executor.Opt defense (Stats.create ())
+  in
+  Executor.start_program ex;
+  let oa = Executor.run_input ex s.program s.input_a in
+  let ob = Executor.run_input ex s.program s.input_b in
+  {
+    Violation.program = s.program;
+    program_text = Format.asprintf "%a" Program.pp_flat s.program;
+    input_a = s.input_a;
+    input_b = s.input_b;
+    trace_a = oa.Executor.trace;
+    trace_b = ob.Executor.trace;
+    context = oa.Executor.context;
+    ctrace_hash = 0L;
+    contract;
+    defense_name = s.defense_name;
+    detection_seconds = 0.;
+    signature = s.signature;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -19,8 +19,33 @@ exception Format_error of string
 val of_violation : Violation.t -> stored
 val save : stored -> string -> unit
 
+val output : out_channel -> stored -> unit
+(** Write the sectioned text block {!save} puts in a file ({!Journal}
+    embeds the same blocks in campaign checkpoints). *)
+
 val load : string -> stored
 (** Raises {!Format_error} on malformed input. *)
+
+val parse : string list -> stored
+(** Parse the lines of one {!output} block.  Raises {!Format_error}. *)
+
+val mkdir_p : string -> unit
+
+val save_quarantine :
+  dir:string ->
+  seq:int ->
+  fault:Fault.t ->
+  defense_name:string ->
+  contract_name:string ->
+  Program.flat ->
+  Input.t option ->
+  string
+(** Quarantine a misbehaving test case (program, offending input if known,
+    classified fault) into [dir] for later triage; returns the path. *)
+
+val rehydrate : ?sim_config:Amulet_uarch.Config.t -> stored -> Violation.t
+(** Rebuild a full violation by re-executing both inputs (used when resuming
+    a journaled campaign; traces and context are re-derived). *)
 
 type reanalysis = {
   reproduced : bool;

@@ -197,7 +197,7 @@ let test_executor_naive_vs_opt_equivalent_results () =
       let ex = Executor.create ~boot_insts:200 ~mode Defense.baseline (Stats.create ()) in
       Executor.start_program ex;
       let o = Executor.run_input ex flat input in
-      Alcotest.(check (option string)) "no fault" None o.Executor.run_fault)
+      Alcotest.(check (option string)) "no fault" None (Option.map Fault.to_string o.Executor.run_fault))
     [ Executor.Naive; Executor.Opt ]
 
 let test_stats_accounting () =
@@ -225,7 +225,7 @@ let test_fuzzer_finds_spectre_in_crafted_program () =
       checkb "traces differ" false (Utrace.equal v.Violation.trace_a v.Violation.trace_b);
       checkb "ctrace hash recorded" true (not (Int64.equal v.Violation.ctrace_hash 0L))
   | Fuzzer.No_violation _ -> Alcotest.fail "expected a violation"
-  | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" r
+  | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_fuzzer_clean_on_straightline_code () =
   (* no speculation sources: no violations possible *)
@@ -243,7 +243,7 @@ let test_fuzzer_clean_on_straightline_code () =
   match Fuzzer.test_program fz (Program.flatten (Asm.parse src)) with
   | Fuzzer.No_violation _ -> ()
   | Fuzzer.Found _ -> Alcotest.fail "straight-line code cannot violate CT-SEQ"
-  | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" r
+  | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_campaign_counters () =
   let r =
@@ -304,7 +304,7 @@ let test_fuzzer_naive_mode_also_finds () =
       (* naive mode starts from clean caches: install-visible leaks only;
          this crafted program leaks via installs, so it must be found *)
       Alcotest.fail "naive executor missed the install-visible leak"
-  | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" r
+  | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_campaign_stop_after () =
   let r =

@@ -1,0 +1,328 @@
+(* Robustness self-tests for the campaign supervision layer: chaos
+   injection, per-round deadlines, quarantine, crash-safe journaling with
+   resume, and fault-isolated parallel campaigns. *)
+
+open Amulet
+open Amulet_defenses
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let small_fuzzer =
+  {
+    Fuzzer.default_config with
+    Fuzzer.n_base_inputs = 4;
+    boosts_per_input = 2;
+    boot_insts = 200;
+  }
+
+(* a fresh path that does not exist yet (the fuzzer mkdir_p's it) *)
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault taxonomy                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_classification () =
+  let check_class want s =
+    Alcotest.check Alcotest.string "classified" (Fault.class_name want)
+      (Fault.class_name (Fault.class_of (Fault.of_run_fault s)))
+  in
+  check_class Fault.C_fuel_exhausted "pipeline deadlock";
+  check_class Fault.C_fuel_exhausted "cycle limit exceeded";
+  check_class Fault.C_fuel_exhausted "step limit exceeded";
+  check_class Fault.C_emu_fault "control flow escaped code region at index 3";
+  checkb "exn classification: injected" true
+    (Fault.class_of (Fault.of_exn (Fault.Injected_crash "x")) = Fault.C_injected);
+  checkb "exn classification: crash" true
+    (Fault.class_of (Fault.of_exn Not_found) = Fault.C_instance_crash);
+  (* class names round-trip (the journal serializes them) *)
+  List.iter
+    (fun c ->
+      checkb (Fault.class_name c ^ " round-trips") true
+        (Fault.class_of_name (Fault.class_name c) = Some c))
+    Fault.all_classes
+
+let test_fault_counters () =
+  let c = Fault.Counters.create () in
+  Fault.Counters.record c Fault.Empty_population;
+  Fault.Counters.record c Fault.Empty_population;
+  Fault.Counters.record c (Fault.Injected "x");
+  checki "total" 3 (Fault.Counters.total c);
+  checki "per class" 2 (Fault.Counters.get c Fault.C_empty_population);
+  let d = Fault.Counters.create () in
+  Fault.Counters.add_list d (Fault.Counters.to_list c);
+  Fault.Counters.merge d c;
+  checki "merged total" 6 (Fault.Counters.total d)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: a campaign with injected crashes/timeouts/faults survives    *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_campaign_survives () =
+  let qdir = temp_dir "amulet-quarantine" in
+  (* p = 0.02 per test case for each of crash/timeout/sim-fault: with ~12
+     test cases per round, well over 5% of the 50 rounds misbehave *)
+  let chaos = Fault.injector ~p_crash:0.02 ~p_timeout:0.02 ~p_sim_fault:0.02 ~seed:99 () in
+  let cfg =
+    {
+      Campaign.n_programs = 50;
+      stop_after_violations = None;
+      seed = 11;
+      classify = false;
+      fuzzer =
+        { small_fuzzer with Fuzzer.chaos = Some chaos; quarantine_dir = Some qdir };
+    }
+  in
+  (* zero uncaught exceptions: this call returning IS the property *)
+  let r = Campaign.run cfg Defense.baseline in
+  checki "all 50 rounds completed" 50 r.Campaign.programs_run;
+  checkb "some rounds were discarded" true (r.Campaign.discarded_programs > 0);
+  (* every discarded round was classified: per-class counts add up *)
+  let total_faults =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 r.Campaign.fault_counts
+  in
+  checki "fault counts match discards" r.Campaign.discarded_programs total_faults;
+  checkb "injected faults were counted" true
+    (List.mem_assoc Fault.C_injected r.Campaign.fault_counts
+    || List.mem_assoc Fault.C_deadline_exceeded r.Campaign.fault_counts
+    || List.mem_assoc Fault.C_instance_crash r.Campaign.fault_counts);
+  (* quarantine corpus holds the evidence *)
+  checkb "quarantine corpus non-empty" true
+    (Sys.file_exists qdir && Array.length (Sys.readdir qdir) > 0);
+  checki "quarantined counter matches corpus" r.Campaign.quarantined
+    (Array.length (Sys.readdir qdir));
+  rm_rf qdir
+
+let test_deadline_degrades_to_discard () =
+  let cfg =
+    {
+      Campaign.n_programs = 5;
+      stop_after_violations = None;
+      seed = 3;
+      classify = false;
+      fuzzer = { small_fuzzer with Fuzzer.deadline_ms = Some 0. };
+    }
+  in
+  let r = Campaign.run cfg Defense.baseline in
+  checki "all rounds ran" 5 r.Campaign.programs_run;
+  checki "all rounds discarded" 5 r.Campaign.discarded_programs;
+  checki "all classified as deadline" 5
+    (Option.value
+       (List.assoc_opt Fault.C_deadline_exceeded r.Campaign.fault_counts)
+       ~default:0)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel supervision: one crashing instance loses nothing else      *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_survives_crashing_instance () =
+  let n_programs = 3 in
+  let cfg =
+    {
+      Campaign.n_programs;
+      stop_after_violations = None;
+      seed = 5;
+      classify = false;
+      fuzzer = small_fuzzer;
+    }
+  in
+  (* instance 0 crashes on its first test case (isolation off, so the
+     injected crash escapes the round and kills the whole domain — the
+     regression this guards: Domain.join used to rethrow and drop every
+     healthy instance's results) *)
+  let crashing =
+    {
+      cfg with
+      Campaign.fuzzer =
+        {
+          small_fuzzer with
+          Fuzzer.isolate_rounds = false;
+          chaos = Some (Fault.injector ~p_crash:1.0 ~seed:1 ());
+        };
+    }
+  in
+  let instance_cfg i =
+    if i = 0 then crashing else { cfg with Campaign.seed = cfg.seed + (i * 7919) }
+  in
+  let r =
+    Campaign.run_parallel ~instances:3 ~retries:0 ~instance_cfg cfg Defense.baseline
+  in
+  checki "survivors' programs merged" (2 * n_programs) r.Campaign.programs_run;
+  checkb "test cases from survivors" true (r.Campaign.test_cases > 0);
+  checki "crash recorded in fault counts" 1
+    (Option.value
+       (List.assoc_opt Fault.C_instance_crash r.Campaign.fault_counts)
+       ~default:0)
+
+let test_parallel_retry_recovers () =
+  (* every instance crashes on attempt 0 and 1 seeds?  No — chaos draws are
+     per-test-case from the injector seed, so a p=1 injector crashes every
+     attempt.  Instead: healthy instances with retries simply succeed. *)
+  let cfg =
+    {
+      Campaign.n_programs = 2;
+      stop_after_violations = None;
+      seed = 8;
+      classify = false;
+      fuzzer = small_fuzzer;
+    }
+  in
+  let r = Campaign.run_parallel ~instances:2 ~retries:2 cfg Defense.baseline in
+  checki "both instances completed" 4 r.Campaign.programs_run
+
+let test_parallel_all_crash_raises () =
+  let crashing =
+    {
+      Campaign.n_programs = 2;
+      stop_after_violations = None;
+      seed = 5;
+      classify = false;
+      fuzzer =
+        {
+          small_fuzzer with
+          Fuzzer.isolate_rounds = false;
+          chaos = Some (Fault.injector ~p_crash:1.0 ~seed:1 ());
+        };
+    }
+  in
+  match
+    Campaign.run_parallel ~instances:2 ~retries:1 ~instance_cfg:(fun _ -> crashing)
+      crashing Defense.baseline
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure when every instance crashes"
+
+(* ------------------------------------------------------------------ *)
+(* Journaling: roundtrip, atomicity, resume determinism                *)
+(* ------------------------------------------------------------------ *)
+
+let find_violation defense =
+  let fz =
+    Fuzzer.create
+      ~cfg:
+        {
+          Fuzzer.default_config with
+          Fuzzer.n_base_inputs = 8;
+          boosts_per_input = 5;
+          boot_insts = 300;
+        }
+      ~seed:17 defense
+  in
+  let rec go n =
+    if n = 0 then Alcotest.fail "no violation found"
+    else match Fuzzer.round fz with Fuzzer.Found v -> v | _ -> go (n - 1)
+  in
+  go 20
+
+let test_journal_roundtrip () =
+  let v = find_violation Defense.speclfb in
+  let j =
+    {
+      Journal.seed = 7;
+      n_programs = 40;
+      defense_name = "speclfb";
+      contract_name = "CT-SEQ";
+      programs_run = 13;
+      discarded = 2;
+      test_cases = 421;
+      fault_counts = [ (Fault.C_emu_fault, 1); (Fault.C_deadline_exceeded, 1) ];
+      detection_times = [ 0.5; 1.25 ];
+      violations = [ Violation_io.of_violation v ];
+    }
+  in
+  let path = Filename.temp_file "amulet" ".journal" in
+  Journal.save j path;
+  let l = Journal.load path in
+  Sys.remove path;
+  checki "seed" j.Journal.seed l.Journal.seed;
+  checki "n_programs" j.Journal.n_programs l.Journal.n_programs;
+  checki "programs_run" j.Journal.programs_run l.Journal.programs_run;
+  checki "discarded" j.Journal.discarded l.Journal.discarded;
+  checki "test_cases" j.Journal.test_cases l.Journal.test_cases;
+  checkb "fault counts survive" true (l.Journal.fault_counts = j.Journal.fault_counts);
+  checki "detection times survive" 2 (List.length l.Journal.detection_times);
+  checki "violations survive" 1 (List.length l.Journal.violations);
+  let sv = List.hd l.Journal.violations in
+  checkb "violation program survives" true
+    (sv.Violation_io.program.Amulet_isa.Program.code
+    = v.Violation.program.Amulet_isa.Program.code);
+  checkb "violation inputs survive" true
+    (Input.equal sv.Violation_io.input_a v.Violation.input_a)
+
+let test_journal_rejects_garbage () =
+  let path = Filename.temp_file "amulet" ".journal" in
+  Out_channel.with_open_text path (fun oc -> output_string oc "not a journal\n");
+  (match Journal.load path with
+  | exception Journal.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected Format_error");
+  Sys.remove path
+
+let test_checkpoint_resume_determinism () =
+  let mk n =
+    {
+      Campaign.n_programs = n;
+      stop_after_violations = None;
+      seed = 2024;
+      classify = false;
+      fuzzer = small_fuzzer;
+    }
+  in
+  (* the reference: one uninterrupted 10-round campaign *)
+  let full = Campaign.run (mk 10) Defense.baseline in
+  (* the "killed" campaign: 4 rounds under a journal (as if killed at the
+     round-4 checkpoint), then resumed to the full 10 *)
+  let path = Filename.temp_file "amulet" ".journal" in
+  ignore (Campaign.run ~journal_path:path ~checkpoint_every:1 (mk 4) Defense.baseline);
+  let j = Journal.load path in
+  checki "journal saw 4 rounds" 4 j.Journal.programs_run;
+  let resumed = Campaign.run ~journal_path:path ~resume:j (mk 10) Defense.baseline in
+  Sys.remove path;
+  checki "same programs_run" full.Campaign.programs_run resumed.Campaign.programs_run;
+  checki "same violation count"
+    (List.length full.Campaign.violations)
+    (List.length resumed.Campaign.violations);
+  checki "same test cases" full.Campaign.test_cases resumed.Campaign.test_cases;
+  checki "same discards" full.Campaign.discarded_programs
+    resumed.Campaign.discarded_programs
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "fault",
+        [
+          Alcotest.test_case "classification" `Quick test_fault_classification;
+          Alcotest.test_case "counters" `Quick test_fault_counters;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "campaign survives injection" `Slow
+            test_chaos_campaign_survives;
+          Alcotest.test_case "deadline degrades to discard" `Quick
+            test_deadline_degrades_to_discard;
+        ] );
+      ( "parallel-supervision",
+        [
+          Alcotest.test_case "crashing instance keeps survivors" `Slow
+            test_parallel_survives_crashing_instance;
+          Alcotest.test_case "healthy instances with retries" `Slow
+            test_parallel_retry_recovers;
+          Alcotest.test_case "all-crash raises" `Slow test_parallel_all_crash_raises;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Slow test_journal_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_journal_rejects_garbage;
+          Alcotest.test_case "checkpoint/resume determinism" `Slow
+            test_checkpoint_resume_determinism;
+        ] );
+    ]
