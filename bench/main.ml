@@ -387,13 +387,15 @@ let show_reproducer ?(side_by_side = false) title (r : Reproducers.t) =
             r.Reproducers.defense (Stats.create ())
         in
         Executor.start_program ex;
-        let _, ea =
-          Executor.run_input_logged ex v.Violation.program v.Violation.input_a
-            v.Violation.context
+        let ea =
+          (Executor.run ex ~context:v.Violation.context ~log:true
+             v.Violation.program v.Violation.input_a)
+            .Executor.events
         in
-        let _, eb =
-          Executor.run_input_logged ex v.Violation.program v.Violation.input_b
-            v.Violation.context
+        let eb =
+          (Executor.run ex ~context:v.Violation.context ~log:true
+             v.Violation.program v.Violation.input_b)
+            .Executor.events
         in
         Format.printf "--- operation sequences, side by side ---@.%a@."
           (fun f () -> Analysis.pp_side_by_side f ea eb)
@@ -614,25 +616,156 @@ let extension_robustness () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Throughput: naive (rebuild) vs pooled (snapshot/restore) engine     *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine-level reproduction of the paper's executor speedup (§3.1):
+   batch all boosted inputs of a test case against a warm simulator and
+   rewind a post-boot checkpoint instead of re-booting.  Emits
+   BENCH_throughput.json (path overridable via AMULET_BENCH_JSON) and
+   exits non-zero if the two engines' traces ever diverge. *)
+
+let throughput () =
+  section "Throughput: naive (rebuild) vs pooled (snapshot/restore) engine";
+  let boot = Amulet_uarch.Simulator.default_boot_insts in
+  let programs = scale 4 and n_inputs = 16 in
+  let rng = Rng.create ~seed:2025 in
+  let cases =
+    Array.init programs (fun _ ->
+        let flat = Generator.generate_flat rng in
+        let inputs = Array.init n_inputs (fun _ -> Input.generate rng ~pages:1) in
+        (flat, inputs))
+  in
+  (* run every case through one engine; the timed region includes warm-up
+     so the pooled engine is charged its single boot *)
+  let measure kind mode =
+    let eng =
+      Engine.create ~boot_insts:boot ~kind ~mode Defense.baseline (Stats.create ())
+    in
+    let t0 = Unix.gettimeofday () in
+    Engine.warm eng;
+    let traces =
+      Array.map
+        (fun (flat, inputs) ->
+          Array.map
+            (Option.map (fun (o : Executor.outcome) -> o.Executor.trace))
+            (Engine.run_batch eng flat inputs).Engine.outcomes)
+        cases
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (Engine.stats eng, dt, traces)
+  in
+  let traces_identical a b =
+    try
+      Array.for_all2
+        (Array.for_all2 (fun x y ->
+             match (x, y) with
+             | Some x, Some y -> Utrace.equal x y
+             | None, None -> true
+             | _ -> false))
+        a b
+    with Invalid_argument _ -> false
+  in
+  (* headline: Naive testing semantics (pristine state per input), where the
+     executor pays a full warm boot per input unless it can rewind *)
+  let s_naive, t_naive, tr_naive = measure Engine.Naive Executor.Naive in
+  let s_pooled, t_pooled, tr_pooled = measure Engine.Pooled Executor.Naive in
+  let identical = traces_identical tr_naive tr_pooled in
+  (* secondary: Opt semantics (one simulator per program), where pooling
+     only replaces the per-program rebuild *)
+  let _, t_naive_opt, tr_no = measure Engine.Naive Executor.Opt in
+  let _, t_pooled_opt, tr_po = measure Engine.Pooled Executor.Opt in
+  let identical_opt = traces_identical tr_no tr_po in
+  let inputs_total = programs * n_inputs in
+  let per t = (float_of_int programs /. t, float_of_int inputs_total /. t) in
+  let tps_n, ips_n = per t_naive and tps_p, ips_p = per t_pooled in
+  let speedup = ips_p /. ips_n in
+  let speedup_opt = t_naive_opt /. t_pooled_opt in
+  Format.printf "%-28s %10s %12s %12s %8s %9s@." "engine (Naive semantics)"
+    "seconds" "tests/sec" "inputs/sec" "boots" "rewinds";
+  let row name t (s : Engine.stats) tps ips =
+    Format.printf "%-28s %10.3f %12.1f %12.1f %8d %9d@." name t tps ips
+      s.Engine.sims_created s.Engine.snapshot_restores
+  in
+  row "naive (rebuild)" t_naive s_naive tps_n ips_n;
+  row "pooled (snapshot/restore)" t_pooled s_pooled tps_p ips_p;
+  Format.printf "speedup (inputs/sec): %.2fx   Opt-semantics speedup: %.2fx@."
+    speedup speedup_opt;
+  (* checkpoint cost: what one snapshot and one rewind of the post-boot
+     microarchitectural state cost in isolation *)
+  let sim = Amulet_uarch.Simulator.create ~boot_insts:boot ~pages:1
+      Amulet_uarch.Config.default in
+  let reps = 200 in
+  let time_us f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do f () done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
+  in
+  let snapshot_us = time_us (fun () -> ignore (Amulet_uarch.Simulator.snapshot sim)) in
+  let snap = Amulet_uarch.Simulator.snapshot sim in
+  let restore_us = time_us (fun () -> Amulet_uarch.Simulator.restore sim snap) in
+  let t0 = Unix.gettimeofday () in
+  let boots = 5 in
+  for _ = 1 to boots do
+    ignore (Amulet_uarch.Simulator.create ~boot_insts:boot ~pages:1
+              Amulet_uarch.Config.default)
+  done;
+  let boot_us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int boots in
+  Format.printf "snapshot: %.1f us   restore: %.1f us   warm boot: %.1f us@."
+    snapshot_us restore_us boot_us;
+  if not (identical && identical_opt) then
+    Format.printf "ERROR: pooled and naive engine traces DIVERGED@."
+  else Format.printf "traces: pooled and naive byte-identical across %d inputs@."
+      (2 * inputs_total);
+  let json_path =
+    Option.value (Sys.getenv_opt "AMULET_BENCH_JSON") ~default:"BENCH_throughput.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"bench\":\"throughput\",\"boot_insts\":%d,\"programs\":%d,\
+     \"inputs_per_program\":%d,\
+     \"naive\":{\"seconds\":%.4f,\"tests_per_sec\":%.2f,\"inputs_per_sec\":%.2f,\
+     \"sims_created\":%d,\"snapshot_restores\":%d},\
+     \"pooled\":{\"seconds\":%.4f,\"tests_per_sec\":%.2f,\"inputs_per_sec\":%.2f,\
+     \"sims_created\":%d,\"snapshot_restores\":%d},\
+     \"speedup\":%.3f,\"opt_mode_speedup\":%.3f,\
+     \"snapshot_us\":%.2f,\"restore_us\":%.2f,\"warm_boot_us\":%.2f,\
+     \"traces_identical\":%b}\n"
+    boot programs n_inputs t_naive tps_n ips_n s_naive.Engine.sims_created
+    s_naive.Engine.snapshot_restores t_pooled tps_p ips_p
+    s_pooled.Engine.sims_created s_pooled.Engine.snapshot_restores speedup
+    speedup_opt snapshot_us restore_us boot_us (identical && identical_opt);
+  close_out oc;
+  Format.printf "wrote %s@." json_path;
+  if not (identical && identical_opt) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Format.printf "%s@.AMuLeT evaluation harness%s@.%s@." hline
-    (if full then " (AMULET_BENCH_FULL)" else " (scaled budgets)")
-    hline;
-  table1 ();
-  microbench ();
-  table2 ();
-  table3 ();
-  table4 ();
-  table5 ();
-  table6 ();
-  table8 ();
-  figures ();
-  table11 ();
-  extension_ghostminion ();
-  extension_prefetcher ();
-  extension_parallel ();
-  extension_robustness ();
-  Format.printf "@.%s@.done.@." hline
+  match Sys.getenv_opt "AMULET_BENCH_ONLY" with
+  | Some "throughput" -> throughput ()
+  | Some s ->
+      Format.eprintf "unknown AMULET_BENCH_ONLY section %S (try: throughput)@." s;
+      exit 2
+  | None ->
+      Format.printf "%s@.AMuLeT evaluation harness%s@.%s@." hline
+        (if full then " (AMULET_BENCH_FULL)" else " (scaled budgets)")
+        hline;
+      table1 ();
+      microbench ();
+      table2 ();
+      table3 ();
+      table4 ();
+      table5 ();
+      table6 ();
+      table8 ();
+      figures ();
+      table11 ();
+      throughput ();
+      extension_ghostminion ();
+      extension_prefetcher ();
+      extension_parallel ();
+      extension_robustness ();
+      Format.printf "@.%s@.done.@." hline

@@ -75,6 +75,17 @@ let fuzz_cmd =
       & opt (enum [ "opt", Executor.Opt; "naive", Executor.Naive ]) Executor.Opt
       & info [ "mode" ] ~doc:"Executor mode: $(b,opt) amortizes simulator startup.")
   in
+  let engine =
+    Arg.(
+      value
+      & opt (enum [ "pooled", Engine.Pooled; "naive", Engine.Naive ]) Engine.Pooled
+      & info [ "engine" ]
+          ~doc:
+            "Execution engine: $(b,pooled) boots one simulator and rewinds a \
+             post-boot checkpoint per test case; $(b,naive) rebuilds the \
+             simulator whenever pristine state is needed.  Trace-invisible — \
+             an escape hatch for A/B-ing the pooled path.")
+  in
   let fmt_ =
     Arg.(
       value & opt format_arg Utrace.L1d_tlb
@@ -165,8 +176,8 @@ let fuzz_cmd =
              test case with probability P each (so ~3P of rounds misbehave); \
              the campaign must classify and survive all of them.")
   in
-  let run defense programs inputs boosts mode fmt_ contract ways mshrs stop seed
-      unaligned parallel prefetcher save_dir deadline_ms quarantine_dir journal
+  let run defense programs inputs boosts mode engine fmt_ contract ways mshrs stop
+      seed unaligned parallel prefetcher save_dir deadline_ms quarantine_dir journal
       resume checkpoint_every chaos =
     let sim_config =
       match ways, mshrs, prefetcher with
@@ -222,6 +233,7 @@ let fuzz_cmd =
             Fuzzer.n_base_inputs = inputs;
             boosts_per_input = boosts;
             executor_mode = mode;
+            engine;
             trace_format = fmt_;
             contract;
             sim_config;
@@ -233,12 +245,14 @@ let fuzz_cmd =
           };
       }
     in
-    Format.printf "fuzzing %s (%s contract, %s traces, %s executor, seed %d)...@."
+    Format.printf
+      "fuzzing %s (%s contract, %s traces, %s executor, %s engine, seed %d)...@."
       defense.Defense.name
       (match contract with
       | Some c -> c.Amulet_contracts.Contract.name
       | None -> defense.Defense.contract.Amulet_contracts.Contract.name)
-      (Utrace.format_name fmt_) (Executor.mode_name mode) seed;
+      (Utrace.format_name fmt_) (Executor.mode_name mode) (Engine.kind_name engine)
+      seed;
     (match resume_journal with
     | Some j ->
         Format.printf "resuming from checkpoint: %d/%d rounds done, %d violation(s)@."
@@ -280,7 +294,7 @@ let fuzz_cmd =
   in
   let term =
     Term.(
-      const run $ defense_t $ programs $ inputs $ boosts $ mode $ fmt_ $ contract $ ways
+      const run $ defense_t $ programs $ inputs $ boosts $ mode $ engine $ fmt_ $ contract $ ways
       $ mshrs $ stop $ seed_t $ unaligned $ parallel $ prefetcher $ save_dir
       $ deadline_ms $ quarantine_dir $ journal $ resume $ checkpoint_every $ chaos)
   in
@@ -347,10 +361,11 @@ let run_cmd =
     let stats = Stats.create () in
     let ex = Executor.create ~boot_insts:1000 ~mode:Executor.Opt defense stats in
     Executor.start_program ex;
-    let outcome, events =
-      let o = Executor.run_input ex flat input in
-      Executor.run_input_logged ex flat input o.Executor.context
+    let outcome =
+      let o = Executor.run ex flat input in
+      Executor.run ex ~context:o.Executor.context ~log:true flat input
     in
+    let events = outcome.Executor.events in
     Format.printf "--- input ---@.%a@." Input.pp input;
     Format.printf "--- run: %d cycles%s ---@." outcome.Executor.cycles
       (match outcome.Executor.run_fault with

@@ -29,13 +29,15 @@ let () =
         Executor.create ~boot_insts:1000 ~mode:Executor.Opt defense (Stats.create ())
       in
       Executor.start_program ex;
-      let _, events_a =
-        Executor.run_input_logged ex v.Violation.program v.Violation.input_a
-          v.Violation.context
+      let events_a =
+        (Executor.run ex ~context:v.Violation.context ~log:true
+           v.Violation.program v.Violation.input_a)
+          .Executor.events
       in
-      let _, events_b =
-        Executor.run_input_logged ex v.Violation.program v.Violation.input_b
-          v.Violation.context
+      let events_b =
+        (Executor.run ex ~context:v.Violation.context ~log:true
+           v.Violation.program v.Violation.input_b)
+          .Executor.events
       in
       (* Step 2: side-by-side comparison of memory operations (the layout of
          the paper's Tables 9 and 10; differing rows are starred). *)

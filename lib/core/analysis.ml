@@ -186,13 +186,15 @@ let classify ~(defense : Amulet_defenses.Defense.t) (events_a : Event.t list)
 (** Classify by re-running the violating pair with logging enabled.  Also
     fills in [v.signature]. *)
 let classify_violation (executor : Executor.t) (v : Violation.t) : leak_class =
-  let _, events_a =
-    Executor.run_input_logged executor v.Violation.program v.Violation.input_a
-      v.Violation.context
+  let events_a =
+    (Executor.run executor ~context:v.Violation.context ~log:true
+       v.Violation.program v.Violation.input_a)
+      .Executor.events
   in
-  let _, events_b =
-    Executor.run_input_logged executor v.Violation.program v.Violation.input_b
-      v.Violation.context
+  let events_b =
+    (Executor.run executor ~context:v.Violation.context ~log:true
+       v.Violation.program v.Violation.input_b)
+      .Executor.events
   in
   let defense =
     match Amulet_defenses.Defense.find v.Violation.defense_name with

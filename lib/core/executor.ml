@@ -1,16 +1,27 @@
 (** The executor: runs test cases on the simulator implementing the
     countermeasure under test and extracts microarchitectural traces.
 
-    Two modes, mirroring the paper's §3.2 (C3):
-    - [Naive] builds a fresh simulator — paying the full startup cost,
-      including the synthetic warm boot — for {e every input}, and starts
-      from a clean cache;
-    - [Opt] builds one simulator per {e program}, overwrites registers and
+    Two orthogonal axes:
+
+    {b Mode} mirrors the paper's §3.2 (C3) and fixes the {e testing
+    semantics}:
+    - [Naive] starts {e every input} from pristine post-boot state (clean
+      caches, reset predictors);
+    - [Opt] reuses one simulator per {e program}, overwrites registers and
       memory in place between inputs, and primes the L1D before each input
       (filling every set with out-of-sandbox lines, or flushing, per the
       defense's harness style).  Predictor state persists across inputs,
       which widens prediction variety but requires violation validation
-      (see {!Fuzzer}). *)
+      (see {!Fuzzer}).
+
+    {b Backend} fixes the {e implementation strategy} for reaching that
+    state and is trace-invisible:
+    - [Rebuild] reconstructs the simulator (paying the full startup cost,
+      including the synthetic warm boot) whenever pristine state is needed;
+    - [Pool] builds the simulator once, checkpoints the post-boot state
+      with {!Simulator.snapshot}, and rewinds with {!Simulator.restore} —
+      the pooled engine's warm-state reuse, byte-identical to [Rebuild]
+      because the checkpoint captures exactly what a fresh boot produces. *)
 
 open Amulet_uarch
 open Amulet_defenses
@@ -19,15 +30,23 @@ type mode = Naive | Opt
 
 let mode_name = function Naive -> "naive" | Opt -> "opt"
 
+type backend = Rebuild | Pool
+
+let backend_name = function Rebuild -> "rebuild" | Pool -> "pool"
+
 type t = {
   defense : Defense.t;
   sim_config : Config.t;
   mode : mode;
+  backend : backend;
   format : Utrace.format;
   stats : Stats.t;
   boot_insts : int;
   chaos : Fault.chaos option;
   mutable sim : Simulator.t option;
+  mutable boot_snapshot : Simulator.snapshot option;
+  mutable sims_created : int;
+  mutable restores : int;
 }
 
 type outcome = {
@@ -35,35 +54,83 @@ type outcome = {
   context : Simulator.context;  (** predictor state before the run *)
   run_fault : Fault.t option;
   cycles : int;
+  events : Event.t list;  (** debug log of the run; [[]] unless [?log] *)
 }
 
 let create ?(boot_insts = Simulator.default_boot_insts) ?(format = Utrace.L1d_tlb)
-    ?sim_config ?chaos ~mode (defense : Defense.t) (stats : Stats.t) =
+    ?sim_config ?chaos ?(backend = Pool) ~mode (defense : Defense.t)
+    (stats : Stats.t) =
   let sim_config =
     match sim_config with Some c -> c | None -> Defense.config defense
   in
   let chaos = Option.map Fault.arm chaos in
-  { defense; sim_config; mode; format; stats; boot_insts; chaos; sim = None }
+  {
+    defense;
+    sim_config;
+    mode;
+    backend;
+    format;
+    stats;
+    boot_insts;
+    chaos;
+    sim = None;
+    boot_snapshot = None;
+    sims_created = 0;
+    restores = 0;
+  }
+
+let mode t = t.mode
+let backend t = t.backend
+let sims_created t = t.sims_created
+let restores t = t.restores
 
 let fresh_simulator t =
+  t.sims_created <- t.sims_created + 1;
   Stats.time t.stats Stats.Sim_startup (fun () ->
       Simulator.create ~boot_insts:t.boot_insts
         ~pages:t.defense.Defense.sandbox_pages t.sim_config)
 
-(** Begin a new test program.  In [Opt] mode this is the only point that
-    pays the simulator startup cost. *)
-let start_program t =
-  match t.mode with
-  | Opt -> t.sim <- Some (fresh_simulator t)
-  | Naive -> t.sim <- None
+(* Rewind the pool simulator to its post-boot checkpoint (building it, and
+   the checkpoint, on first use).  Equivalent to [fresh_simulator] without
+   re-running the boot workload. *)
+let pooled_sim t =
+  match t.sim, t.boot_snapshot with
+  | Some sim, Some snap ->
+      Stats.time t.stats Stats.Sim_startup (fun () -> Simulator.restore sim snap);
+      t.restores <- t.restores + 1;
+      sim
+  | _ ->
+      let sim = fresh_simulator t in
+      t.sim <- Some sim;
+      t.boot_snapshot <- Some (Simulator.snapshot sim);
+      sim
 
+(** Begin a new test program.  This is where [Opt] mode pays for pristine
+    state: a simulator rebuild ([Rebuild]) or a checkpoint rewind ([Pool]).
+    [Naive] mode re-pristines per input instead. *)
+let start_program t =
+  match t.mode, t.backend with
+  | Opt, Rebuild -> t.sim <- Some (fresh_simulator t)
+  | Opt, Pool -> ignore (pooled_sim t)
+  | Naive, Rebuild -> t.sim <- None
+  | Naive, Pool -> ()
+
+(* Current simulator without rewinding it (context reruns restore their own
+   microarchitectural state, so pristine boot state is not needed). *)
 let get_sim t =
   match t.sim with
   | Some s -> s
-  | None ->
-      let s = fresh_simulator t in
-      t.sim <- Some s;
-      s
+  | None -> (
+      match t.backend with
+      | Pool -> pooled_sim t
+      | Rebuild ->
+          let s = fresh_simulator t in
+          t.sim <- Some s;
+          s)
+
+(** Pre-build the pooled simulator and its checkpoint so the first test case
+    doesn't pay the boot cost ([Rebuild]: no-op). *)
+let warm t = match t.backend with Pool -> ignore (get_sim t) | Rebuild -> ()
 
 let extract_trace t sim =
   Stats.time t.stats Stats.Utrace_extraction (fun () ->
@@ -117,37 +184,10 @@ let run_loaded t sim flat (input : Input.t) =
     | Some _ as injected -> injected
     | None -> Option.map Fault.of_run_fault stats_run.Simulator.fault
   in
-  { trace; context; run_fault; cycles = stats_run.cycles }
+  { trace; context; run_fault; cycles = stats_run.cycles; events = [] }
 
-(** Execute one test case (program, input) and produce its trace. *)
-let run_input t flat (input : Input.t) =
-  match t.mode with
-  | Naive ->
-      (* fresh simulator per input; clean caches; no fill priming *)
-      let sim = fresh_simulator t in
-      t.sim <- Some sim;
-      Simulator.prime_with_flush sim;
-      run_loaded t sim flat input
-  | Opt ->
-      let sim = get_sim t in
-      prime t sim;
-      run_loaded t sim flat input
-
-(** Validation rerun (§3.2): execute [input] from an exactly reproduced
-    microarchitectural starting context (predictors, caches, TLB as
-    snapshotted just before some earlier run) so any remaining trace
-    difference between two inputs is caused by the inputs alone. *)
-let run_input_with_context t flat (input : Input.t) (context : Simulator.context) =
-  let sim = get_sim t in
-  Stats.count_validation t.stats;
-  Simulator.restore_context sim context;
-  (run_loaded t sim flat input).trace
-
-(** Re-run an input with debug logging enabled and return the event log
-    (root-cause analysis path). *)
-let run_input_logged t flat (input : Input.t) (context : Simulator.context) =
-  let sim = get_sim t in
-  Simulator.restore_context sim context;
+(* As [run_loaded], with the debug event log enabled for the run. *)
+let run_logged t sim flat input =
   let log = Simulator.log sim in
   Event.clear log;
   Event.set_enabled log true;
@@ -155,4 +195,57 @@ let run_input_logged t flat (input : Input.t) (context : Simulator.context) =
   Event.set_enabled log false;
   let events = Event.events log in
   Event.clear log;
-  outcome, events
+  { outcome with events }
+
+(** Execute one test case (program, input) and produce its trace.
+
+    Without [?context]: a fresh run under the executor's mode ([Naive]
+    rewinds/rebuilds to pristine state and flushes; [Opt] reuses the
+    program's simulator and primes).
+
+    With [?context]: a validation rerun (§3.2) from an exactly reproduced
+    microarchitectural starting context (predictors, caches, TLB as
+    snapshotted just before some earlier run), so any remaining trace
+    difference between two inputs is caused by the inputs alone.
+
+    [?log] enables the debug event log for this run and fills
+    [outcome.events] (root-cause analysis path). *)
+let run t ?context ?(log = false) flat (input : Input.t) =
+  let runner = if log then run_logged else run_loaded in
+  match context with
+  | Some ctx ->
+      let sim = get_sim t in
+      if not log then Stats.count_validation t.stats;
+      Simulator.restore_context sim ctx;
+      runner t sim flat input
+  | None -> (
+      match t.mode with
+      | Naive ->
+          (* pristine post-boot state per input; clean caches; no fills *)
+          let sim =
+            match t.backend with
+            | Pool -> pooled_sim t
+            | Rebuild ->
+                let sim = fresh_simulator t in
+                t.sim <- Some sim;
+                sim
+          in
+          Simulator.prime_with_flush sim;
+          runner t sim flat input
+      | Opt ->
+          let sim = get_sim t in
+          prime t sim;
+          runner t sim flat input)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated wrappers (kept for one release; use {!run})              *)
+(* ------------------------------------------------------------------ *)
+
+let run_input t flat input = run t flat input
+
+let run_input_with_context t flat input context =
+  (run t ~context flat input).trace
+
+let run_input_logged t flat input context =
+  let o = run t ~context ~log:true flat input in
+  (o, o.events)

@@ -1,10 +1,15 @@
 (** The executor: runs test cases on the simulator under test and extracts
     microarchitectural traces.
 
-    [Naive] rebuilds the simulator (with its synthetic warm boot) for every
-    input; [Opt] builds one per program, overwrites registers/memory in
-    place and primes the L1D per the defense's harness style (paper §3.2,
-    C3). *)
+    {b Mode} fixes the testing semantics (paper §3.2, C3): [Naive] starts
+    every input from pristine post-boot state; [Opt] reuses one simulator
+    per program, overwriting registers/memory in place and priming the L1D
+    per the defense's harness style.
+
+    {b Backend} fixes the trace-invisible implementation strategy:
+    [Rebuild] reconstructs the simulator (full warm-boot cost) whenever
+    pristine state is needed; [Pool] checkpoints the post-boot state once
+    and rewinds it with {!Amulet_uarch.Simulator.restore}. *)
 
 open Amulet_isa
 open Amulet_uarch
@@ -13,6 +18,10 @@ open Amulet_defenses
 type mode = Naive | Opt
 
 val mode_name : mode -> string
+
+type backend = Rebuild | Pool
+
+val backend_name : backend -> string
 
 type t
 
@@ -23,6 +32,8 @@ type outcome = {
           just before the run — the handle violation validation uses *)
   run_fault : Fault.t option;
   cycles : int;
+  events : Event.t list;
+      (** debug log of the run; [[]] unless [?log] was set *)
 }
 
 val create :
@@ -30,24 +41,48 @@ val create :
   ?format:Utrace.format ->
   ?sim_config:Config.t ->
   ?chaos:Fault.injector ->
+  ?backend:backend ->
   mode:mode ->
   Defense.t ->
   Stats.t ->
   t
-(** [chaos], when set, arms a probabilistic fault injector: each test case
-    may raise {!Fault.Injected_crash} or report an injected fault instead of
-    its real outcome (robustness self-tests only). *)
+(** [backend] defaults to [Pool].  [chaos], when set, arms a probabilistic
+    fault injector: each test case may raise {!Fault.Injected_crash} or
+    report an injected fault instead of its real outcome (robustness
+    self-tests only). *)
+
+val mode : t -> mode
+val backend : t -> backend
 
 val start_program : t -> unit
-(** Begin a new test program; in [Opt] mode the only point paying the
-    simulator startup cost. *)
+(** Begin a new test program; where [Opt] mode pays for pristine state (a
+    rebuild or a checkpoint rewind, per the backend). *)
+
+val warm : t -> unit
+(** Pre-build the pooled simulator and its post-boot checkpoint so the
+    first test case doesn't pay the boot cost ([Rebuild]: no-op). *)
+
+val run :
+  t -> ?context:Simulator.context -> ?log:bool -> Program.flat -> Input.t ->
+  outcome
+(** Execute one test case.  Without [?context], a fresh run under the
+    executor's mode; with [?context], a validation rerun from an exactly
+    reproduced microarchitectural starting context.  [?log] (default
+    [false]) enables the debug event log and fills [outcome.events]. *)
+
+val sims_created : t -> int
+(** Simulators built (and warm-booted) over this executor's lifetime. *)
+
+val restores : t -> int
+(** Checkpoint rewinds performed instead of rebuilds ([Pool] backend). *)
 
 val run_input : t -> Program.flat -> Input.t -> outcome
+(** @deprecated Use {!run}. *)
 
 val run_input_with_context :
   t -> Program.flat -> Input.t -> Simulator.context -> Utrace.t
-(** Validation rerun from an exactly reproduced starting context. *)
+(** @deprecated Use [run ~context] and read [outcome.trace]. *)
 
 val run_input_logged :
   t -> Program.flat -> Input.t -> Simulator.context -> outcome * Event.t list
-(** Re-run with the debug log enabled (root-cause analysis). *)
+(** @deprecated Use [run ~context ~log:true] and read [outcome.events]. *)

@@ -17,6 +17,9 @@ type config = {
   contract : Contract.t option;  (** override the defense's default contract *)
   generator : Generator.config;
   executor_mode : Executor.mode;
+  engine : Engine.kind;
+      (** execution backend: [Pooled] (checkpoint rewind, default) or
+          [Naive] (full rebuild); trace-invisible, throughput only *)
   trace_format : Utrace.format;
   boot_insts : int;
   sim_config : Amulet_uarch.Config.t option;  (** override (amplification) *)
@@ -39,6 +42,7 @@ let default_config =
     contract = None;
     generator = Generator.default;
     executor_mode = Executor.Opt;
+    engine = Engine.Pooled;
     trace_format = Utrace.L1d_tlb;
     boot_insts = Amulet_uarch.Simulator.default_boot_insts;
     sim_config = None;
@@ -52,7 +56,7 @@ type t = {
   cfg : config;
   defense : Defense.t;
   contract : Contract.t;
-  executor : Executor.t;
+  engine : Engine.t;
   stats : Stats.t;
   mutable rng : Rng.t;
   started_at : float;
@@ -66,16 +70,16 @@ let create ?(cfg = default_config) ~seed (defense : Defense.t) =
     { cfg.generator with Generator.sandbox_pages = defense.Defense.sandbox_pages }
   in
   let cfg = { cfg with generator } in
-  let executor =
-    Executor.create ~boot_insts:cfg.boot_insts ~format:cfg.trace_format
-      ?sim_config:cfg.sim_config ?chaos:cfg.chaos ~mode:cfg.executor_mode
-      defense stats
+  let engine =
+    Engine.create ~boot_insts:cfg.boot_insts ~format:cfg.trace_format
+      ?sim_config:cfg.sim_config ?chaos:cfg.chaos ~kind:cfg.engine
+      ~mode:cfg.executor_mode defense stats
   in
   {
     cfg;
     defense;
     contract;
-    executor;
+    engine;
     stats;
     rng = Rng.create ~seed;
     started_at = Unix.gettimeofday ();
@@ -207,8 +211,8 @@ let classes_of cases =
    Opt-mode context disappear here and are rejected. *)
 let validate t flat (a : test_case) (b : test_case) =
   let try_ctx ctx =
-    let ta = Executor.run_input_with_context t.executor flat a.input ctx in
-    let tb = Executor.run_input_with_context t.executor flat b.input ctx in
+    let ta = (Engine.run t.engine ~context:ctx flat a.input).Executor.trace in
+    let tb = (Engine.run t.engine ~context:ctx flat b.input).Executor.trace in
     if Utrace.equal ta tb then None else Some (ta, tb, ctx)
   in
   let ctxs =
@@ -228,21 +232,17 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
   | Error (f, input) -> discard t flat ~input f
   | Ok [] -> discard t flat Fault.Empty_population
   | Ok cases -> (
-      Executor.start_program t.executor;
       let arr = Array.of_list cases in
-      let sim_fault = ref None in
-      Array.iter
-        (fun c ->
-          if !sim_fault = None then begin
-            check_deadline dl;
-            let o = Executor.run_input t.executor flat c.input in
-            (match o.Executor.run_fault with
-            | Some f -> sim_fault := Some (f, c.input)
-            | None -> ());
-            c.outcome <- Some o
-          end)
-        arr;
-      match !sim_fault with
+      (* one batched pass: all boosted inputs of this test case against a
+         warm simulator (the engine re-pristines per its mode/backend) *)
+      let batch =
+        Engine.run_batch t.engine
+          ~check:(fun () -> check_deadline dl)
+          flat
+          (Array.map (fun c -> c.input) arr)
+      in
+      Array.iteri (fun i o -> arr.(i).outcome <- o) batch.Engine.outcomes;
+      match batch.Engine.batch_fault with
       | Some (f, input) -> discard t flat ~input f
       | None -> (
           let candidate = ref None in

@@ -12,6 +12,7 @@ type config = {
   contract : Contract.t option;  (** override the defense's default *)
   generator : Generator.config;
   executor_mode : Executor.mode;
+  engine : Engine.kind;  (** execution backend (trace-invisible) *)
   trace_format : Utrace.format;
   boot_insts : int;
   sim_config : Amulet_uarch.Config.t option;  (** amplification override *)

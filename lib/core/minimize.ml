@@ -36,11 +36,11 @@ let still_violates ~defense ~contract ~sim_config flat (a : Input.t) (b : Input.
       (Stats.create ())
   in
   Executor.start_program ex;
-  let oa = Executor.run_input ex flat a in
-  let ob = Executor.run_input ex flat b in
+  let oa = Executor.run ex flat a in
+  let ob = Executor.run ex flat b in
   let differs ctx =
-    let ta = Executor.run_input_with_context ex flat a ctx in
-    let tb = Executor.run_input_with_context ex flat b ctx in
+    let ta = (Executor.run ex ~context:ctx flat a).Executor.trace in
+    let tb = (Executor.run ex ~context:ctx flat b).Executor.trace in
     not (Utrace.equal ta tb)
   in
   differs oa.Executor.context || differs ob.Executor.context

@@ -241,8 +241,8 @@ let rehydrate ?sim_config (s : stored) : Violation.t =
     Executor.create ?sim_config ~mode:Executor.Opt defense (Stats.create ())
   in
   Executor.start_program ex;
-  let oa = Executor.run_input ex s.program s.input_a in
-  let ob = Executor.run_input ex s.program s.input_b in
+  let oa = Executor.run ex s.program s.input_a in
+  let ob = Executor.run ex s.program s.input_b in
   {
     Violation.program = s.program;
     program_text = Format.asprintf "%a" Program.pp_flat s.program;
@@ -292,8 +292,8 @@ let reanalyze ?(minimize = false) ?sim_config (s : stored) : reanalysis =
         (Stats.create ())
     in
     Executor.start_program ex;
-    let oa = Executor.run_input ex s.program s.input_a in
-    let ob = Executor.run_input ex s.program s.input_b in
+    let oa = Executor.run ex s.program s.input_a in
+    let ob = Executor.run ex s.program s.input_b in
     let v =
       {
         Violation.program = s.program;

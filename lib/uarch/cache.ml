@@ -4,16 +4,21 @@
     simulator's architectural memory image, so the cache determines {e
     timing} and the {e final-state microarchitectural trace}, never values.
     Addresses are byte addresses; lines are identified by their line-aligned
-    address. *)
+    address.
 
-type way = { mutable tag : int; mutable valid : bool; mutable lru : int }
+    The representation is structure-of-arrays (flat [tags]/[valid]/[lru]
+    arrays indexed by [set * ways + way]) so that snapshots are three
+    [Array.copy] calls and restores are three [Array.blit]s — the cheap
+    copy-on-restore the pooled execution engine depends on. *)
 
 type t = {
   name : string;
   sets : int;
   ways : int;
   line_bytes : int;
-  data : way array array;  (** [data.(set).(way)] *)
+  tags_a : int array;  (** [tags_a.(set * ways + way)] *)
+  valid_a : bool array;
+  lru_a : int array;
   mutable tick : int;  (** LRU clock *)
 }
 
@@ -25,8 +30,9 @@ let create ~name ~sets ~ways ~line_bytes =
     sets;
     ways;
     line_bytes;
-    data = Array.init sets (fun _ ->
-        Array.init ways (fun _ -> { tag = 0; valid = false; lru = 0 }));
+    tags_a = Array.make (sets * ways) 0;
+    valid_a = Array.make (sets * ways) false;
+    lru_a = Array.make (sets * ways) 0;
     tick = 0;
   }
 
@@ -39,98 +45,111 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
-let find_way t line =
-  let set = t.data.(set_of t line) in
+(* index of [line]'s way within its set, or -1 *)
+let find_idx t line =
+  let base = set_of t line * t.ways in
   let rec go i =
-    if i >= t.ways then None
-    else if set.(i).valid && set.(i).tag = line then Some set.(i)
+    if i >= t.ways then -1
+    else if t.valid_a.(base + i) && t.tags_a.(base + i) = line then base + i
     else go (i + 1)
   in
   go 0
 
+(* first free (invalid) way index within the set of [line], or -1 *)
+let free_idx t line =
+  let base = set_of t line * t.ways in
+  let rec go i =
+    if i >= t.ways then -1
+    else if not t.valid_a.(base + i) then base + i
+    else go (i + 1)
+  in
+  go 0
+
+(* LRU victim index within the full set of [line]: min lru, earliest way on
+   ties (strict [<] scanning from way 0) *)
+let victim_idx t line =
+  let base = set_of t line * t.ways in
+  let victim = ref base in
+  for i = base + 1 to base + t.ways - 1 do
+    if t.lru_a.(i) < t.lru_a.(!victim) then victim := i
+  done;
+  !victim
+
 (** Is the line present? (no replacement-state update) *)
-let probe t line = Option.is_some (find_way t line)
+let probe t line = find_idx t line >= 0
 
 (** Is the line present? Updates LRU on hit. *)
 let touch t line =
-  match find_way t line with
-  | Some w ->
-      w.lru <- next_tick t;
-      true
-  | None -> false
+  let i = find_idx t line in
+  if i >= 0 then begin
+    t.lru_a.(i) <- next_tick t;
+    true
+  end
+  else false
 
 (** Does the set of [line] have an invalid (free) way? *)
-let has_free_way t line =
-  Array.exists (fun w -> not w.valid) t.data.(set_of t line)
+let has_free_way t line = free_idx t line >= 0
 
 (** The line that would be evicted to make room for [line] (LRU victim), or
     [None] if a free way exists.  Does not modify state (gem5 Ruby's
     [cacheProbe]). *)
 let victim_of t line =
-  let set = t.data.(set_of t line) in
-  if Array.exists (fun w -> not w.valid) set then None
-  else begin
-    let victim = ref set.(0) in
-    Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
-    Some !victim.tag
-  end
+  if free_idx t line >= 0 then None else Some t.tags_a.(victim_idx t line)
 
 (** Install [line], evicting the LRU victim if the set is full.  Returns the
     evicted line, if any.  Installing an already-present line just refreshes
     its LRU state. *)
 let install t line =
-  match find_way t line with
-  | Some w ->
-      w.lru <- next_tick t;
-      None
-  | None ->
-      let set = t.data.(set_of t line) in
-      let free = Array.to_seq set |> Seq.find (fun w -> not w.valid) in
-      let target, evicted =
-        match free with
-        | Some w -> w, None
-        | None ->
-            let victim = ref set.(0) in
-            Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
-            !victim, Some !victim.tag
-      in
-      target.tag <- line;
-      target.valid <- true;
-      target.lru <- next_tick t;
-      evicted
+  let i = find_idx t line in
+  if i >= 0 then begin
+    t.lru_a.(i) <- next_tick t;
+    None
+  end
+  else begin
+    let free = free_idx t line in
+    let target, evicted =
+      if free >= 0 then free, None
+      else
+        let v = victim_idx t line in
+        v, Some t.tags_a.(v)
+    in
+    t.tags_a.(target) <- line;
+    t.valid_a.(target) <- true;
+    t.lru_a.(target) <- next_tick t;
+    evicted
+  end
 
 (** Remove [line] if present; returns whether it was present. *)
 let invalidate t line =
-  match find_way t line with
-  | Some w ->
-      w.valid <- false;
-      true
-  | None -> false
+  let i = find_idx t line in
+  if i >= 0 then begin
+    t.valid_a.(i) <- false;
+    true
+  end
+  else false
 
 (** Evict the LRU victim of [line]'s set (without installing anything);
     returns the evicted line.  This models the InvisiSpec implementation bug
     UV1, where a speculative miss on a full set triggers an L1 replacement
     even though no line is installed. *)
 let force_replacement t line =
-  let set = t.data.(set_of t line) in
-  if Array.exists (fun w -> not w.valid) set then None
+  if free_idx t line >= 0 then None
   else begin
-    let victim = ref set.(0) in
-    Array.iter (fun w -> if w.lru < !victim.lru then victim := w) set;
-    !victim.valid <- false;
-    Some !victim.tag
+    let v = victim_idx t line in
+    t.valid_a.(v) <- false;
+    Some t.tags_a.(v)
   end
 
 (** All valid line addresses, sorted (the final-state trace). *)
 let tags t =
   let acc = ref [] in
-  Array.iter
-    (fun set -> Array.iter (fun w -> if w.valid then acc := w.tag :: !acc) set)
-    t.data;
+  for i = Array.length t.valid_a - 1 downto 0 do
+    if t.valid_a.(i) then acc := t.tags_a.(i) :: !acc
+  done;
   List.sort compare !acc
 
 let reset t =
-  Array.iter (fun set -> Array.iter (fun w -> w.valid <- false) set) t.data;
+  Array.fill t.valid_a 0 (Array.length t.valid_a) false;
   t.tick <- 0
 
 let occupancy t = List.length (tags t)
@@ -139,26 +158,25 @@ let occupancy t = List.length (tags t)
 (* Snapshots (validation reruns restore the exact cache context)       *)
 (* ------------------------------------------------------------------ *)
 
-type snapshot = { snap_ways : (int * bool * int) array array; snap_tick : int }
+type snapshot = {
+  snap_tags : int array;
+  snap_valid : bool array;
+  snap_lru : int array;
+  snap_tick : int;
+}
 
 let snapshot t : snapshot =
   {
-    snap_ways =
-      Array.map (Array.map (fun w -> (w.tag, w.valid, w.lru))) t.data;
+    snap_tags = Array.copy t.tags_a;
+    snap_valid = Array.copy t.valid_a;
+    snap_lru = Array.copy t.lru_a;
     snap_tick = t.tick;
   }
 
 let restore t (s : snapshot) =
-  Array.iteri
-    (fun i set ->
-      Array.iteri
-        (fun j (tag, valid, lru) ->
-          let w = t.data.(i).(j) in
-          w.tag <- tag;
-          w.valid <- valid;
-          w.lru <- lru)
-        set)
-    s.snap_ways;
+  Array.blit s.snap_tags 0 t.tags_a 0 (Array.length s.snap_tags);
+  Array.blit s.snap_valid 0 t.valid_a 0 (Array.length s.snap_valid);
+  Array.blit s.snap_lru 0 t.lru_a 0 (Array.length s.snap_lru);
   t.tick <- s.snap_tick
 
 let pp fmt t =

@@ -229,10 +229,11 @@ let cancel t ~now ~rob_id =
           | Req _ | Cleanup_op _ -> ())
         q)
     [ t.queue; t.ghost_queue ];
-  List.iter
-    (fun m ->
-      List.iter (fun r -> if r.rob_id = rob_id then r.cancelled <- true) m.m_waiters)
-    (t.mshrs @ t.ghost_mshrs);
+  let cancel_waiters m =
+    List.iter (fun r -> if r.rob_id = rob_id then r.cancelled <- true) m.m_waiters
+  in
+  List.iter cancel_waiters t.mshrs;
+  List.iter cancel_waiters t.ghost_mshrs;
   t.spec_buffer <- List.filter (fun (rob, _, _) -> rob <> rob_id) t.spec_buffer;
   t.lfb <- List.filter (fun (rob, _, _) -> rob <> rob_id) t.lfb;
   squash_cleanup t ~now ~rob_id
@@ -469,15 +470,20 @@ let drain_queue t ~now q =
     | `Blocked -> blocked := true
   done
 
+let any_ready now mshrs = List.exists (fun m -> m.m_ready_at <= now) mshrs
+
 let tick t ~now =
-  (* MSHR completions, both pools *)
-  let ready, pending = List.partition (fun m -> m.m_ready_at <= now) t.mshrs in
-  t.mshrs <- pending;
-  let gready, gpending = List.partition (fun m -> m.m_ready_at <= now) t.ghost_mshrs in
-  t.ghost_mshrs <- gpending;
-  List.iter (fun m -> complete_mshr t ~now m)
-    (List.sort (fun a b -> compare a.m_ready_at b.m_ready_at) (ready @ gready));
-  if ready <> [] || gready <> [] then t.last_stalled_line <- -1;
+  (* MSHR completions, both pools.  The existence checks keep the common
+     nothing-completes cycle allocation-free (no partition/sort/append). *)
+  if any_ready now t.mshrs || any_ready now t.ghost_mshrs then begin
+    let ready, pending = List.partition (fun m -> m.m_ready_at <= now) t.mshrs in
+    t.mshrs <- pending;
+    let gready, gpending = List.partition (fun m -> m.m_ready_at <= now) t.ghost_mshrs in
+    t.ghost_mshrs <- gpending;
+    List.iter (fun m -> complete_mshr t ~now m)
+      (List.sort (fun a b -> compare a.m_ready_at b.m_ready_at) (ready @ gready));
+    t.last_stalled_line <- -1
+  end;
   (* controller queues: the ghost queue drains independently, so a blocked
      speculative head can never delay non-speculative traffic *)
   if t.busy_until <= now then begin
@@ -487,9 +493,13 @@ let tick t ~now =
 
 (** Responses due at or before [now]: list of (rob_id, line). *)
 let take_responses t ~now =
-  let due, later = List.partition (fun (d, _, _) -> d <= now) t.responses in
-  t.responses <- later;
-  List.rev_map (fun (_, rob, line) -> (rob, line)) due
+  match t.responses with
+  | [] -> []
+  | rs when not (List.exists (fun (d, _, _) -> d <= now) rs) -> []
+  | rs ->
+      let due, later = List.partition (fun (d, _, _) -> d <= now) rs in
+      t.responses <- later;
+      List.rev_map (fun (_, rob, line) -> (rob, line)) due
 
 (* ------------------------------------------------------------------ *)
 (* TLB and instruction fetch                                           *)
@@ -557,3 +567,31 @@ let reset_l1i t = Cache.reset t.l1i
 let inflight t =
   List.length t.mshrs + List.length t.ghost_mshrs + Queue.length t.queue
   + Queue.length t.ghost_queue
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (persistent tag/replacement state only)                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Persistent memory-system state: cache tag arrays and the TLB.  Transient
+    state (queues, MSHRs, responses, buffers) is not captured — restore it
+    with {!reset_transient}, which every run already performs. *)
+type snapshot = {
+  snap_l1d : Cache.snapshot;
+  snap_l1i : Cache.snapshot;
+  snap_l2 : Cache.snapshot;
+  snap_tlb : Tlb.snapshot;
+}
+
+let snapshot t =
+  {
+    snap_l1d = Cache.snapshot t.l1d;
+    snap_l1i = Cache.snapshot t.l1i;
+    snap_l2 = Cache.snapshot t.l2;
+    snap_tlb = Tlb.snapshot t.tlb;
+  }
+
+let restore t s =
+  Cache.restore t.l1d s.snap_l1d;
+  Cache.restore t.l1i s.snap_l1i;
+  Cache.restore t.l2 s.snap_l2;
+  Tlb.restore t.tlb s.snap_tlb

@@ -70,6 +70,7 @@ type t = {
   flat : Program.flat;
   all : (int, entry) Hashtbl.t;  (** every dispatched entry, by id *)
   mutable rob : entry list;  (** oldest first *)
+  mutable rob_len : int;  (** cached [List.length rob] for O(1) full checks *)
   rename : src array;
   mutable flag_rename : flag_src;
   mutable next_id : int;
@@ -101,6 +102,7 @@ let create (cfg : Config.t) (ms : Memsys.t) (bp : Branch_pred.t) (mdp : Mdp.t)
     flat;
     all = Hashtbl.create 256;
     rob = [];
+    rob_len = 0;
     rename = Array.init Reg.count (fun i -> Committed (State.read_reg arch (Reg.of_index i)));
     flag_rename = Fcommitted arch.State.flags;
     next_id = 0;
@@ -279,7 +281,7 @@ let address_tainted t (e : entry) =
 (* Dispatch / fetch                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let rob_full t = List.length t.rob >= t.cfg.rob_size
+let rob_full t = t.rob_len >= t.cfg.rob_size
 
 let dedup_regs regs =
   List.fold_left (fun acc r -> if List.memq r acc then acc else r :: acc) [] regs
@@ -333,6 +335,7 @@ let dispatch t index =
   if Inst.writes_flags inst then t.flag_rename <- Fproducer id;
   Hashtbl.add t.all id e;
   t.rob <- t.rob @ [ e ];
+  t.rob_len <- t.rob_len + 1;
   Event.record t.log (Event.Fetched { cycle = t.cycle; pc; disasm = disasm inst });
   (* instructions with no execution stage complete at dispatch *)
   (match inst with
@@ -434,7 +437,8 @@ let squash_from t ~bound ~reason =
      with
     | Some b -> Branch_pred.set_history t.bp b.bp_history
     | None -> ());
-    t.rob <- keep
+    t.rob <- keep;
+    t.rob_len <- t.rob_len - List.length gone
   end
 
 let redirect_fetch t ~index =
@@ -790,6 +794,7 @@ let commit_stage t =
         if head.status = Done && head.resolved then begin
           commit_entry t head;
           t.rob <- rest;
+          t.rob_len <- t.rob_len - 1;
           incr n;
           if head.inst = Inst.Exit then begin
             t.halted <- true;

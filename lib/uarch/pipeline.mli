@@ -1,0 +1,31 @@
+(** The out-of-order core: a cycle-driven dataflow pipeline in the style of
+    gem5's O3CPU, reduced to the mechanisms speculation leaks need.  Driven
+    exclusively through {!Simulator}; this interface exposes only what that
+    facade uses. *)
+
+open Amulet_isa
+open Amulet_emu
+
+type t
+
+type run_result = {
+  cycles : int;
+  committed_insts : int;
+  squashes : int;
+  fault : string option;
+}
+
+val create :
+  Config.t -> Memsys.t -> Branch_pred.t -> Mdp.t -> Event.log -> State.t ->
+  Program.flat -> t
+
+val run : t -> run_result
+(** Run to completion (Exit, fault, or cycle limit), then drain. *)
+
+val branch_prediction_order : t -> (int * bool * int) list
+(** (pc, predicted taken, predicted target), oldest first. *)
+
+val execution_order : t -> int list
+(** PCs in execution order, including wrong-path instructions. *)
+
+val cycles : t -> int

@@ -200,29 +200,51 @@ let execution_order t = t.last_exec_order
 type context = {
   ctx_bp : Branch_pred.snapshot;
   ctx_mdp : Mdp.snapshot;
-  ctx_l1d : Cache.snapshot;
-  ctx_l1i : Cache.snapshot;
-  ctx_l2 : Cache.snapshot;
-  ctx_tlb : Tlb.snapshot;
+  ctx_ms : Memsys.snapshot;
 }
 
 let snapshot_context t =
   {
     ctx_bp = Branch_pred.snapshot t.bp;
     ctx_mdp = Mdp.snapshot t.mdp;
-    ctx_l1d = Cache.snapshot t.ms.Memsys.l1d;
-    ctx_l1i = Cache.snapshot t.ms.Memsys.l1i;
-    ctx_l2 = Cache.snapshot t.ms.Memsys.l2;
-    ctx_tlb = Tlb.snapshot t.ms.Memsys.tlb;
+    ctx_ms = Memsys.snapshot t.ms;
   }
 
 let restore_context t ctx =
   Branch_pred.restore t.bp ctx.ctx_bp;
   Mdp.restore t.mdp ctx.ctx_mdp;
-  Cache.restore t.ms.Memsys.l1d ctx.ctx_l1d;
-  Cache.restore t.ms.Memsys.l1i ctx.ctx_l1i;
-  Cache.restore t.ms.Memsys.l2 ctx.ctx_l2;
-  Tlb.restore t.ms.Memsys.tlb ctx.ctx_tlb
+  Memsys.restore t.ms ctx.ctx_ms
+
+(* ------------------------------------------------------------------ *)
+(* Full checkpoints (the pooled engine's boot-state reuse)             *)
+(* ------------------------------------------------------------------ *)
+
+(** A full post-boot checkpoint: microarchitectural context plus the
+    committed architectural state (registers, flags, memory image).
+    Restoring one is equivalent to a fresh [create] with the same
+    configuration, minus the boot workload — which is exactly how the
+    pooled execution engine amortizes simulator startup. *)
+type snapshot = {
+  s_ctx : context;
+  s_regs : State.reg_snapshot;
+  s_mem : Memory.t;  (** private copy, never aliased by the live state *)
+}
+
+let snapshot t =
+  {
+    s_ctx = snapshot_context t;
+    s_regs = State.snapshot_regs t.arch;
+    s_mem = Memory.copy t.arch.State.mem;
+  }
+
+let restore t (s : snapshot) =
+  restore_context t s.s_ctx;
+  State.restore_regs t.arch s.s_regs;
+  Memory.blit ~src:s.s_mem ~dst:t.arch.State.mem;
+  Memsys.reset_transient t.ms;
+  Memsys.clear_access_order t.ms;
+  t.last_bpred_order <- [];
+  t.last_exec_order <- []
 
 let reset_predictors t =
   Branch_pred.reset t.bp;

@@ -1,0 +1,94 @@
+(** Simulator facade: the unit the AMuLeT executor drives.
+
+    Owns the persistent microarchitectural state (caches, TLB, predictors)
+    plus the committed architectural state, and runs flattened programs
+    through the out-of-order pipeline.  Creation is deliberately heavyweight
+    (structure allocation plus a synthetic warm-boot workload), standing in
+    for gem5's multi-second process startup; executors amortize it by
+    reusing one simulator across inputs (paper §3.2, C3) or — the pooled
+    engine — by checkpointing the post-boot state once with {!snapshot} and
+    rewinding with {!restore} instead of re-running the boot workload. *)
+
+open Amulet_isa
+open Amulet_emu
+
+type t
+
+type run_stats = {
+  cycles : int;
+  committed_insts : int;
+  squashes : int;
+  fault : string option;
+}
+
+val default_boot_insts : int
+
+val create : ?boot_insts:int -> ?pages:int -> Config.t -> t
+(** Create a simulator.  [boot_insts > 0] runs the synthetic warm-boot
+    workload, making creation cost realistic (AMuLeT-Naive pays it per
+    input; AMuLeT-Opt once per test program; the pooled engine once per
+    executor lifetime). *)
+
+val config : t -> Config.t
+val log : t -> Event.log
+val arch_state : t -> State.t
+
+val load_state : t -> State.t -> unit
+(** Overwrite registers and sandbox memory in place — the Opt-executor path
+    that avoids restarting the simulator. *)
+
+val run : t -> Program.flat -> run_stats
+(** Run a test program to completion over the current architectural state. *)
+
+val prime_base : int
+(** Base address of the priming region: disjoint from the sandbox but
+    mapping onto the same L1 sets. *)
+
+val prime_with_fills : t -> run_stats
+(** Prime the L1D by running a fill program through the pipeline (costs
+    simulated instructions; resets TLB/L1I afterwards). *)
+
+val prime_with_flush : t -> unit
+(** Prime by direct invalidation (clean caches, no simulated work). *)
+
+(** {2 Microarchitectural state extraction} *)
+
+val l1d_tags : t -> int list
+val l1i_tags : t -> int list
+val tlb_pages : t -> int list
+val bp_state : t -> int array
+val access_order : t -> (int * int) list
+val clear_access_order : t -> unit
+val branch_prediction_order : t -> (int * bool * int) list
+val execution_order : t -> int list
+
+(** {2 Predictor/cache context snapshots (violation validation, §3.2)} *)
+
+type context
+
+val snapshot_context : t -> context
+val restore_context : t -> context -> unit
+
+(** {2 Full checkpoints (the pooled engine's boot-state reuse)} *)
+
+type snapshot
+(** A full post-boot checkpoint: microarchitectural context plus the
+    committed architectural state.  Restoring is equivalent to a fresh
+    [create] with the same configuration, minus the boot workload. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+(** {2 Reset hooks} *)
+
+val reset_predictors : t -> unit
+val flush_caches : t -> unit
+val reset_tlb : t -> unit
+val reset_l1i : t -> unit
+
+(** {2 Cumulative counters (throughput accounting; monotonic across
+    restores)} *)
+
+val total_cycles : t -> int
+val total_insts : t -> int
+val runs : t -> int

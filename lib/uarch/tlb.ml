@@ -3,18 +3,26 @@
     Entries map virtual page numbers (address / 4096; virtual = physical in
     SE mode).  The final set of cached page numbers is part of the default
     microarchitectural trace, which is how the STT speculative-store leak
-    (KV3) becomes visible. *)
+    (KV3) becomes visible.
+
+    Like {!Cache}, the representation is structure-of-arrays so snapshots
+    are array copies and restores are blits. *)
 
 let page_bits = 12
 
-type entry = { mutable page : int; mutable valid : bool; mutable lru : int }
-
-type t = { entries : entry array; mutable tick : int }
+type t = {
+  pages_a : int array;
+  valid_a : bool array;
+  lru_a : int array;
+  mutable tick : int;
+}
 
 let create ~entries =
   assert (entries > 0);
   {
-    entries = Array.init entries (fun _ -> { page = 0; valid = false; lru = 0 });
+    pages_a = Array.make entries 0;
+    valid_a = Array.make entries false;
+    lru_a = Array.make entries 0;
     tick = 0;
   }
 
@@ -24,58 +32,79 @@ let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
 
-let find t page =
-  Array.to_seq t.entries |> Seq.find (fun e -> e.valid && e.page = page)
+(* index of [page]'s entry, or -1 *)
+let find_idx t page =
+  let n = Array.length t.valid_a in
+  let rec go i =
+    if i >= n then -1
+    else if t.valid_a.(i) && t.pages_a.(i) = page then i
+    else go (i + 1)
+  in
+  go 0
 
-let probe t page = Option.is_some (find t page)
+let probe t page = find_idx t page >= 0
 
 (** Translate an access to [page]: hit updates LRU, miss installs the entry
     (evicting the LRU victim).  Returns [`Hit] or [`Miss]. *)
 let access t page =
-  match find t page with
-  | Some e ->
-      e.lru <- next_tick t;
-      `Hit
-  | None ->
-      let target =
-        match Array.to_seq t.entries |> Seq.find (fun e -> not e.valid) with
-        | Some e -> e
-        | None ->
-            let victim = ref t.entries.(0) in
-            Array.iter (fun e -> if e.lru < !victim.lru then victim := e) t.entries;
-            !victim
-      in
-      target.page <- page;
-      target.valid <- true;
-      target.lru <- next_tick t;
-      `Miss
+  let i = find_idx t page in
+  if i >= 0 then begin
+    t.lru_a.(i) <- next_tick t;
+    `Hit
+  end
+  else begin
+    let n = Array.length t.valid_a in
+    let free =
+      let rec go i = if i >= n then -1 else if not t.valid_a.(i) then i else go (i + 1) in
+      go 0
+    in
+    let target =
+      if free >= 0 then free
+      else begin
+        let victim = ref 0 in
+        for i = 1 to n - 1 do
+          if t.lru_a.(i) < t.lru_a.(!victim) then victim := i
+        done;
+        !victim
+      end
+    in
+    t.pages_a.(target) <- page;
+    t.valid_a.(target) <- true;
+    t.lru_a.(target) <- next_tick t;
+    `Miss
+  end
 
 (** All cached page numbers, sorted. *)
 let pages t =
   let acc = ref [] in
-  Array.iter (fun e -> if e.valid then acc := e.page :: !acc) t.entries;
+  for i = Array.length t.valid_a - 1 downto 0 do
+    if t.valid_a.(i) then acc := t.pages_a.(i) :: !acc
+  done;
   List.sort compare !acc
 
 let reset t =
-  Array.iter (fun e -> e.valid <- false) t.entries;
+  Array.fill t.valid_a 0 (Array.length t.valid_a) false;
   t.tick <- 0
 
-type snapshot = { snap_entries : (int * bool * int) array; snap_tick : int }
+type snapshot = {
+  snap_pages : int array;
+  snap_valid : bool array;
+  snap_lru : int array;
+  snap_tick : int;
+}
 
 let snapshot t : snapshot =
   {
-    snap_entries = Array.map (fun e -> (e.page, e.valid, e.lru)) t.entries;
+    snap_pages = Array.copy t.pages_a;
+    snap_valid = Array.copy t.valid_a;
+    snap_lru = Array.copy t.lru_a;
     snap_tick = t.tick;
   }
 
 let restore t (s : snapshot) =
-  Array.iteri
-    (fun i (page, valid, lru) ->
-      let e = t.entries.(i) in
-      e.page <- page;
-      e.valid <- valid;
-      e.lru <- lru)
-    s.snap_entries;
+  Array.blit s.snap_pages 0 t.pages_a 0 (Array.length s.snap_pages);
+  Array.blit s.snap_valid 0 t.valid_a 0 (Array.length s.snap_valid);
+  Array.blit s.snap_lru 0 t.lru_a 0 (Array.length s.snap_lru);
   t.tick <- s.snap_tick
 
 let pp fmt t =

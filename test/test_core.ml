@@ -181,9 +181,9 @@ let test_executor_determinism_with_context () =
   let flat = Program.flatten (Asm.parse spectre_src) in
   let rng = Rng.create ~seed:3 in
   let input = Input.generate rng ~pages:1 in
-  let o = Executor.run_input ex flat input in
-  let t1 = Executor.run_input_with_context ex flat input o.Executor.context in
-  let t2 = Executor.run_input_with_context ex flat input o.Executor.context in
+  let o = Executor.run ex flat input in
+  let t1 = (Executor.run ex ~context:o.Executor.context flat input).Executor.trace in
+  let t2 = (Executor.run ex ~context:o.Executor.context flat input).Executor.trace in
   checkb "same input same context same trace" true (Utrace.equal t1 t2)
 
 let test_executor_naive_vs_opt_equivalent_results () =
@@ -196,7 +196,7 @@ let test_executor_naive_vs_opt_equivalent_results () =
     (fun mode ->
       let ex = Executor.create ~boot_insts:200 ~mode Defense.baseline (Stats.create ()) in
       Executor.start_program ex;
-      let o = Executor.run_input ex flat input in
+      let o = Executor.run ex flat input in
       Alcotest.(check (option string)) "no fault" None (Option.map Fault.to_string o.Executor.run_fault))
     [ Executor.Naive; Executor.Opt ]
 

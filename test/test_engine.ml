@@ -1,0 +1,290 @@
+(* Engine API tests: the pooled (snapshot/restore) backend must be
+   trace-indistinguishable from the naive (rebuild) backend, checkpoint
+   rewinds must be deterministic across arbitrary reuse counts, and chaos
+   injection must classify faults correctly through the batched path. *)
+
+open Amulet
+open Amulet_defenses
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* Small warm boot keeps the suite fast; equivalence must hold regardless. *)
+let boot = 200
+
+let gen_case ~(defense : Defense.t) seed =
+  let rng = Rng.create ~seed in
+  let cfg =
+    { Generator.default with Generator.sandbox_pages = defense.Defense.sandbox_pages }
+  in
+  let flat = Generator.generate_flat ~cfg rng in
+  let inputs =
+    Array.init 4 (fun _ -> Input.generate rng ~pages:defense.Defense.sandbox_pages)
+  in
+  (flat, inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Pooled vs naive: byte-identical traces                              *)
+(* ------------------------------------------------------------------ *)
+
+let same_fault a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (fa, ia), Some (fb, ib) ->
+      Fault.class_of fa = Fault.class_of fb && Input.equal ia ib
+  | _ -> false
+
+let batches_agree name (a : Engine.batch) (b : Engine.batch) =
+  checki (name ^ " length") (Array.length a.Engine.outcomes)
+    (Array.length b.Engine.outcomes);
+  checkb (name ^ " fault") true (same_fault a.Engine.batch_fault b.Engine.batch_fault);
+  Array.iteri
+    (fun i oa ->
+      match (oa, b.Engine.outcomes.(i)) with
+      | None, None -> ()
+      | Some oa, Some ob ->
+          checkb
+            (Printf.sprintf "%s trace[%d]" name i)
+            true
+            (Utrace.equal oa.Executor.trace ob.Executor.trace)
+      | _ -> Alcotest.failf "%s outcome[%d] presence mismatch" name i)
+    a.Engine.outcomes
+
+let test_batch_equivalence () =
+  List.iter
+    (fun mode ->
+      List.iter
+        (fun (defense : Defense.t) ->
+          let naive =
+            Engine.create ~boot_insts:boot ~kind:Engine.Naive ~mode defense
+              (Stats.create ())
+          in
+          let pooled =
+            Engine.create ~boot_insts:boot ~kind:Engine.Pooled ~mode defense
+              (Stats.create ())
+          in
+          (* several programs through the SAME engines: the pooled
+             checkpoint is reused across batches, so any drift accumulates
+             and the later seeds catch it *)
+          for seed = 1 to 3 do
+            let flat, inputs = gen_case ~defense (97 * seed) in
+            let a = Engine.run_batch naive flat inputs in
+            let b = Engine.run_batch pooled flat inputs in
+            batches_agree
+              (Printf.sprintf "%s/%s/seed%d" defense.Defense.name
+                 (Executor.mode_name mode) seed)
+              a b
+          done)
+        [ Defense.baseline; Defense.invisispec; Defense.cleanupspec; Defense.stt ])
+    [ Executor.Naive; Executor.Opt ]
+
+let test_reproducer_equivalence () =
+  let defense = Defense.cleanupspec in
+  let flat = Reproducers.flat Reproducers.uv3 in
+  let rng = Rng.create ~seed:5 in
+  let inputs = Array.init 6 (fun _ -> Input.generate rng ~pages:1) in
+  List.iter
+    (fun mode ->
+      let naive =
+        Engine.create ~boot_insts:boot ~kind:Engine.Naive ~mode defense (Stats.create ())
+      in
+      let pooled =
+        Engine.create ~boot_insts:boot ~kind:Engine.Pooled ~mode defense (Stats.create ())
+      in
+      batches_agree
+        ("uv3/" ^ Executor.mode_name mode)
+        (Engine.run_batch naive flat inputs)
+        (Engine.run_batch pooled flat inputs))
+    [ Executor.Naive; Executor.Opt ]
+
+(* The end-to-end check: a whole fuzzing round (generation, boosting,
+   batched execution, candidate search, validation) reaches the same
+   verdict whichever engine backs it. *)
+let test_fuzzer_round_parity () =
+  let tag = function
+    | Fuzzer.No_violation { test_cases } -> Printf.sprintf "no-violation:%d" test_cases
+    | Fuzzer.Found v ->
+        Printf.sprintf "found:%Lx:%Lx"
+          (Input.hash v.Violation.input_a)
+          (Input.hash v.Violation.input_b)
+    | Fuzzer.Discarded f -> "discarded:" ^ Fault.class_name (Fault.class_of f)
+  in
+  List.iter
+    (fun (defense : Defense.t) ->
+      for seed = 1 to 3 do
+        let mk kind =
+          Fuzzer.create
+            ~cfg:
+              {
+                Fuzzer.default_config with
+                Fuzzer.n_base_inputs = 4;
+                boosts_per_input = 2;
+                boot_insts = boot;
+                engine = kind;
+              }
+            ~seed:(1000 + seed) defense
+        in
+        let a = Fuzzer.round (mk Engine.Naive) in
+        let b = Fuzzer.round (mk Engine.Pooled) in
+        checks
+          (Printf.sprintf "round %s/seed%d" defense.Defense.name seed)
+          (tag a) (tag b)
+      done)
+    [ Defense.baseline; Defense.cleanupspec ]
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot/restore determinism                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_determinism () =
+  let open Amulet_uarch in
+  let rng = Rng.create ~seed:42 in
+  let flat = Generator.generate_flat rng in
+  let input = Input.generate rng ~pages:1 in
+  let sim = Simulator.create ~boot_insts:boot ~pages:1 Config.default in
+  let snap = Simulator.snapshot sim in
+  let observe s =
+    (Simulator.l1d_tags s, Simulator.tlb_pages s, Array.copy (Simulator.bp_state s))
+  in
+  let run_once () =
+    Simulator.restore sim snap;
+    Simulator.load_state sim (Input.to_state input);
+    ignore (Simulator.run sim flat);
+    observe sim
+  in
+  let first = run_once () in
+  for reuse = 2 to 8 do
+    checkb (Printf.sprintf "reuse %d deterministic" reuse) true (run_once () = first)
+  done;
+  (* a checkpoint rewind is indistinguishable from a fresh warm boot *)
+  let fresh = Simulator.create ~boot_insts:boot ~pages:1 Config.default in
+  Simulator.load_state fresh (Input.to_state input);
+  ignore (Simulator.run fresh flat);
+  checkb "restore matches fresh boot" true (observe fresh = first)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos injection through the batched path                            *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cfg injector =
+  {
+    Fuzzer.default_config with
+    Fuzzer.n_base_inputs = 3;
+    boosts_per_input = 2;
+    boot_insts = boot;
+    chaos = Some injector;
+  }
+
+let test_chaos_sim_fault () =
+  let cfg = chaos_cfg (Fault.injector ~p_sim_fault:1.0 ~seed:13 ()) in
+  let fz = Fuzzer.create ~cfg ~seed:21 Defense.baseline in
+  match Fuzzer.round fz with
+  | Fuzzer.Discarded f ->
+      checkb "injected sim fault classified" true (Fault.class_of f = Fault.C_injected)
+  | _ -> Alcotest.fail "expected Discarded through the batched path"
+
+let test_chaos_crash () =
+  let cfg = chaos_cfg (Fault.injector ~p_crash:1.0 ~seed:13 ()) in
+  let fz = Fuzzer.create ~cfg ~seed:22 Defense.baseline in
+  match Fuzzer.round fz with
+  | Fuzzer.Discarded f ->
+      checkb "injected crash contained and classified" true
+        (Fault.class_of f = Fault.C_injected)
+  | _ -> Alcotest.fail "expected the crash to be contained as Discarded"
+
+(* ------------------------------------------------------------------ *)
+(* Unified Executor.run and the deprecated wrappers                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_deprecated_wrappers () =
+  let defense = Defense.baseline in
+  let mk () = Executor.create ~boot_insts:boot ~mode:Executor.Opt defense (Stats.create ()) in
+  let rng = Rng.create ~seed:7 in
+  let flat = Generator.generate_flat rng in
+  let input = Input.generate rng ~pages:1 in
+  let ex_new = mk () and ex_old = mk () in
+  Executor.start_program ex_new;
+  Executor.start_program ex_old;
+  let o_new = Executor.run ex_new flat input in
+  let o_old = Executor.run_input ex_old flat input in
+  checkb "run_input = run" true (Utrace.equal o_new.Executor.trace o_old.Executor.trace);
+  let tr_new = (Executor.run ex_new ~context:o_new.Executor.context flat input).Executor.trace in
+  let tr_old = Executor.run_input_with_context ex_old flat input o_old.Executor.context in
+  checkb "run_input_with_context = run ~context" true (Utrace.equal tr_new tr_old);
+  let o_log_new = Executor.run ex_new ~context:o_new.Executor.context ~log:true flat input in
+  let o_log_old, events =
+    Executor.run_input_logged ex_old flat input o_old.Executor.context
+  in
+  checkb "run_input_logged trace" true
+    (Utrace.equal o_log_new.Executor.trace o_log_old.Executor.trace);
+  checki "run_input_logged events" (List.length o_log_new.Executor.events)
+    (List.length events);
+  checkb "unlogged runs leave events empty" true (o_new.Executor.events = [])
+
+(* ------------------------------------------------------------------ *)
+(* Engine accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_stats () =
+  let defense = Defense.baseline in
+  let flat = Reproducers.flat Reproducers.uv3 in
+  let rng = Rng.create ~seed:9 in
+  let inputs = Array.init 3 (fun _ -> Input.generate rng ~pages:1) in
+  (* pooled + Naive mode: one boot ever, a rewind per input after that *)
+  let pooled =
+    Engine.create ~boot_insts:boot ~kind:Engine.Pooled ~mode:Executor.Naive defense
+      (Stats.create ())
+  in
+  checks "pooled name" "pooled" (Engine.name pooled);
+  let b1 = Engine.run_batch pooled flat inputs in
+  let b2 = Engine.run_batch pooled flat inputs in
+  checkb "clean batches" true (b1.Engine.batch_fault = None && b2.Engine.batch_fault = None);
+  let s = Engine.stats pooled in
+  checki "pooled sims_created" 1 s.Engine.sims_created;
+  checkb "pooled restores" true (s.Engine.snapshot_restores >= Array.length inputs);
+  checki "pooled batches" 2 s.Engine.batches;
+  checki "pooled inputs_run" 6 s.Engine.inputs_run;
+  (* naive + Naive mode: a full rebuild per input, never a rewind *)
+  let naive =
+    Engine.create ~boot_insts:boot ~kind:Engine.Naive ~mode:Executor.Naive defense
+      (Stats.create ())
+  in
+  checks "naive name" "naive" (Engine.name naive);
+  ignore (Engine.run_batch naive flat inputs);
+  ignore (Engine.run_batch naive flat inputs);
+  let s = Engine.stats naive in
+  checki "naive sims_created" 6 s.Engine.sims_created;
+  checki "naive restores" 0 s.Engine.snapshot_restores;
+  (* warm pre-pays the pooled boot *)
+  let warmed =
+    Engine.create ~boot_insts:boot ~kind:Engine.Pooled ~mode:Executor.Naive defense
+      (Stats.create ())
+  in
+  Engine.warm warmed;
+  checki "warm boots the pool" 1 (Engine.stats warmed).Engine.sims_created
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "pooled vs naive batches" `Quick test_batch_equivalence;
+          Alcotest.test_case "reproducer batches" `Quick test_reproducer_equivalence;
+          Alcotest.test_case "fuzzer round parity" `Quick test_fuzzer_round_parity;
+        ] );
+      ( "snapshot",
+        [ Alcotest.test_case "restore determinism" `Quick test_snapshot_determinism ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "sim fault via batch" `Quick test_chaos_sim_fault;
+          Alcotest.test_case "crash via batch" `Quick test_chaos_crash;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "deprecated wrappers" `Quick test_deprecated_wrappers;
+          Alcotest.test_case "engine stats" `Quick test_engine_stats;
+        ] );
+    ]
