@@ -638,9 +638,10 @@ let throughput () =
   in
   (* run every case through one engine; the timed region includes warm-up
      so the pooled engine is charged its single boot *)
-  let measure kind mode =
+  let measure ?(metrics = Amulet_obs.Obs.noop) kind mode =
     let eng =
-      Engine.create ~boot_insts:boot ~kind ~mode Defense.baseline (Stats.create ())
+      Engine.create ~boot_insts:boot ~kind ~mode Defense.baseline
+        (Stats.create ~metrics ())
     in
     let t0 = Unix.gettimeofday () in
     Engine.warm eng;
@@ -676,6 +677,17 @@ let throughput () =
   let _, t_naive_opt, tr_no = measure Engine.Naive Executor.Opt in
   let _, t_pooled_opt, tr_po = measure Engine.Pooled Executor.Opt in
   let identical_opt = traces_identical tr_no tr_po in
+  (* telemetry must be trace-invisible and near-free: re-run the pooled
+     configuration with a live registry, require byte-identical traces and
+     report the wall-clock overhead (the <5% budget the design document
+     commits to) *)
+  let registry = Amulet_obs.Obs.create () in
+  let _, t_pooled_tel, tr_tel = measure ~metrics:registry Engine.Pooled Executor.Naive in
+  let telemetry_invisible = traces_identical tr_pooled tr_tel in
+  let telemetry_overhead_pct =
+    if t_pooled > 0. then (t_pooled_tel -. t_pooled) /. t_pooled *. 100. else 0.
+  in
+  let metrics_snapshot = Amulet_obs.Obs.Snapshot.of_registry registry in
   let inputs_total = programs * n_inputs in
   let per t = (float_of_int programs /. t, float_of_int inputs_total /. t) in
   let tps_n, ips_n = per t_naive and tps_p, ips_p = per t_pooled in
@@ -717,6 +729,12 @@ let throughput () =
     Format.printf "ERROR: pooled and naive engine traces DIVERGED@."
   else Format.printf "traces: pooled and naive byte-identical across %d inputs@."
       (2 * inputs_total);
+  if not telemetry_invisible then
+    Format.printf "ERROR: telemetry changed the traces (must be trace-invisible)@."
+  else
+    Format.printf "telemetry: trace-invisible, %.1f%% overhead (%d counters live)@."
+      telemetry_overhead_pct
+      (List.length metrics_snapshot.Amulet_obs.Obs.Snapshot.counters);
   let json_path =
     Option.value (Sys.getenv_opt "AMULET_BENCH_JSON") ~default:"BENCH_throughput.json"
   in
@@ -730,14 +748,18 @@ let throughput () =
      \"sims_created\":%d,\"snapshot_restores\":%d},\
      \"speedup\":%.3f,\"opt_mode_speedup\":%.3f,\
      \"snapshot_us\":%.2f,\"restore_us\":%.2f,\"warm_boot_us\":%.2f,\
-     \"traces_identical\":%b}\n"
+     \"traces_identical\":%b,\
+     \"telemetry\":{\"trace_invisible\":%b,\"overhead_pct\":%.2f},\
+     \"metrics\":%s}\n"
     boot programs n_inputs t_naive tps_n ips_n s_naive.Engine.sims_created
     s_naive.Engine.snapshot_restores t_pooled tps_p ips_p
     s_pooled.Engine.sims_created s_pooled.Engine.snapshot_restores speedup
-    speedup_opt snapshot_us restore_us boot_us (identical && identical_opt);
+    speedup_opt snapshot_us restore_us boot_us (identical && identical_opt)
+    telemetry_invisible telemetry_overhead_pct
+    (Amulet_obs.Obs.Snapshot.to_json metrics_snapshot);
   close_out oc;
   Format.printf "wrote %s@." json_path;
-  if not (identical && identical_opt) then exit 1
+  if not (identical && identical_opt && telemetry_invisible) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* main                                                                *)

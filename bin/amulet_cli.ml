@@ -4,6 +4,8 @@
      fuzz       - run a testing campaign against a defense
      reproduce  - hunt a known vulnerability with its crafted reproducer
      run        - execute an assembly file on the simulator and print traces
+     analyze    - revalidate/classify/minimize a saved violation
+     explain    - violation forensics: trace + counter delta of the two runs
      list       - show available defenses, contracts, trace formats
 *)
 
@@ -176,9 +178,19 @@ let fuzz_cmd =
              test case with probability P each (so ~3P of rounds misbehave); \
              the campaign must classify and survive all of them.")
   in
+  let metrics_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the campaign's telemetry registry (uarch.* hardware \
+             counters, engine.* executor metrics, fuzzer.* campaign \
+             metrics) to FILE as JSON.  Trace-invisible: enabling \
+             telemetry never changes traces or findings.")
+  in
   let run defense programs inputs boosts mode engine fmt_ contract ways mshrs stop
       seed unaligned parallel prefetcher save_dir deadline_ms quarantine_dir journal
-      resume checkpoint_every chaos =
+      resume checkpoint_every chaos metrics_out =
     let sim_config =
       match ways, mshrs, prefetcher with
       | None, None, false -> None
@@ -259,22 +271,35 @@ let fuzz_cmd =
           j.Journal.programs_run j.Journal.n_programs
           (List.length j.Journal.violations)
     | None -> ());
+    let metrics =
+      match metrics_out with
+      | Some _ -> Amulet_obs.Obs.create ()
+      | None -> Amulet_obs.Obs.noop
+    in
     let r =
       if parallel > 1 then begin
         if journal_path <> None then
           Format.eprintf
             "note: --journal/--resume apply to single-instance campaigns; \
              ignored with --parallel@.";
-        Campaign.run_parallel ~instances:parallel cfg defense
+        Campaign.run_parallel ~instances:parallel ~metrics cfg defense
       end
       else begin
         let n = ref 0 in
-        Campaign.run ?journal_path ~checkpoint_every ?resume:resume_journal cfg
-          defense ~on_violation:(fun v ->
+        Campaign.run ?journal_path ~checkpoint_every ?resume:resume_journal
+          ~metrics cfg defense ~on_violation:(fun v ->
             incr n;
             Format.printf "@.--- violation %d ---@.%a@." !n Violation.pp v)
       end
     in
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc
+              (Amulet_obs.Obs.Snapshot.to_json r.Campaign.metrics);
+            Out_channel.output_char oc '\n');
+        Format.printf "telemetry written to %s@." path);
     if parallel > 1 then
       List.iteri
         (fun i v -> Format.printf "@.--- violation %d ---@.%a@." (i + 1) Violation.pp v)
@@ -296,7 +321,8 @@ let fuzz_cmd =
     Term.(
       const run $ defense_t $ programs $ inputs $ boosts $ mode $ engine $ fmt_ $ contract $ ways
       $ mshrs $ stop $ seed_t $ unaligned $ parallel $ prefetcher $ save_dir
-      $ deadline_ms $ quarantine_dir $ journal $ resume $ checkpoint_every $ chaos)
+      $ deadline_ms $ quarantine_dir $ journal $ resume $ checkpoint_every $ chaos
+      $ metrics_out)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a testing campaign against a secure-speculation defense.")
@@ -439,6 +465,49 @@ let analyze_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* explain                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A violation file written by fuzz --save-dir.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the forensics report as JSON on stdout.")
+  in
+  let ways =
+    Arg.(value & opt (some int) None & info [ "ways" ] ~doc:"Amplification: L1D ways.")
+  in
+  let mshrs =
+    Arg.(value & opt (some int) None & info [ "mshrs" ] ~doc:"Amplification: MSHR count.")
+  in
+  let run file json ways mshrs =
+    let stored = Violation_io.load file in
+    let sim_config =
+      match ways, mshrs, Defense.find stored.Violation_io.defense_name with
+      | None, None, _ | _, _, None -> None
+      | _, _, Some d -> Some (Defense.config ?l1d_ways:ways ?mshrs d)
+    in
+    let report = Forensics.explain ?sim_config stored in
+    if json then print_endline (Forensics.to_json report)
+    else Format.printf "%a" Forensics.pp report;
+    if report.Forensics.reproduced then 0 else 1
+  in
+  let term = Term.(const run $ file $ json $ ways $ mshrs) in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Violation forensics: re-run a saved violation's two inputs from an \
+          identical microarchitectural context and report the contract-trace \
+          comparison, the trace diff, the hardware-counter delta between the \
+          two executions, and the root-cause class.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -473,6 +542,6 @@ let list_cmd =
 let main =
   let doc = "AMuLeT: automated design-time testing of secure speculation countermeasures" in
   Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
-    [ fuzz_cmd; reproduce_cmd; run_cmd; analyze_cmd; list_cmd ]
+    [ fuzz_cmd; reproduce_cmd; run_cmd; analyze_cmd; explain_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

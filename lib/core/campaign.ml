@@ -10,6 +10,7 @@
     and merged defensively. *)
 
 open Amulet_defenses
+module Obs = Amulet_obs.Obs
 
 type config = {
   fuzzer : Fuzzer.config;
@@ -44,6 +45,9 @@ type result = {
   throughput : float;  (** test cases / second *)
   detection_times : float list;
       (** per violation: seconds since the previous find (or campaign start) *)
+  metrics : Obs.Snapshot.t;
+      (** telemetry delta accumulated over the campaign (empty unless a
+          live registry was passed in) *)
 }
 
 let count_classes classes =
@@ -57,6 +61,12 @@ let count_classes classes =
    reached in one uninterrupted run or after any number of kill/--resume
    cycles: resumability depends only on (seed, i). *)
 let round_seed seed i = seed + ((i + 1) * 2654435761)
+
+(* The contract a campaign tests is knowable from its config alone — used
+   when no round ever completed, so no result carries the name. *)
+let configured_contract_name (cfg : config) (defense : Defense.t) =
+  (Option.value cfg.fuzzer.Fuzzer.contract ~default:defense.Defense.contract)
+    .Amulet_contracts.Contract.name
 
 let classify_one cfg defense v =
   let executor =
@@ -72,10 +82,12 @@ let classify_one cfg defense v =
     rounds; [resume] continues from a loaded checkpoint instead of round
     0. *)
 let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
-    ?(checkpoint_every = 10) ?resume (cfg : config) (defense : Defense.t) :
-    result =
-  let fuzzer = Fuzzer.create ~cfg:cfg.fuzzer ~seed:cfg.seed defense in
-  let started = Unix.gettimeofday () in
+    ?(checkpoint_every = 10) ?resume ?(metrics = Obs.noop) (cfg : config)
+    (defense : Defense.t) : result =
+  let fuzzer = Fuzzer.create ~cfg:cfg.fuzzer ~metrics ~seed:cfg.seed defense in
+  (* campaign-local telemetry delta, even on a registry shared across runs *)
+  let metrics_before = Obs.Snapshot.of_registry metrics in
+  let started = Obs.Clock.now_s () in
   (* baselines carried over from the checkpoint being resumed *)
   let base_programs, base_discarded, base_tc, base_faults, base_times, base_violations =
     match resume with
@@ -138,7 +150,7 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
     | Fuzzer.No_violation _ -> ()
     | Fuzzer.Discarded _ -> incr discarded
     | Fuzzer.Found v ->
-        let now = Unix.gettimeofday () in
+        let now = Obs.Clock.now_s () in
         detection_times := (now -. !last_find) :: !detection_times;
         last_find := now;
         if cfg.classify then classes := classify_one cfg defense v :: !classes;
@@ -152,7 +164,7 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
     if (!programs - base_programs) mod checkpoint_every = 0 then checkpoint ()
   done;
   checkpoint ();
-  let duration = Unix.gettimeofday () -. started in
+  let duration = Obs.Clock.elapsed_s ~since:started in
   {
     defense;
     contract_name = (Fuzzer.contract fuzzer).Amulet_contracts.Contract.name;
@@ -166,15 +178,28 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
     duration;
     throughput = (if duration > 0. then float_of_int !test_cases /. duration else 0.);
     detection_times = List.rev !detection_times;
+    metrics =
+      Obs.Snapshot.diff ~older:metrics_before
+        ~newer:(Obs.Snapshot.of_registry metrics);
   }
 
 (* ------------------------------------------------------------------ *)
 (* Parallel campaigns                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let merge_results (defense : Defense.t) crash_counts results : result =
+(* Merge surviving instances' results.  Total when [results] is empty — an
+   all-crashed campaign degrades to a structured failed result (zero
+   programs, the crashes in [fault_counts]) instead of aborting the caller:
+   [fallback_contract] supplies the name no survivor can, and [elapsed] the
+   wall clock no instance reported. *)
+let merge_results (defense : Defense.t) ~fallback_contract ~elapsed crash_counts
+    results : result =
   let sum f = List.fold_left (fun acc r -> acc + f r) 0 results in
-  let duration = List.fold_left (fun acc r -> Float.max acc r.duration) 0. results in
+  let duration =
+    match results with
+    | [] -> elapsed
+    | _ -> List.fold_left (fun acc r -> Float.max acc r.duration) 0. results
+  in
   let merged_classes =
     let tbl = Hashtbl.create 8 in
     List.iter
@@ -196,7 +221,7 @@ let merge_results (defense : Defense.t) crash_counts results : result =
   {
     defense;
     contract_name =
-      (match results with r :: _ -> r.contract_name | [] -> assert false);
+      (match results with r :: _ -> r.contract_name | [] -> fallback_contract);
     violations = List.concat_map (fun r -> r.violations) results;
     violation_classes = merged_classes;
     programs_run = sum (fun r -> r.programs_run);
@@ -207,6 +232,10 @@ let merge_results (defense : Defense.t) crash_counts results : result =
     duration;
     throughput = (if duration > 0. then float_of_int test_cases /. duration else 0.);
     detection_times = List.concat_map (fun r -> r.detection_times) results;
+    metrics =
+      List.fold_left
+        (fun acc r -> Obs.Snapshot.merge acc r.metrics)
+        Obs.Snapshot.empty results;
   }
 
 (** Run [instances] independent campaign instances on parallel domains —
@@ -217,12 +246,20 @@ let merge_results (defense : Defense.t) crash_counts results : result =
     domain is joined defensively, the crash is recorded as an
     {!Fault.Instance_crash}, and the instance is restarted with a freshly
     derived seed up to [retries] times.  The merge covers every instance
-    that completed; only if {e all} instances exhaust their retries does
-    the call raise.  [instance_cfg] overrides the per-instance config
-    derivation (supervision tests use it to plant a crashing instance). *)
-let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg (cfg : config)
-    (defense : Defense.t) : result =
+    that completed; if {e all} instances exhaust their retries the call
+    still returns a structured (failed) result whose [fault_counts] carry
+    the crashes, rather than aborting a long campaign.  [instance_cfg]
+    overrides the per-instance config derivation (supervision tests use it
+    to plant a crashing instance).  [metrics], when live, makes each domain
+    record telemetry into a private registry; the merged snapshot lands in
+    [result.metrics]. *)
+let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg
+    ?(metrics = Obs.noop) (cfg : config) (defense : Defense.t) : result =
   assert (instances >= 1);
+  let started = Obs.Clock.now_s () in
+  (* domains must not share one registry (unsynchronised counters); each
+     instance gets its own and the snapshots merge after the joins *)
+  let telemetry = Obs.is_enabled metrics in
   let cfg_of i attempt =
     let base =
       match instance_cfg with
@@ -244,7 +281,8 @@ let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg (cfg : config)
           ( i,
             attempt,
             Domain.spawn (fun () ->
-                try Ok (run (cfg_of i attempt) defense)
+                let dm = if telemetry then Obs.create () else Obs.noop in
+                try Ok (run ~metrics:dm (cfg_of i attempt) defense)
                 with exn -> Error (Fault.exn_info exn)) ))
         batch
     in
@@ -263,9 +301,11 @@ let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg (cfg : config)
             if attempt < retries then pending := (i, attempt + 1) :: !pending)
       domains
   done;
-  match List.filter_map Fun.id (Array.to_list results) with
-  | [] -> failwith "Campaign.run_parallel: every instance crashed (retries exhausted)"
-  | survivors -> merge_results defense crash_counts survivors
+  merge_results defense
+    ~fallback_contract:(configured_contract_name cfg defense)
+    ~elapsed:(Obs.Clock.elapsed_s ~since:started)
+    crash_counts
+    (List.filter_map Fun.id (Array.to_list results))
 
 let detected r = r.violations <> []
 

@@ -27,6 +27,9 @@ type result = {
   duration : float;
   throughput : float;  (** test cases per second *)
   detection_times : float list;
+  metrics : Amulet_obs.Obs.Snapshot.t;
+      (** telemetry delta accumulated over the campaign (empty unless a
+          live registry was passed in) *)
 }
 
 val round_seed : int -> int -> int
@@ -39,18 +42,22 @@ val run :
   ?journal_path:string ->
   ?checkpoint_every:int ->
   ?resume:Journal.t ->
+  ?metrics:Amulet_obs.Obs.t ->
   config ->
   Defense.t ->
   result
 (** [journal_path] checkpoints progress atomically every [checkpoint_every]
     (default 10) rounds and at campaign end; [resume] continues from a
     loaded checkpoint instead of round 0 and, with the same seed and
-    config, ends with the same totals as an uninterrupted run. *)
+    config, ends with the same totals as an uninterrupted run.  [metrics]
+    (default noop) is threaded down to the fuzzer/engine/simulator
+    counters; the campaign-local delta lands in [result.metrics]. *)
 
 val run_parallel :
   ?instances:int ->
   ?retries:int ->
   ?instance_cfg:(int -> config) ->
+  ?metrics:Amulet_obs.Obs.t ->
   config ->
   Defense.t ->
   result
@@ -60,8 +67,12 @@ val run_parallel :
     recorded as {!Fault.Instance_crash}, restarted on fresh seeds up to
     [retries] (default 2) times, and the merge covers every surviving
     instance — one crashing domain no longer discards the others' results.
-    Raises only if every instance exhausts its retries.  [instance_cfg]
-    overrides per-instance config derivation (supervision tests). *)
+    If {e every} instance exhausts its retries, the call still returns a
+    structured failed result: zero programs and violations, the crashes
+    classified in [fault_counts] — never an exception.  [instance_cfg]
+    overrides per-instance config derivation (supervision tests).
+    [metrics], when live, gives each domain a private registry and merges
+    the per-instance snapshots into [result.metrics]. *)
 
 val detected : result -> bool
 val avg_detection_time : result -> float option

@@ -71,17 +71,30 @@ module Make (B : sig
   val backend : Executor.backend
   val name : string
 end) : S = struct
-  type t = { ex : Executor.t; mutable batches : int; mutable inputs_run : int }
+  open Amulet_obs
+
+  type t = {
+    ex : Executor.t;
+    mutable batches : int;
+    mutable inputs_run : int;
+    m_batches : Obs.counter;
+    m_inputs : Obs.counter;
+    m_batch_latency : Obs.histogram;
+  }
 
   let name = B.name
 
   let create ?boot_insts ?format ?sim_config ?chaos ~mode defense stats =
+    let metrics = Stats.registry stats in
     {
       ex =
         Executor.create ?boot_insts ?format ?sim_config ?chaos
           ~backend:B.backend ~mode defense stats;
       batches = 0;
       inputs_run = 0;
+      m_batches = Obs.counter metrics "engine.batches";
+      m_inputs = Obs.counter metrics "engine.inputs_run";
+      m_batch_latency = Obs.histogram metrics "engine.batch.latency";
     }
 
   let warm t = Executor.warm t.ex
@@ -89,8 +102,10 @@ end) : S = struct
   let run t ?context ?log flat input = Executor.run t.ex ?context ?log flat input
 
   let run_batch t ?(check = fun () -> ()) flat inputs =
+    let started = Obs.Clock.now_s () in
     Executor.start_program t.ex;
     t.batches <- t.batches + 1;
+    Obs.incr t.m_batches;
     let n = Array.length inputs in
     let outcomes = Array.make n None in
     let fault = ref None in
@@ -99,12 +114,14 @@ end) : S = struct
       check ();
       let o = Executor.run t.ex flat inputs.(!i) in
       t.inputs_run <- t.inputs_run + 1;
+      Obs.incr t.m_inputs;
       outcomes.(!i) <- Some o;
       (match o.Executor.run_fault with
       | Some f -> fault := Some (f, inputs.(!i))
       | None -> ());
       incr i
     done;
+    Obs.observe t.m_batch_latency (Obs.Clock.elapsed_s ~since:started);
     { outcomes; batch_fault = !fault }
 
   let stats t =

@@ -25,6 +25,7 @@
 
 open Amulet_uarch
 open Amulet_defenses
+open Amulet_obs
 
 type mode = Naive | Opt
 
@@ -47,6 +48,13 @@ type t = {
   mutable boot_snapshot : Simulator.snapshot option;
   mutable sims_created : int;
   mutable restores : int;
+  (* engine metrics, resolved once against the stats registry *)
+  m_rebuilds : Obs.counter;
+  m_restores : Obs.counter;
+  m_rebuild_time : Obs.timer;
+  m_restore_time : Obs.timer;
+  m_reuse_depth : Obs.gauge;
+      (* inputs served by the current pooled boot state *)
 }
 
 type outcome = {
@@ -64,6 +72,7 @@ let create ?(boot_insts = Simulator.default_boot_insts) ?(format = Utrace.L1d_tl
     match sim_config with Some c -> c | None -> Defense.config defense
   in
   let chaos = Option.map Fault.arm chaos in
+  let metrics = Stats.registry stats in
   {
     defense;
     sim_config;
@@ -77,6 +86,11 @@ let create ?(boot_insts = Simulator.default_boot_insts) ?(format = Utrace.L1d_tl
     boot_snapshot = None;
     sims_created = 0;
     restores = 0;
+    m_rebuilds = Obs.counter metrics "engine.sim.rebuilds";
+    m_restores = Obs.counter metrics "engine.sim.restores";
+    m_rebuild_time = Obs.timer metrics "engine.time.rebuild";
+    m_restore_time = Obs.timer metrics "engine.time.restore";
+    m_reuse_depth = Obs.gauge metrics "engine.pool.reuse_depth";
   }
 
 let mode t = t.mode
@@ -86,9 +100,12 @@ let restores t = t.restores
 
 let fresh_simulator t =
   t.sims_created <- t.sims_created + 1;
+  Obs.incr t.m_rebuilds;
   Stats.time t.stats Stats.Sim_startup (fun () ->
-      Simulator.create ~boot_insts:t.boot_insts
-        ~pages:t.defense.Defense.sandbox_pages t.sim_config)
+      Obs.time t.m_rebuild_time (fun () ->
+          Simulator.create ~metrics:(Stats.registry t.stats)
+            ~boot_insts:t.boot_insts ~pages:t.defense.Defense.sandbox_pages
+            t.sim_config))
 
 (* Rewind the pool simulator to its post-boot checkpoint (building it, and
    the checkpoint, on first use).  Equivalent to [fresh_simulator] without
@@ -96,8 +113,11 @@ let fresh_simulator t =
 let pooled_sim t =
   match t.sim, t.boot_snapshot with
   | Some sim, Some snap ->
-      Stats.time t.stats Stats.Sim_startup (fun () -> Simulator.restore sim snap);
+      Stats.time t.stats Stats.Sim_startup (fun () ->
+          Obs.time t.m_restore_time (fun () -> Simulator.restore sim snap));
       t.restores <- t.restores + 1;
+      Obs.incr t.m_restores;
+      Obs.set_gauge t.m_reuse_depth (float_of_int t.restores);
       sim
   | _ ->
       let sim = fresh_simulator t in
@@ -236,16 +256,3 @@ let run t ?context ?(log = false) flat (input : Input.t) =
           let sim = get_sim t in
           prime t sim;
           runner t sim flat input)
-
-(* ------------------------------------------------------------------ *)
-(* Deprecated wrappers (kept for one release; use {!run})              *)
-(* ------------------------------------------------------------------ *)
-
-let run_input t flat input = run t flat input
-
-let run_input_with_context t flat input context =
-  (run t ~context flat input).trace
-
-let run_input_logged t flat input context =
-  let o = run t ~context ~log:true flat input in
-  (o, o.events)

@@ -75,14 +75,3 @@ val sims_created : t -> int
 
 val restores : t -> int
 (** Checkpoint rewinds performed instead of rebuilds ([Pool] backend). *)
-
-val run_input : t -> Program.flat -> Input.t -> outcome
-(** @deprecated Use {!run}. *)
-
-val run_input_with_context :
-  t -> Program.flat -> Input.t -> Simulator.context -> Utrace.t
-(** @deprecated Use [run ~context] and read [outcome.trace]. *)
-
-val run_input_logged :
-  t -> Program.flat -> Input.t -> Simulator.context -> outcome * Event.t list
-(** @deprecated Use [run ~context ~log:true] and read [outcome.events]. *)

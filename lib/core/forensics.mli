@@ -1,0 +1,52 @@
+(** Violation forensics: re-execute a stored violation's two inputs from an
+    identical microarchitectural starting context with telemetry enabled,
+    and report everything that distinguishes the diverging executions —
+    the contract-trace comparison, the microarchitectural trace diff, the
+    hardware-counter delta, and the root-cause classification. *)
+
+type ctrace_summary = {
+  length_a : int;
+  length_b : int;
+  hash_a : int64;
+  hash_b : int64;
+  equal : bool;  (** equal contract traces: the violation's precondition *)
+  first_divergence : (int * string * string) option;
+      (** position and printed observations where the traces first differ
+          (including one trace ending early, shown as ["<end>"]) *)
+}
+
+type report = {
+  defense_name : string;
+  contract_name : string;
+  program_text : string;
+  input_a : Input.t;
+  input_b : Input.t;
+  reproduced : bool;
+      (** the microarchitectural traces still differ when both inputs run
+          from the same starting context *)
+  ctrace : ctrace_summary;
+  utrace_diff : string list;  (** {!Utrace.diff} of the two traces *)
+  leak_class : Analysis.leak_class option;
+      (** root-cause signature; [None] when not reproduced *)
+  counters_a : Amulet_obs.Obs.Snapshot.t;
+      (** [uarch.*] hardware-counter delta over execution A *)
+  counters_b : Amulet_obs.Obs.Snapshot.t;
+  counter_delta : Amulet_obs.Obs.Snapshot.t;
+      (** [counters_b - counters_a]: how the diverging execution differs in
+          fetches, squashes, misses, stalls, ... *)
+}
+
+val explain :
+  ?sim_config:Amulet_uarch.Config.t -> Violation_io.stored -> report
+(** Rebuild the violation's executions: run input A fresh to obtain a
+    starting context, then re-run both inputs from that exact context with
+    live telemetry, collect both contract traces, and classify. *)
+
+val of_violation :
+  ?sim_config:Amulet_uarch.Config.t -> Violation.t -> report
+(** As {!explain}, for an in-memory violation (its stored projection). *)
+
+val pp : Format.formatter -> report -> unit
+
+val to_json : report -> string
+(** Serialize the report (hand-rolled JSON, no external dependency). *)

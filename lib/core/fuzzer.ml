@@ -10,6 +10,7 @@
 open Amulet_isa
 open Amulet_contracts
 open Amulet_defenses
+open Amulet_obs
 
 type config = {
   n_base_inputs : int;
@@ -61,10 +62,21 @@ type t = {
   mutable rng : Rng.t;
   started_at : float;
   mutable quarantined : int;
+  (* fuzzer-level telemetry, resolved once against the stats registry *)
+  m_rounds : Obs.counter;
+  m_base_inputs : Obs.counter;
+  m_mutants : Obs.counter;
+  m_mutants_same_class : Obs.counter;
+      (* boost effectiveness: mutants whose contract trace stayed in the
+         base input's class, which is what taint-directed boosting aims
+         for *)
+  m_violations : Obs.counter;
+  m_discards : Obs.counter;
 }
 
-let create ?(cfg = default_config) ~seed (defense : Defense.t) =
-  let stats = Stats.create () in
+let create ?(cfg = default_config) ?(metrics = Obs.noop) ~seed
+    (defense : Defense.t) =
+  let stats = Stats.create ~metrics () in
   let contract = Option.value cfg.contract ~default:defense.Defense.contract in
   let generator =
     { cfg.generator with Generator.sandbox_pages = defense.Defense.sandbox_pages }
@@ -82,8 +94,14 @@ let create ?(cfg = default_config) ~seed (defense : Defense.t) =
     engine;
     stats;
     rng = Rng.create ~seed;
-    started_at = Unix.gettimeofday ();
+    started_at = Obs.Clock.now_s ();
     quarantined = 0;
+    m_rounds = Obs.counter metrics "fuzzer.rounds";
+    m_base_inputs = Obs.counter metrics "fuzzer.base_inputs";
+    m_mutants = Obs.counter metrics "fuzzer.boost.mutants";
+    m_mutants_same_class = Obs.counter metrics "fuzzer.boost.same_class";
+    m_violations = Obs.counter metrics "fuzzer.violations";
+    m_discards = Obs.counter metrics "fuzzer.discards";
   }
 
 let stats t = t.stats
@@ -119,13 +137,16 @@ exception Deadline of Fault.t
 type deadline = { round_started : float; budget_ms : float option }
 
 let deadline_start t =
-  { round_started = Unix.gettimeofday (); budget_ms = t.cfg.deadline_ms }
+  { round_started = Obs.Clock.now_s (); budget_ms = t.cfg.deadline_ms }
 
+(* [Obs.Clock.elapsed_ms] clamps to >= 0: the wall clock is not monotonic,
+   and an NTP step backwards must not instantly exhaust (or extend) the
+   budget. *)
 let check_deadline d =
   match d.budget_ms with
   | None -> ()
   | Some budget ->
-      let elapsed_ms = 1000. *. (Unix.gettimeofday () -. d.round_started) in
+      let elapsed_ms = Obs.Clock.elapsed_ms ~since:d.round_started in
       if elapsed_ms > budget then
         raise
           (Deadline (Fault.Deadline_exceeded { elapsed_ms; deadline_ms = budget }))
@@ -151,6 +172,7 @@ let build_test_cases t flat dl =
       match result.Leakage_model.fault with
       | Some f -> fault := Some (Fault.of_run_fault f, base)
       | None ->
+          Obs.incr t.m_base_inputs;
           cases := { input = base; ctrace_hash = result.ctrace_hash; outcome = None } :: !cases;
           (match result.Leakage_model.taint with
           | None -> ()
@@ -161,10 +183,14 @@ let build_test_cases t flat dl =
                 (* taint tracking is conservative, but verify: a mutant whose
                    contract trace moved would poison its class *)
                 let mr = ctrace_of t flat mutant ~collect_taint:false in
-                if mr.Leakage_model.fault = None then
+                if mr.Leakage_model.fault = None then begin
+                  Obs.incr t.m_mutants;
+                  if mr.Leakage_model.ctrace_hash = result.Leakage_model.ctrace_hash
+                  then Obs.incr t.m_mutants_same_class;
                   cases :=
                     { input = mutant; ctrace_hash = mr.ctrace_hash; outcome = None }
                     :: !cases
+                end
               done)
     end
   done;
@@ -190,6 +216,7 @@ let quarantine t flat ?input fault =
 
 let discard t flat ?input fault =
   Stats.count_fault t.stats fault;
+  Obs.incr t.m_discards;
   quarantine t flat ?input fault;
   Discarded fault
 
@@ -272,6 +299,7 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
           | None -> No_violation { test_cases = Array.length arr }
           | Some (a, b, ta, tb, ctx) ->
               Stats.count_violation t.stats;
+              Obs.incr t.m_violations;
               Found
                 {
                   Violation.program = flat;
@@ -284,7 +312,7 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
                   ctrace_hash = a.ctrace_hash;
                   contract = t.contract;
                   defense_name = t.defense.Defense.name;
-                  detection_seconds = Unix.gettimeofday () -. t.started_at;
+                  detection_seconds = Obs.Clock.elapsed_s ~since:t.started_at;
                   signature = None;
                 }))
 
@@ -294,6 +322,7 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
     a classified discard, and (unless [isolate_rounds] is off) so does any
     exception escaping the round. *)
 let test_program t (flat : Program.flat) : round_result =
+  Obs.incr t.m_rounds;
   let dl = deadline_start t in
   let contained () =
     try test_program_exn t flat dl with Deadline fault -> discard t flat fault

@@ -26,7 +26,12 @@ val default_config : config
 
 type t
 
-val create : ?cfg:config -> seed:int -> Defense.t -> t
+val create :
+  ?cfg:config -> ?metrics:Amulet_obs.Obs.t -> seed:int -> Defense.t -> t
+(** [metrics] (default noop) receives the [fuzzer.*] counters and is
+    threaded through stats/engine/executor down to the simulator's
+    [uarch.*] hardware counters. *)
+
 val stats : t -> Stats.t
 val contract : t -> Contract.t
 

@@ -1,6 +1,15 @@
 (** Wall-clock accounting for the executor pipeline, reproducing the
     breakdown of the paper's Table 2 (gem5 startup / gem5 simulate / trace
-    extraction / test generation / contract-trace extraction / others). *)
+    extraction / test generation / contract-trace extraction / others).
+
+    Also owns the session's telemetry registry: every stats instance
+    carries an {!Amulet_obs.Obs.t} that the executor threads down into the
+    simulator ([uarch.*] hardware counters) and that the fuzzer/campaign
+    layers count into ([fuzzer.*]).  Classified faults are mirrored into
+    [fuzzer.fault.<class>] counters so fault-class rates appear in metric
+    snapshots alongside {!Fault.Counters}. *)
+
+open Amulet_obs
 
 type category =
   | Sim_startup
@@ -28,28 +37,32 @@ type t = {
   mutable violations : int;
   mutable validations : int;
   faults : Fault.Counters.t;
+  metrics : Obs.t;
 }
 
-let create () =
+let create ?(metrics = Obs.noop) () =
   let buckets = Hashtbl.create 8 in
   List.iter (fun c -> Hashtbl.add buckets c (ref 0.)) all_categories;
   {
     buckets;
-    started_at = Unix.gettimeofday ();
+    started_at = Obs.Clock.now_s ();
     test_cases = 0;
     violations = 0;
     validations = 0;
     faults = Fault.Counters.create ();
+    metrics;
   }
+
+let registry t = t.metrics
 
 let bucket t c = Hashtbl.find t.buckets c
 
 (** Time the thunk, attributing its wall time to [c]. *)
 let time t c f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.now_s () in
   let r = f () in
   let b = bucket t c in
-  b := !b +. (Unix.gettimeofday () -. t0);
+  b := !b +. Obs.Clock.elapsed_s ~since:t0;
   r
 
 let add t c seconds =
@@ -59,12 +72,18 @@ let add t c seconds =
 let count_test_case t = t.test_cases <- t.test_cases + 1
 let count_violation t = t.violations <- t.violations + 1
 let count_validation t = t.validations <- t.validations + 1
-let count_fault t f = Fault.Counters.record t.faults f
+
+let count_fault t f =
+  Fault.Counters.record t.faults f;
+  Obs.incr
+    (Obs.counter t.metrics
+       ("fuzzer.fault." ^ Fault.class_name (Fault.class_of f)))
+
 let fault_counters t = t.faults
 let fault_counts t = Fault.Counters.to_list t.faults
 
 let total t = Hashtbl.fold (fun _ b acc -> acc +. !b) t.buckets 0.
-let elapsed t = Unix.gettimeofday () -. t.started_at
+let elapsed t = Obs.Clock.elapsed_s ~since:t.started_at
 let seconds t c = !(bucket t c)
 let test_cases t = t.test_cases
 let violations t = t.violations

@@ -14,7 +14,12 @@ val category_name : category -> string
 
 type t
 
-val create : unit -> t
+val create : ?metrics:Amulet_obs.Obs.t -> unit -> t
+(** [metrics] (default noop) is the telemetry registry this stats instance
+    carries; the executor threads it into the simulator and the fuzzer
+    counts into it. *)
+
+val registry : t -> Amulet_obs.Obs.t
 
 val time : t -> category -> (unit -> 'a) -> 'a
 (** Run the thunk, attributing its wall time to the category. *)

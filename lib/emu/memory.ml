@@ -88,11 +88,20 @@ type mark = int
 let set_journaling m on = m.journaling <- on
 let mark m : mark = m.journal_len
 
-(** Undo all writes made after [mark] (most recent first). *)
+(** Undo all writes made after [mark] (most recent first).  A mark deeper
+    than the current journal is stale — taken before a [clear_journal], or
+    against a different memory — and rolling back to it would silently
+    undo nothing, so reject it loudly instead. *)
 let rollback m (mk : mark) =
+  if mk < 0 || mk > m.journal_len then
+    invalid_arg
+      (Printf.sprintf
+         "Memory.rollback: stale or foreign mark %d (journal length %d)" mk
+         m.journal_len);
   while m.journal_len > mk do
     match m.journal with
-    | [] -> assert false
+    | [] ->
+        invalid_arg "Memory.rollback: journal shorter than its recorded length"
     | (addr, old) :: rest ->
         Bytes.unsafe_set m.data (addr - m.base) old;
         m.journal <- rest;

@@ -41,7 +41,9 @@ val set_journaling : t -> bool -> unit
 val mark : t -> mark
 
 val rollback : t -> mark -> unit
-(** Undo all writes made after [mark]. *)
+(** Undo all writes made after [mark].
+    @raise Invalid_argument on a stale or foreign mark — one taken before a
+    {!clear_journal}, or against a different memory. *)
 
 val clear_journal : t -> unit
 

@@ -15,9 +15,12 @@ type t = {
   btb_targets : int array;
   btb_mask : int;
   mutable history : int;  (** speculative global history *)
+  m_predicts : Amulet_obs.Obs.counter;
+  m_trains : Amulet_obs.Obs.counter;
 }
 
-let create ~history_bits ~table_bits ~btb_bits =
+let create ?(metrics = Amulet_obs.Obs.noop) ~history_bits ~table_bits
+    ~btb_bits () =
   let table_size = 1 lsl table_bits in
   let btb_size = 1 lsl btb_bits in
   {
@@ -28,6 +31,8 @@ let create ~history_bits ~table_bits ~btb_bits =
     btb_targets = Array.make btb_size 0;
     btb_mask = btb_size - 1;
     history = 0;
+    m_predicts = Amulet_obs.Obs.counter metrics "uarch.bp.predicts";
+    m_trains = Amulet_obs.Obs.counter metrics "uarch.bp.trains";
   }
 
 let history t = t.history
@@ -37,6 +42,7 @@ let pht_index t ~pc ~history = (pc lsr 2) lxor history land t.table_mask
 (** Predict the direction of the branch at [pc] under the current
     speculative history. *)
 let predict t ~pc =
+  Amulet_obs.Obs.incr t.m_predicts;
   let idx = pht_index t ~pc ~history:t.history in
   t.table.(idx) >= 2
 
@@ -59,6 +65,7 @@ let set_history t h = t.history <- h
 (** Train the PHT (at resolution, with the fetch-time history) and the BTB
     (with the actual target when taken). *)
 let train t ~pc ~history ~taken ~target =
+  Amulet_obs.Obs.incr t.m_trains;
   let idx = pht_index t ~pc ~history in
   let c = t.table.(idx) in
   t.table.(idx) <- (if taken then min 3 (c + 1) else max 0 (c - 1));

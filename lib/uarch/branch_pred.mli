@@ -3,7 +3,16 @@
 
 type t
 
-val create : history_bits:int -> table_bits:int -> btb_bits:int -> t
+val create :
+  ?metrics:Amulet_obs.Obs.t ->
+  history_bits:int ->
+  table_bits:int ->
+  btb_bits:int ->
+  unit ->
+  t
+(** [metrics] (default noop) receives [uarch.bp.predicts/trains]
+    counters. *)
+
 val history : t -> int
 
 val predict : t -> pc:int -> bool

@@ -20,11 +20,15 @@ type t = {
   valid_a : bool array;
   lru_a : int array;
   mutable tick : int;  (** LRU clock *)
+  m_hits : Amulet_obs.Obs.counter;
+  m_misses : Amulet_obs.Obs.counter;
+  m_evictions : Amulet_obs.Obs.counter;
 }
 
-let create ~name ~sets ~ways ~line_bytes =
+let create ?(metrics = Amulet_obs.Obs.noop) ~name ~sets ~ways ~line_bytes () =
   assert (sets > 0 && ways > 0);
   assert (line_bytes land (line_bytes - 1) = 0);
+  let prefix = "uarch." ^ String.lowercase_ascii name in
   {
     name;
     sets;
@@ -34,6 +38,9 @@ let create ~name ~sets ~ways ~line_bytes =
     valid_a = Array.make (sets * ways) false;
     lru_a = Array.make (sets * ways) 0;
     tick = 0;
+    m_hits = Amulet_obs.Obs.counter metrics (prefix ^ ".hits");
+    m_misses = Amulet_obs.Obs.counter metrics (prefix ^ ".misses");
+    m_evictions = Amulet_obs.Obs.counter metrics (prefix ^ ".evictions");
   }
 
 (** Line-aligned address containing byte address [addr]. *)
@@ -83,9 +90,13 @@ let touch t line =
   let i = find_idx t line in
   if i >= 0 then begin
     t.lru_a.(i) <- next_tick t;
+    Amulet_obs.Obs.incr t.m_hits;
     true
   end
-  else false
+  else begin
+    Amulet_obs.Obs.incr t.m_misses;
+    false
+  end
 
 (** Does the set of [line] have an invalid (free) way? *)
 let has_free_way t line = free_idx t line >= 0
@@ -116,6 +127,7 @@ let install t line =
     t.tags_a.(target) <- line;
     t.valid_a.(target) <- true;
     t.lru_a.(target) <- next_tick t;
+    if evicted <> None then Amulet_obs.Obs.incr t.m_evictions;
     evicted
   end
 
@@ -137,6 +149,7 @@ let force_replacement t line =
   else begin
     let v = victim_idx t line in
     t.valid_a.(v) <- false;
+    Amulet_obs.Obs.incr t.m_evictions;
     Some t.tags_a.(v)
   end
 

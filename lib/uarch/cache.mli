@@ -4,7 +4,18 @@
 
 type t
 
-val create : name:string -> sets:int -> ways:int -> line_bytes:int -> t
+val create :
+  ?metrics:Amulet_obs.Obs.t ->
+  name:string ->
+  sets:int ->
+  ways:int ->
+  line_bytes:int ->
+  unit ->
+  t
+(** [metrics] (default {!Amulet_obs.Obs.noop}) receives
+    [uarch.<name>.hits/misses/evictions] counters.  Counting is
+    trace-invisible: it never changes tag or replacement state. *)
+
 val line_of : t -> int -> int
 (** Line-aligned address containing the byte address. *)
 

@@ -69,22 +69,25 @@ type t = {
   cleanup_meta : (int, cleanup_meta list ref) Hashtbl.t;  (** by rob id *)
   mutable access_order : (int * int) list;  (** (pc, addr), newest first *)
   mutable last_stalled_line : int;  (** event-dedup for MSHR stalls *)
+  m_mshr_allocs : Amulet_obs.Obs.counter;
+  m_mshr_full_stalls : Amulet_obs.Obs.counter;
 }
 
-let create (cfg : Config.t) (log : Event.log) =
+let create ?(metrics = Amulet_obs.Obs.noop) (cfg : Config.t) (log : Event.log)
+    =
   {
     cfg;
     log;
     l1d =
-      Cache.create ~name:"L1D" ~sets:cfg.l1d_sets ~ways:cfg.l1d_ways
-        ~line_bytes:cfg.line_bytes;
+      Cache.create ~metrics ~name:"L1D" ~sets:cfg.l1d_sets ~ways:cfg.l1d_ways
+        ~line_bytes:cfg.line_bytes ();
     l1i =
-      Cache.create ~name:"L1I" ~sets:cfg.l1i_sets ~ways:cfg.l1i_ways
-        ~line_bytes:cfg.line_bytes;
+      Cache.create ~metrics ~name:"L1I" ~sets:cfg.l1i_sets ~ways:cfg.l1i_ways
+        ~line_bytes:cfg.line_bytes ();
     l2 =
-      Cache.create ~name:"L2" ~sets:cfg.l2_sets ~ways:cfg.l2_ways
-        ~line_bytes:cfg.line_bytes;
-    tlb = Tlb.create ~entries:cfg.tlb_entries;
+      Cache.create ~metrics ~name:"L2" ~sets:cfg.l2_sets ~ways:cfg.l2_ways
+        ~line_bytes:cfg.line_bytes ();
+    tlb = Tlb.create ~metrics ~entries:cfg.tlb_entries ();
     queue = Queue.create ();
     ghost_queue = Queue.create ();
     busy_until = 0;
@@ -96,6 +99,9 @@ let create (cfg : Config.t) (log : Event.log) =
     cleanup_meta = Hashtbl.create 64;
     access_order = [];
     last_stalled_line = -1;
+    m_mshr_allocs = Amulet_obs.Obs.counter metrics "uarch.mshr.allocs";
+    m_mshr_full_stalls =
+      Amulet_obs.Obs.counter metrics "uarch.mshr.full_stalls";
   }
 
 let line_of t addr = Cache.line_of t.l1d addr
@@ -343,6 +349,7 @@ let allocate_mshr t ~now (req : request) =
   let m = { m_line = req.line; m_ready_at = now + latency; m_waiters = [ req ] } in
   if uses_ghost_pool t req then t.ghost_mshrs <- m :: t.ghost_mshrs
   else t.mshrs <- m :: t.mshrs;
+  Amulet_obs.Obs.incr t.m_mshr_allocs;
   Event.record t.log (Event.Mshr_alloc { cycle = now; line = req.line })
 
 (* Process one queue head item.  Returns [`Done] if it was consumed,
@@ -445,6 +452,7 @@ let process_head t ~now (item : queue_item) =
               `Done
             end
             else begin
+              Amulet_obs.Obs.incr t.m_mshr_full_stalls;
               if t.last_stalled_line <> r.line then begin
                 Event.record t.log
                   (Event.Mshr_stall { cycle = now; kind = kind_to_event r.kind; line = r.line });

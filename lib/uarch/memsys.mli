@@ -9,7 +9,9 @@ type t
 
 type req_kind = Demand_load | Spec_load | Store_install | Expose | Prime | Prefetch
 
-val create : Config.t -> Event.log -> t
+val create : ?metrics:Amulet_obs.Obs.t -> Config.t -> Event.log -> t
+(** [metrics] (default noop) receives the cache/TLB counters plus
+    [uarch.mshr.allocs] and [uarch.mshr.full_stalls]. *)
 
 val line_of : t -> int -> int
 (** Line-aligned address containing the given byte address. *)

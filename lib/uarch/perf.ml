@@ -1,0 +1,38 @@
+(** Resolved hardware-counter bundle for the pipeline hot path.
+
+    Counter handles are resolved once against a registry (at simulator
+    construction) and kept here, so the per-event cost in the pipeline is a
+    single gated increment — no name lookup.  All counters are
+    trace-invisible observations; derived rates (IPC, miss ratios,
+    mispredict rate) are computed at report time from the raw counts. *)
+
+open Amulet_obs
+
+type t = {
+  fetched : Obs.counter;  (** instructions dispatched into the ROB *)
+  retired : Obs.counter;  (** instructions committed *)
+  squashes : Obs.counter;  (** squash events *)
+  squashed_insts : Obs.counter;  (** instructions thrown away by squashes *)
+  spec_issued : Obs.counter;  (** memory ops issued under speculation *)
+  mispredicts : Obs.counter;  (** resolved conditional-branch mispredicts *)
+  cycles : Obs.counter;  (** simulated cycles *)
+  rob_occupancy : Obs.counter;
+      (** sum over cycles of ROB length — the speculation-window occupancy
+          integral; divide by [cycles] for mean occupancy *)
+  runs : Obs.counter;  (** pipeline runs (program executions) *)
+}
+
+let create metrics =
+  {
+    fetched = Obs.counter metrics "uarch.insts.fetched";
+    retired = Obs.counter metrics "uarch.insts.retired";
+    squashes = Obs.counter metrics "uarch.squashes";
+    squashed_insts = Obs.counter metrics "uarch.insts.squashed";
+    spec_issued = Obs.counter metrics "uarch.insts.spec_issued";
+    mispredicts = Obs.counter metrics "uarch.bp.mispredicts";
+    cycles = Obs.counter metrics "uarch.cycles";
+    rob_occupancy = Obs.counter metrics "uarch.rob.occupancy_cycles";
+    runs = Obs.counter metrics "uarch.runs";
+  }
+
+let noop = create Obs.noop

@@ -88,10 +88,12 @@ type t = {
       (** PCs in execution order, including wrong-path instructions (the
           physical-probe observer of §3.2's third trace option); newest
           first *)
+  perf : Perf.t;  (** hardware counters; trace-invisible *)
 }
 
-let create (cfg : Config.t) (ms : Memsys.t) (bp : Branch_pred.t) (mdp : Mdp.t)
-    (log : Event.log) (arch : State.t) (flat : Program.flat) =
+let create ?(perf = Perf.noop) (cfg : Config.t) (ms : Memsys.t)
+    (bp : Branch_pred.t) (mdp : Mdp.t) (log : Event.log) (arch : State.t)
+    (flat : Program.flat) =
   {
     cfg;
     ms;
@@ -117,6 +119,7 @@ let create (cfg : Config.t) (ms : Memsys.t) (bp : Branch_pred.t) (mdp : Mdp.t)
     last_commit_cycle = 0;
     bpred_order = [];
     exec_order = [];
+    perf;
   }
 
 let find t id = Hashtbl.find t.all id
@@ -336,6 +339,7 @@ let dispatch t index =
   Hashtbl.add t.all id e;
   t.rob <- t.rob @ [ e ];
   t.rob_len <- t.rob_len + 1;
+  Amulet_obs.Obs.incr t.perf.Perf.fetched;
   Event.record t.log (Event.Fetched { cycle = t.cycle; pc; disasm = disasm inst });
   (* instructions with no execution stage complete at dispatch *)
   (match inst with
@@ -421,6 +425,8 @@ let squash_from t ~bound ~reason =
   let keep, gone = List.partition (fun (e : entry) -> e.id < bound) t.rob in
   if gone <> [] then begin
     t.squashes <- t.squashes + 1;
+    Amulet_obs.Obs.incr t.perf.Perf.squashes;
+    Amulet_obs.Obs.add t.perf.Perf.squashed_insts (List.length gone);
     let newest_first = List.rev gone in
     List.iter
       (fun (e : entry) ->
@@ -539,6 +545,7 @@ let try_issue t (e : entry) =
                   e.bypassed <- bypassed;
                   let spec = is_speculative t e || bypassed in
                   e.was_spec <- spec;
+                  if spec then Amulet_obs.Obs.incr t.perf.Perf.spec_issued;
                   Memsys.tlb_access t.ms ~now:t.cycle ~addr ~tainted:false
                     ~by_store:false;
                   e.load_value <- Some (overlay_read t e addr width);
@@ -586,6 +593,8 @@ let try_issue t (e : entry) =
             | _ ->
                 e.maddr <- Some addr;
                 e.was_spec <- is_speculative t e;
+                if e.was_spec then
+                  Amulet_obs.Obs.incr t.perf.Perf.spec_issued;
                 Memsys.tlb_access t.ms ~now:t.cycle ~addr ~tainted:a_tainted
                   ~by_store:true;
                 (* CleanupSpec lets speculative stores modify the cache at
@@ -657,6 +666,7 @@ let resolve_branch t (e : entry) =
     ~target:(Program.pc_of_index t.flat actual_next);
   e.resolved <- true;
   if actual_next <> predicted_next then begin
+    Amulet_obs.Obs.incr t.perf.Perf.mispredicts;
     squash_from t ~bound:(e.id + 1) ~reason:Event.Branch_mispredict;
     (* repair history: the branch's own bit was wrong *)
     Branch_pred.set_history t.bp e.bp_history;
@@ -749,6 +759,7 @@ let commit_entry t (e : entry) =
   | _ -> ());
   e.retired <- true;
   t.committed_insts <- t.committed_insts + 1;
+  Amulet_obs.Obs.incr t.perf.Perf.retired;
   t.last_commit_cycle <- t.cycle;
   Event.record t.log
     (Event.Committed { cycle = t.cycle; pc = e.pc; disasm = disasm e.inst })
@@ -810,6 +821,8 @@ let commit_stage t =
 
 let step_cycle t =
   t.cycle <- t.cycle + 1;
+  Amulet_obs.Obs.incr t.perf.Perf.cycles;
+  Amulet_obs.Obs.add t.perf.Perf.rob_occupancy t.rob_len;
   Memsys.tick t.ms ~now:t.cycle;
   apply_responses t;
   if stt_cfg t <> None then recompute_taints t;
@@ -824,6 +837,7 @@ let step_cycle t =
   end
 
 let run t : run_result =
+  Amulet_obs.Obs.incr t.perf.Perf.runs;
   while (not t.halted) && t.fault = None && t.cycle < t.cfg.max_cycles do
     step_cycle t
   done;

@@ -16,8 +16,11 @@ type run_result = {
 }
 
 val create :
+  ?perf:Perf.t ->
   Config.t -> Memsys.t -> Branch_pred.t -> Mdp.t -> Event.log -> State.t ->
   Program.flat -> t
+(** [perf] (default {!Perf.noop}) is the resolved hardware-counter bundle;
+    counting never affects simulated behaviour. *)
 
 val run : t -> run_result
 (** Run to completion (Exit, fault, or cycle limit), then drain. *)

@@ -14,6 +14,8 @@ open Amulet_emu
 type t = {
   cfg : Config.t;
   log : Event.log;
+  metrics : Amulet_obs.Obs.t;
+  perf : Perf.t;  (** counter handles resolved once, shared by all runs *)
   ms : Memsys.t;
   bp : Branch_pred.t;
   mdp : Mdp.t;
@@ -66,7 +68,7 @@ let default_boot_insts = 20_000
 (* ------------------------------------------------------------------ *)
 
 let run_flat t flat : run_stats =
-  let p = Pipeline.create t.cfg t.ms t.bp t.mdp t.log t.arch flat in
+  let p = Pipeline.create ~perf:t.perf t.cfg t.ms t.bp t.mdp t.log t.arch flat in
   let r = Pipeline.run p in
   t.last_bpred_order <- Pipeline.branch_prediction_order p;
   t.last_exec_order <- Pipeline.execution_order p;
@@ -86,16 +88,19 @@ let run_flat t flat : run_stats =
 (** Create a simulator.  [boot_insts > 0] runs the synthetic warm-boot
     workload, making creation cost realistic (AMuLeT-Naive pays it per
     input; AMuLeT-Opt once per test program). *)
-let create ?(boot_insts = default_boot_insts) ?(pages = 1) (cfg : Config.t) =
+let create ?(metrics = Amulet_obs.Obs.noop) ?(boot_insts = default_boot_insts)
+    ?(pages = 1) (cfg : Config.t) =
   let log = Event.create () in
   let t =
     {
       cfg;
       log;
-      ms = Memsys.create cfg log;
+      metrics;
+      perf = Perf.create metrics;
+      ms = Memsys.create ~metrics cfg log;
       bp =
-        Branch_pred.create ~history_bits:cfg.bp_history_bits
-          ~table_bits:cfg.bp_table_bits ~btb_bits:cfg.btb_bits;
+        Branch_pred.create ~metrics ~history_bits:cfg.bp_history_bits
+          ~table_bits:cfg.bp_table_bits ~btb_bits:cfg.btb_bits ();
       mdp = Mdp.create ~bits:cfg.mdp_bits;
       arch = State.create ~pages ();
       total_cycles = 0;
@@ -106,18 +111,27 @@ let create ?(boot_insts = default_boot_insts) ?(pages = 1) (cfg : Config.t) =
     }
   in
   if boot_insts > 0 then begin
-    let boot = boot_program ~insts:boot_insts in
-    ignore (run_flat t boot);
-    (* boot effects must not leak into the first test case *)
-    Memsys.flush_caches t.ms;
-    Branch_pred.reset t.bp;
-    Mdp.reset t.mdp;
-    t.arch <- State.create ~pages ()
+    (* the boot workload is excluded from hardware counters: engines boot
+       a different number of simulators (naive: many; pooled: one), and
+       counting boot would make otherwise-identical campaigns diverge *)
+    let was_enabled = Amulet_obs.Obs.is_enabled metrics in
+    Amulet_obs.Obs.set_enabled metrics false;
+    Fun.protect
+      ~finally:(fun () -> Amulet_obs.Obs.set_enabled metrics was_enabled)
+      (fun () ->
+        let boot = boot_program ~insts:boot_insts in
+        ignore (run_flat t boot);
+        (* boot effects must not leak into the first test case *)
+        Memsys.flush_caches t.ms;
+        Branch_pred.reset t.bp;
+        Mdp.reset t.mdp;
+        t.arch <- State.create ~pages ())
   end;
   t
 
 let config t = t.cfg
 let log t = t.log
+let metrics t = t.metrics
 let arch_state t = t.arch
 
 (* ------------------------------------------------------------------ *)

@@ -23,14 +23,22 @@ type run_stats = {
 
 val default_boot_insts : int
 
-val create : ?boot_insts:int -> ?pages:int -> Config.t -> t
+val create :
+  ?metrics:Amulet_obs.Obs.t -> ?boot_insts:int -> ?pages:int -> Config.t -> t
 (** Create a simulator.  [boot_insts > 0] runs the synthetic warm-boot
     workload, making creation cost realistic (AMuLeT-Naive pays it per
     input; AMuLeT-Opt once per test program; the pooled engine once per
-    executor lifetime). *)
+    executor lifetime).  [metrics] (default noop) receives the [uarch.*]
+    hardware counters; the boot workload is excluded from them so that
+    engines booting different numbers of simulators still accumulate
+    identical counts.  Counting is trace-invisible. *)
 
 val config : t -> Config.t
 val log : t -> Event.log
+
+val metrics : t -> Amulet_obs.Obs.t
+(** The registry the simulator counts into ([Obs.noop] when none given). *)
+
 val arch_state : t -> State.t
 
 val load_state : t -> State.t -> unit

@@ -15,15 +15,19 @@ type t = {
   valid_a : bool array;
   lru_a : int array;
   mutable tick : int;
+  m_hits : Amulet_obs.Obs.counter;
+  m_misses : Amulet_obs.Obs.counter;
 }
 
-let create ~entries =
+let create ?(metrics = Amulet_obs.Obs.noop) ~entries () =
   assert (entries > 0);
   {
     pages_a = Array.make entries 0;
     valid_a = Array.make entries false;
     lru_a = Array.make entries 0;
     tick = 0;
+    m_hits = Amulet_obs.Obs.counter metrics "uarch.tlb.hits";
+    m_misses = Amulet_obs.Obs.counter metrics "uarch.tlb.misses";
   }
 
 let page_of_addr addr = addr lsr page_bits
@@ -50,6 +54,7 @@ let access t page =
   let i = find_idx t page in
   if i >= 0 then begin
     t.lru_a.(i) <- next_tick t;
+    Amulet_obs.Obs.incr t.m_hits;
     `Hit
   end
   else begin
@@ -71,6 +76,7 @@ let access t page =
     t.pages_a.(target) <- page;
     t.valid_a.(target) <- true;
     t.lru_a.(target) <- next_tick t;
+    Amulet_obs.Obs.incr t.m_misses;
     `Miss
   end
 

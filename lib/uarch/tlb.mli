@@ -4,7 +4,9 @@
 type t
 
 val page_bits : int
-val create : entries:int -> t
+val create : ?metrics:Amulet_obs.Obs.t -> entries:int -> unit -> t
+(** [metrics] (default noop) receives [uarch.tlb.hits/misses] counters. *)
+
 val page_of_addr : int -> int
 val probe : t -> int -> bool
 

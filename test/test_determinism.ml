@@ -1,0 +1,111 @@
+(* Determinism suite: identical (seed, config) campaigns must produce
+   identical violation sets and identical deterministic telemetry counters
+   across execution engines (pooled vs naive), and turning telemetry on
+   must leave every trace byte-identical (trace invisibility).
+
+   Deterministic counters are the uarch.* hardware counts and fuzzer.*
+   campaign counts; engine.* metrics legitimately differ between backends
+   (that is what they measure), and timers/histograms carry wall-clock
+   time, so both are excluded from cross-engine comparison. *)
+
+open Amulet
+open Amulet_defenses
+module Obs = Amulet_obs.Obs
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let cfg engine =
+  {
+    Campaign.n_programs = 5;
+    stop_after_violations = None;
+    seed = 17;
+    classify = false;
+    fuzzer =
+      {
+        Fuzzer.default_config with
+        Fuzzer.n_base_inputs = 6;
+        boosts_per_input = 3;
+        boot_insts = 250;
+        engine;
+      };
+  }
+
+let run_campaign ?(telemetry = true) engine =
+  let metrics = if telemetry then Obs.create () else Obs.noop in
+  Campaign.run ~metrics (cfg engine) Defense.speclfb
+
+(* Everything that identifies a violation, including both raw trace hashes
+   — if telemetry or the engine perturbed a single trace byte, the key
+   changes. *)
+let violation_keys r =
+  List.map
+    (fun (v : Violation.t) ->
+      ( v.Violation.ctrace_hash,
+        Utrace.hash v.Violation.trace_a,
+        Utrace.hash v.Violation.trace_b,
+        v.Violation.program_text ))
+    r.Campaign.violations
+
+let deterministic_counters r =
+  (Obs.Snapshot.filter
+     (fun n -> has_prefix "uarch." n || has_prefix "fuzzer." n)
+     r.Campaign.metrics)
+    .Obs.Snapshot.counters
+
+let test_cross_engine () =
+  let rp = run_campaign Engine.Pooled in
+  let rn = run_campaign Engine.Naive in
+  checkb "violation sets identical across engines" true
+    (violation_keys rp = violation_keys rn);
+  checki "programs_run identical" rp.Campaign.programs_run rn.Campaign.programs_run;
+  checki "test_cases identical" rp.Campaign.test_cases rn.Campaign.test_cases;
+  checki "discards identical" rp.Campaign.discarded_programs
+    rn.Campaign.discarded_programs;
+  let cp = deterministic_counters rp and cn = deterministic_counters rn in
+  checkb "some uarch/fuzzer counters recorded" true (cp <> []);
+  checkb "uarch.* and fuzzer.* counters identical across engines" true (cp = cn);
+  checkb "hardware counters are live" true
+    (Obs.Snapshot.counter_value rp.Campaign.metrics "uarch.insts.retired" > 0
+    && Obs.Snapshot.counter_value rp.Campaign.metrics "uarch.cycles" > 0)
+
+let test_telemetry_invisible () =
+  let on = run_campaign ~telemetry:true Engine.Pooled in
+  let off = run_campaign ~telemetry:false Engine.Pooled in
+  checkb "telemetry off produced no metrics" true
+    (off.Campaign.metrics.Obs.Snapshot.counters = []);
+  checkb "violation sets (incl. trace hashes) unchanged by telemetry" true
+    (violation_keys on = violation_keys off);
+  checki "programs_run unchanged" on.Campaign.programs_run off.Campaign.programs_run;
+  checki "test_cases unchanged" on.Campaign.test_cases off.Campaign.test_cases
+
+let test_same_engine_repeatable () =
+  let a = run_campaign Engine.Pooled in
+  let b = run_campaign Engine.Pooled in
+  (* same backend: even the engine.* counters must repeat exactly *)
+  let counters r =
+    (Obs.Snapshot.filter
+       (fun n ->
+         has_prefix "uarch." n || has_prefix "fuzzer." n
+         || has_prefix "engine." n)
+       r.Campaign.metrics)
+      .Obs.Snapshot.counters
+  in
+  checkb "full counter set repeats" true (counters a = counters b);
+  checkb "violations repeat" true (violation_keys a = violation_keys b)
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "telemetry",
+        [
+          Alcotest.test_case "cross-engine counters + violations" `Slow
+            test_cross_engine;
+          Alcotest.test_case "trace invisibility" `Slow test_telemetry_invisible;
+          Alcotest.test_case "same-engine repeatability" `Slow
+            test_same_engine_repeatable;
+        ] );
+    ]

@@ -53,6 +53,27 @@ let test_memory_journal () =
   check64 "rollback restores" 0xAAAAL (Memory.read m Width.W64 (Memory.base m));
   check64 "rollback zeroes" 0L (Memory.read m Width.W32 (Memory.base m + 64))
 
+(* A mark taken before clear_journal refers to journal state that no longer
+   exists: rolling back to it must fail loudly (Invalid_argument), not
+   corrupt memory via an assert or a bogus replay. *)
+let test_memory_stale_mark () =
+  let m = Memory.create ~pages:1 () in
+  Memory.set_journaling m true;
+  Memory.write m Width.W64 (Memory.base m) 0x1L;
+  let stale = Memory.mark m in
+  Memory.write m Width.W64 (Memory.base m) 0x2L;
+  Memory.clear_journal m;
+  (match Memory.rollback m stale with
+  | () -> Alcotest.fail "rollback to a stale mark must raise"
+  | exception Invalid_argument _ -> ());
+  (* the failed rollback left the memory untouched and usable *)
+  check64 "memory intact after rejected rollback" 0x2L
+    (Memory.read m Width.W64 (Memory.base m));
+  let fresh = Memory.mark m in
+  Memory.write m Width.W64 (Memory.base m) 0x3L;
+  Memory.rollback m fresh;
+  check64 "fresh mark still works" 0x2L (Memory.read m Width.W64 (Memory.base m))
+
 let test_memory_word_accessors () =
   let m = Memory.create ~pages:2 () in
   checki "words" (2 * 4096 / 8) (Memory.words m);
@@ -353,6 +374,7 @@ let () =
           Alcotest.test_case "read/write" `Quick test_memory_rw;
           Alcotest.test_case "out of bounds" `Quick test_memory_out_of_bounds;
           Alcotest.test_case "journal rollback" `Quick test_memory_journal;
+          Alcotest.test_case "stale mark rejected" `Quick test_memory_stale_mark;
           Alcotest.test_case "word accessors" `Quick test_memory_word_accessors;
         ] );
       ( "state",

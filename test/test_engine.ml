@@ -194,33 +194,25 @@ let test_chaos_crash () =
   | _ -> Alcotest.fail "expected the crash to be contained as Discarded"
 
 (* ------------------------------------------------------------------ *)
-(* Unified Executor.run and the deprecated wrappers                    *)
+(* Unified Executor.run                                                *)
 (* ------------------------------------------------------------------ *)
 
-let test_deprecated_wrappers () =
+let test_run_variants () =
   let defense = Defense.baseline in
-  let mk () = Executor.create ~boot_insts:boot ~mode:Executor.Opt defense (Stats.create ()) in
+  let ex = Executor.create ~boot_insts:boot ~mode:Executor.Opt defense (Stats.create ()) in
   let rng = Rng.create ~seed:7 in
   let flat = Generator.generate_flat rng in
   let input = Input.generate rng ~pages:1 in
-  let ex_new = mk () and ex_old = mk () in
-  Executor.start_program ex_new;
-  Executor.start_program ex_old;
-  let o_new = Executor.run ex_new flat input in
-  let o_old = Executor.run_input ex_old flat input in
-  checkb "run_input = run" true (Utrace.equal o_new.Executor.trace o_old.Executor.trace);
-  let tr_new = (Executor.run ex_new ~context:o_new.Executor.context flat input).Executor.trace in
-  let tr_old = Executor.run_input_with_context ex_old flat input o_old.Executor.context in
-  checkb "run_input_with_context = run ~context" true (Utrace.equal tr_new tr_old);
-  let o_log_new = Executor.run ex_new ~context:o_new.Executor.context ~log:true flat input in
-  let o_log_old, events =
-    Executor.run_input_logged ex_old flat input o_old.Executor.context
-  in
-  checkb "run_input_logged trace" true
-    (Utrace.equal o_log_new.Executor.trace o_log_old.Executor.trace);
-  checki "run_input_logged events" (List.length o_log_new.Executor.events)
-    (List.length events);
-  checkb "unlogged runs leave events empty" true (o_new.Executor.events = [])
+  Executor.start_program ex;
+  let o = Executor.run ex flat input in
+  checkb "unlogged runs leave events empty" true (o.Executor.events = []);
+  let o_ctx = Executor.run ex ~context:o.Executor.context flat input in
+  checkb "context rerun reproduces the trace" true
+    (Utrace.equal o.Executor.trace o_ctx.Executor.trace);
+  let o_log = Executor.run ex ~context:o.Executor.context ~log:true flat input in
+  checkb "logged rerun keeps the trace" true
+    (Utrace.equal o.Executor.trace o_log.Executor.trace);
+  checkb "logged rerun fills events" true (o_log.Executor.events <> [])
 
 (* ------------------------------------------------------------------ *)
 (* Engine accounting                                                   *)
@@ -284,7 +276,7 @@ let () =
         ] );
       ( "api",
         [
-          Alcotest.test_case "deprecated wrappers" `Quick test_deprecated_wrappers;
+          Alcotest.test_case "run variants" `Quick test_run_variants;
           Alcotest.test_case "engine stats" `Quick test_engine_stats;
         ] );
     ]

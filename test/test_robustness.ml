@@ -7,6 +7,7 @@ open Amulet_defenses
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
 
 let small_fuzzer =
   {
@@ -180,7 +181,10 @@ let test_parallel_retry_recovers () =
   let r = Campaign.run_parallel ~instances:2 ~retries:2 cfg Defense.baseline in
   checki "both instances completed" 4 r.Campaign.programs_run
 
-let test_parallel_all_crash_raises () =
+(* When every instance exhausts its retries the campaign must degrade to a
+   structured failed result — crashes classified in fault_counts, zero
+   work reported — never an exception that aborts the caller. *)
+let test_parallel_all_crash_structured () =
   let crashing =
     {
       Campaign.n_programs = 2;
@@ -195,12 +199,19 @@ let test_parallel_all_crash_raises () =
         };
     }
   in
-  match
+  let r =
     Campaign.run_parallel ~instances:2 ~retries:1 ~instance_cfg:(fun _ -> crashing)
       crashing Defense.baseline
-  with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure when every instance crashes"
+  in
+  checki "no programs completed" 0 r.Campaign.programs_run;
+  checkb "no violations" true (r.Campaign.violations = []);
+  checks "contract name still derived" "CT-SEQ" r.Campaign.contract_name;
+  (* 2 instances x (1 attempt + 1 retry) crashes, all classified *)
+  checki "every crash classified" 4
+    (Option.value
+       (List.assoc_opt Fault.C_instance_crash r.Campaign.fault_counts)
+       ~default:0);
+  checkb "duration recorded" true (r.Campaign.duration >= 0.)
 
 (* ------------------------------------------------------------------ *)
 (* Journaling: roundtrip, atomicity, resume determinism                *)
@@ -316,7 +327,8 @@ let () =
             test_parallel_survives_crashing_instance;
           Alcotest.test_case "healthy instances with retries" `Slow
             test_parallel_retry_recovers;
-          Alcotest.test_case "all-crash raises" `Slow test_parallel_all_crash_raises;
+          Alcotest.test_case "all-crash structured result" `Slow
+            test_parallel_all_crash_structured;
         ] );
       ( "journal",
         [

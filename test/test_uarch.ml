@@ -12,7 +12,7 @@ let checki = Alcotest.check Alcotest.int
 (* ------------------------------------------------------------------ *)
 
 let mk_cache ?(sets = 4) ?(ways = 2) () =
-  Cache.create ~name:"T" ~sets ~ways ~line_bytes:64
+  Cache.create ~name:"T" ~sets ~ways ~line_bytes:64 ()
 
 let test_cache_install_probe () =
   let c = mk_cache () in
@@ -85,7 +85,7 @@ let cache_tags_sorted_prop =
   QCheck2.Test.make ~name:"cache tags are sorted and unique" ~count:100
     QCheck2.Gen.(list_size (int_range 0 100) (int_bound 63))
     (fun lines ->
-      let c = Cache.create ~name:"P" ~sets:8 ~ways:4 ~line_bytes:64 in
+      let c = Cache.create ~name:"P" ~sets:8 ~ways:4 ~line_bytes:64 () in
       List.iter (fun l -> ignore (Cache.install c (l * 64))) lines;
       let tags = Cache.tags c in
       tags = List.sort_uniq compare tags
@@ -96,7 +96,7 @@ let cache_tags_sorted_prop =
 (* ------------------------------------------------------------------ *)
 
 let test_tlb_basics () =
-  let t = Tlb.create ~entries:2 in
+  let t = Tlb.create ~entries:2 () in
   checkb "miss" true (Tlb.access t 5 = `Miss);
   checkb "hit" true (Tlb.access t 5 = `Hit);
   checkb "second" true (Tlb.access t 6 = `Miss);
@@ -112,7 +112,7 @@ let test_tlb_page_of_addr () =
   checki "page 0" 0 (Tlb.page_of_addr 0xFFF)
 
 let test_tlb_snapshot () =
-  let t = Tlb.create ~entries:4 in
+  let t = Tlb.create ~entries:4 () in
   ignore (Tlb.access t 1);
   ignore (Tlb.access t 2);
   let s = Tlb.snapshot t in
@@ -125,7 +125,7 @@ let test_tlb_snapshot () =
 (* Branch predictor                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let mk_bp () = Branch_pred.create ~history_bits:8 ~table_bits:8 ~btb_bits:4
+let mk_bp () = Branch_pred.create ~history_bits:8 ~table_bits:8 ~btb_bits:4 ()
 
 let test_bp_initial_not_taken () =
   let bp = mk_bp () in
