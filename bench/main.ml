@@ -113,27 +113,15 @@ let microbench () =
     results
 
 (* ------------------------------------------------------------------ *)
-(* Shared campaign runner                                              *)
+(* Shared campaign spec                                                *)
 (* ------------------------------------------------------------------ *)
 
-let fuzzer_cfg ?(inputs = 10) ?(boosts = 4) ?(mode = Executor.Opt)
-    ?(format = Utrace.L1d_tlb) ?contract ?sim_config ?generator () =
-  {
-    Fuzzer.default_config with
-    Fuzzer.n_base_inputs = inputs;
-    boosts_per_input = boosts;
-    executor_mode = mode;
-    trace_format = format;
-    contract;
-    sim_config;
-    generator = Option.value generator ~default:Generator.default;
-  }
-
-let run_campaign ?(stop = None) ?(classify = true) ?(seed = 42) ~programs fuzzer
-    defense =
-  Campaign.run
-    { Campaign.n_programs = programs; stop_after_violations = stop; seed; classify; fuzzer }
-    defense
+let bench_spec ?(inputs = 10) ?(boosts = 4) ?(mode = Executor.Opt)
+    ?(format = Utrace.L1d_tlb) ?contract ?sim_config ?generator
+    ?(stop = None) ?(classify = true) ?(seed = 42) ?(programs = 20) defense =
+  Run_spec.make ~defense ~rounds:programs ?stop_after:stop ~seed ~classify
+    ~inputs ~boosts ?contract ?generator ~mode ~trace_format:format
+    ?sim_config ()
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: Naive vs Opt time breakdown per test program               *)
@@ -143,9 +131,7 @@ let table2 () =
   section "Table 2: time breakdown per test program, Naive vs Opt uarch-trace extraction";
   let programs = scale 4 and inputs = 8 and boosts = 4 in
   let run mode =
-    let fz =
-      Fuzzer.create ~cfg:(fuzzer_cfg ~inputs ~boosts ~mode ()) ~seed:42 Defense.baseline
-    in
+    let fz = Fuzzer.create (bench_spec ~inputs ~boosts ~mode Defense.baseline) in
     for _ = 1 to programs do
       ignore (Fuzzer.round fz)
     done;
@@ -185,9 +171,12 @@ let table3 () =
   section "Table 3: baseline out-of-order CPU, Naive vs Opt, CT-SEQ and CT-COND";
   let programs = scale 12 in
   let cell mode contract =
-    let fuzzer = fuzzer_cfg ~inputs:8 ~boosts:5 ~mode ?contract () in
     let t0 = Unix.gettimeofday () in
-    let r = run_campaign ~classify:false ~programs fuzzer Defense.baseline in
+    let r =
+      Campaign.run
+        (bench_spec ~inputs:8 ~boosts:5 ~mode ?contract ~classify:false
+           ~programs Defense.baseline)
+    in
     let dt = Unix.gettimeofday () -. t0 in
     dt, List.length r.Campaign.violations, Campaign.avg_detection_time r
   in
@@ -232,8 +221,7 @@ let table4 () =
     "Detected?" "Avg det (s)" "Unique" "tc/s" "Campaign time";
   List.iter
     (fun (d, programs, generator) ->
-      let fuzzer = fuzzer_cfg ~inputs:8 ~boosts:5 ?generator () in
-      let r = run_campaign ~programs fuzzer d in
+      let r = Campaign.run (bench_spec ~inputs:8 ~boosts:5 ?generator ~programs d) in
       Format.printf "%-12s %-9s %-9s %-12s %-8d %-12.0f %.1f s@." d.Defense.name
         r.Campaign.contract_name
         (if Campaign.detected r then "YES" else "no")
@@ -262,7 +250,9 @@ let table5 () =
   (* same seed => same programs and inputs for every format; per-program
      violation verdicts let us compute fractions and overlaps *)
   let verdicts format =
-    let fz = Fuzzer.create ~cfg:(fuzzer_cfg ~inputs:8 ~boosts:5 ~format ()) ~seed:77 Defense.baseline in
+    let fz =
+      Fuzzer.create (bench_spec ~inputs:8 ~boosts:5 ~format ~seed:77 Defense.baseline)
+    in
     let t0 = Unix.gettimeofday () in
     let found = Array.make programs false in
     for i = 0 to programs - 1 do
@@ -313,10 +303,11 @@ let table6 () =
     (fun (ways, mshrs) ->
       let d = Defense.invisispec_patched in
       let sim_config = Defense.config ~l1d_ways:ways ~mshrs d in
-      let fuzzer = fuzzer_cfg ~inputs:8 ~boosts:6 ~sim_config () in
       let t0 = Unix.gettimeofday () in
       let r =
-        run_campaign ~stop:(Some 1) ~classify:true ~seed:7 ~programs:(scale 120) fuzzer d
+        Campaign.run
+          (bench_spec ~inputs:8 ~boosts:6 ~sim_config ~stop:(Some 1) ~seed:7
+             ~programs:(scale 120) d)
       in
       let dt = Unix.gettimeofday () -. t0 in
       Format.printf "%-36s %8.1f s %10s@."
@@ -342,8 +333,11 @@ let table8 () =
   section "Table 8: CleanupSpec violation types, original vs store-cleanup patch";
   let classes d =
     let generator = { Generator.default with Generator.unaligned_fraction = 0.5 } in
-    let fuzzer = fuzzer_cfg ~inputs:8 ~boosts:5 ~generator () in
-    let r = run_campaign ~stop:(Some 10) ~programs:(scale 40) fuzzer d in
+    let r =
+      Campaign.run
+        (bench_spec ~inputs:8 ~boosts:5 ~generator ~stop:(Some 10)
+           ~programs:(scale 40) d)
+    in
     List.map fst r.Campaign.violation_classes
   in
   let original = classes Defense.cleanupspec in
@@ -476,8 +470,9 @@ let extension_ghostminion () =
   section "Extension: GhostMinion vs UV2 (the fix the paper recommends)";
   let run d =
     let sim_config = Defense.config ~l1d_ways:2 ~mshrs:2 d in
-    let fuzzer = fuzzer_cfg ~inputs:8 ~boosts:6 ~sim_config () in
-    run_campaign ~stop:(Some 1) ~seed:7 ~programs:(scale 120) fuzzer d
+    Campaign.run
+      (bench_spec ~inputs:8 ~boosts:6 ~sim_config ~stop:(Some 1) ~seed:7
+         ~programs:(scale 120) d)
   in
   List.iter
     (fun d ->
@@ -502,8 +497,9 @@ let extension_prefetcher () =
     let sim_config =
       { (Defense.config d) with Amulet_uarch.Config.nl_prefetcher = prefetcher }
     in
-    let fuzzer = fuzzer_cfg ~inputs:8 ~boosts:5 ~sim_config () in
-    run_campaign ~stop:(Some 1) ~seed:11 ~programs:(scale 30) fuzzer d
+    Campaign.run
+      (bench_spec ~inputs:8 ~boosts:5 ~sim_config ~stop:(Some 1) ~seed:11
+         ~programs:(scale 30) d)
   in
   List.iter
     (fun prefetcher ->
@@ -525,22 +521,16 @@ let extension_parallel () =
   section "Extension: parallel campaign instances (the paper's methodology)";
   Format.printf "(host has %d core(s); speedup requires cores, coverage does not)@.@."
     (Domain.recommended_domain_count ());
-  let cfg instances =
-    ignore instances;
-    {
-      Campaign.n_programs = scale 8;
-      stop_after_violations = None;
-      seed = 3;
-      classify = false;
-      fuzzer = fuzzer_cfg ~inputs:8 ~boosts:5 ();
-    }
+  let spec =
+    bench_spec ~inputs:8 ~boosts:5 ~classify:false ~seed:3 ~programs:(scale 8)
+      Defense.baseline
   in
   List.iter
     (fun instances ->
       let t0 = Unix.gettimeofday () in
       let r =
-        if instances = 1 then Campaign.run (cfg instances) Defense.baseline
-        else Campaign.run_parallel ~instances (cfg instances) Defense.baseline
+        if instances = 1 then Campaign.run spec
+        else Campaign.run_parallel ~instances spec
       in
       Format.printf
         "%2d instance(s): %4d test cases, %3d violations, %6.0f tc/s aggregate, %.1f s wall@."
@@ -558,13 +548,10 @@ let extension_robustness () =
   Sys.remove qdir;
   let chaos = Fault.injector ~p_crash:0.02 ~p_timeout:0.02 ~p_sim_fault:0.02 ~seed:99 () in
   let r =
-    run_campaign ~classify:false ~seed:11 ~programs:(scale 20)
-      { (fuzzer_cfg ~inputs:6 ~boosts:3 ()) with
-        Fuzzer.chaos = Some chaos;
-        quarantine_dir = Some qdir;
-        deadline_ms = Some 5000.;
-      }
-      Defense.baseline
+    Campaign.run
+      (Run_spec.make ~defense:Defense.baseline ~rounds:(scale 20) ~seed:11
+         ~classify:false ~inputs:6 ~boosts:3 ~deadline_ms:5000.
+         ~quarantine_dir:qdir ~chaos ())
   in
   Format.printf
     "chaos campaign: %d programs, %d discarded, %d quarantined, %d violations@."
@@ -762,14 +749,63 @@ let throughput () =
   if not (identical && identical_opt && telemetry_invisible) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Sweep: the sharded defense matrix, 1 domain vs N                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercises the sweep orchestrator over every preset and enforces its
+   contract: the merged violation fingerprint is byte-identical whatever
+   the domain count.  Speedup is reported but only meaningful on
+   multi-core hosts (single-core containers pay domain overhead for
+   nothing); the fingerprint check is the hard failure.  Emits
+   BENCH_sweep.json (path overridable via AMULET_BENCH_JSON). *)
+let sweep_bench () =
+  section "Sweep: sharded defense matrix, work-stealing domains";
+  let cores = Domain.recommended_domain_count () in
+  let rounds = scale 2 in
+  let mk () =
+    Sweep.jobs ~rounds ~seed:9
+      ~make_spec:(fun d -> Run_spec.make ~defense:d ~inputs:4 ~boosts:2 ())
+      ()
+  in
+  let time domains =
+    let t0 = Unix.gettimeofday () in
+    let rep = Sweep.run ~domains (mk ()) in
+    (rep, Unix.gettimeofday () -. t0)
+  in
+  let r1, t1 = time 1 in
+  let domains = if cores >= 2 then min cores 4 else 2 in
+  let rn, tn = time domains in
+  let fp1 = Sweep.fingerprint r1 and fpn = Sweep.fingerprint rn in
+  let identical = fp1 = fpn in
+  Format.printf "%a@." Sweep.pp r1;
+  Format.printf "1 domain: %.1f s   %d domains: %.1f s   speedup: %.2fx@." t1
+    domains tn (t1 /. tn);
+  if cores < 2 then
+    Format.printf
+      "(host has 1 core: no speedup expected; determinism still enforced)@.";
+  if identical then Format.printf "fingerprint: %s (identical across domain counts)@." fp1
+  else Format.printf "ERROR: sweep fingerprints DIVERGED (%s vs %s)@." fp1 fpn;
+  let json_path =
+    Option.value (Sys.getenv_opt "AMULET_BENCH_JSON") ~default:"BENCH_sweep.json"
+  in
+  let oc = open_out json_path in
+  output_string oc (Sweep.to_json rn);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." json_path;
+  if not identical then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
 let () =
   match Sys.getenv_opt "AMULET_BENCH_ONLY" with
   | Some "throughput" -> throughput ()
+  | Some "sweep" -> sweep_bench ()
   | Some s ->
-      Format.eprintf "unknown AMULET_BENCH_ONLY section %S (try: throughput)@." s;
+      Format.eprintf
+        "unknown AMULET_BENCH_ONLY section %S (try: throughput, sweep)@." s;
       exit 2
   | None ->
       Format.printf "%s@.AMuLeT evaluation harness%s@.%s@." hline
@@ -786,6 +822,7 @@ let () =
       figures ();
       table11 ();
       throughput ();
+      sweep_bench ();
       extension_ghostminion ();
       extension_prefetcher ();
       extension_parallel ();

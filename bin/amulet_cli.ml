@@ -2,16 +2,21 @@
 
    Subcommands:
      fuzz       - run a testing campaign against a defense
+     sweep      - run the sharded multi-defense matrix sweep
      reproduce  - hunt a known vulnerability with its crafted reproducer
      run        - execute an assembly file on the simulator and print traces
      analyze    - revalidate/classify/minimize a saved violation
      explain    - violation forensics: trace + counter delta of the two runs
      list       - show available defenses, contracts, trace formats
-*)
+
+   All subcommands share the Output conventions: --json for machine-readable
+   stdout, and exit codes 0 = clean, 1 = violation(s) found/reproduced,
+   2 = usage or internal fault. *)
 
 open Cmdliner
 open Amulet
 open Amulet_defenses
+module Json = Output.Json
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -57,6 +62,68 @@ let defense_t =
 let seed_t =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
+let json_t =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit a machine-readable JSON document on stdout (progress goes \
+              to stderr).")
+
+let mode_t =
+  Arg.(
+    value
+    & opt (enum [ "opt", Executor.Opt; "naive", Executor.Naive ]) Executor.Opt
+    & info [ "mode" ] ~doc:"Executor mode: $(b,opt) amortizes simulator startup.")
+
+let engine_t =
+  Arg.(
+    value
+    & opt (enum [ "pooled", Engine.Pooled; "naive", Engine.Naive ]) Engine.Pooled
+    & info [ "engine" ]
+        ~doc:
+          "Execution engine: $(b,pooled) boots one simulator and rewinds a \
+           post-boot checkpoint per test case; $(b,naive) rebuilds the \
+           simulator whenever pristine state is needed.  Trace-invisible — \
+           an escape hatch for A/B-ing the pooled path.")
+
+let metrics_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's telemetry registry (uarch.* hardware counters, \
+           engine.* executor metrics, fuzzer.* campaign metrics) to FILE as \
+           JSON.  Trace-invisible: enabling telemetry never changes traces \
+           or findings.")
+
+(* campaign-result JSON shared by fuzz --json *)
+let result_json (r : Campaign.result) =
+  Json.Obj
+    [
+      ("defense", Json.Str r.Campaign.defense.Defense.name);
+      ("contract", Json.Str r.contract_name);
+      ("programs_run", Json.Int r.programs_run);
+      ("discarded", Json.Int r.discarded_programs);
+      ("test_cases", Json.Int r.test_cases);
+      ("violations", Json.Int (List.length r.violations));
+      ( "violation_classes",
+        Json.Obj
+          (List.map
+             (fun (c, n) -> (Analysis.class_name c, Json.Int n))
+             r.violation_classes) );
+      ( "faults",
+        Json.Obj
+          (List.map (fun (c, n) -> (Fault.class_name c, Json.Int n)) r.fault_counts)
+      );
+      ("quarantined", Json.Int r.quarantined);
+      ("duration_s", Json.Float r.duration);
+      ("throughput", Json.Float r.throughput);
+      ("detection_times", Json.List (List.map (fun t -> Json.Float t) r.detection_times));
+      ("budget_exhausted", Json.Bool r.budget_exhausted);
+      ("metrics", Json.Raw (Amulet_obs.Obs.Snapshot.to_json r.metrics));
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -70,23 +137,6 @@ let fuzz_cmd =
   in
   let boosts =
     Arg.(value & opt int 4 & info [ "b"; "boosts" ] ~doc:"Boosted mutants per base input.")
-  in
-  let mode =
-    Arg.(
-      value
-      & opt (enum [ "opt", Executor.Opt; "naive", Executor.Naive ]) Executor.Opt
-      & info [ "mode" ] ~doc:"Executor mode: $(b,opt) amortizes simulator startup.")
-  in
-  let engine =
-    Arg.(
-      value
-      & opt (enum [ "pooled", Engine.Pooled; "naive", Engine.Naive ]) Engine.Pooled
-      & info [ "engine" ]
-          ~doc:
-            "Execution engine: $(b,pooled) boots one simulator and rewinds a \
-             post-boot checkpoint per test case; $(b,naive) rebuilds the \
-             simulator whenever pristine state is needed.  Trace-invisible — \
-             an escape hatch for A/B-ing the pooled path.")
   in
   let fmt_ =
     Arg.(
@@ -140,6 +190,15 @@ let fuzz_cmd =
             "Wall-clock budget per fuzzing round; a round that blows it is \
              classified and discarded instead of stalling the campaign.")
   in
+  let budget_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for the whole campaign; when it runs out the \
+             campaign stops at the last completed round boundary with a \
+             clean journal checkpoint.")
+  in
   let quarantine_dir =
     Arg.(
       value & opt (some string) None
@@ -178,19 +237,11 @@ let fuzz_cmd =
              test case with probability P each (so ~3P of rounds misbehave); \
              the campaign must classify and survive all of them.")
   in
-  let metrics_out =
-    Arg.(
-      value & opt (some string) None
-      & info [ "metrics" ] ~docv:"FILE"
-          ~doc:
-            "Write the campaign's telemetry registry (uarch.* hardware \
-             counters, engine.* executor metrics, fuzzer.* campaign \
-             metrics) to FILE as JSON.  Trace-invisible: enabling \
-             telemetry never changes traces or findings.")
-  in
   let run defense programs inputs boosts mode engine fmt_ contract ways mshrs stop
-      seed unaligned parallel prefetcher save_dir deadline_ms quarantine_dir journal
-      resume checkpoint_every chaos metrics_out =
+      seed unaligned parallel prefetcher save_dir deadline_ms budget_ms
+      quarantine_dir journal resume checkpoint_every chaos metrics_out json =
+   Output.guarded @@ fun () ->
+    let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     let sim_config =
       match ways, mshrs, prefetcher with
       | None, None, false -> None
@@ -233,41 +284,23 @@ let fuzz_cmd =
           Fault.injector ~p_crash:p ~p_timeout:p ~p_sim_fault:p ~seed ())
         chaos
     in
-    let cfg =
-      {
-        Campaign.n_programs = programs;
-        stop_after_violations = stop;
-        seed;
-        classify = true;
-        fuzzer =
-          {
-            Fuzzer.default_config with
-            Fuzzer.n_base_inputs = inputs;
-            boosts_per_input = boosts;
-            executor_mode = mode;
-            engine;
-            trace_format = fmt_;
-            contract;
-            sim_config;
-            deadline_ms;
-            quarantine_dir;
-            chaos = chaos_injector;
-            generator =
-              { Generator.default with Generator.unaligned_fraction = unaligned };
-          };
-      }
+    let spec =
+      Run_spec.make ~defense ~engine ~seed ~rounds:programs ?deadline_ms
+        ?budget_ms ~inputs ~boosts ?contract ?stop_after:stop
+        ~generator:
+          { Generator.default with Generator.unaligned_fraction = unaligned }
+        ~mode ~trace_format:fmt_ ?sim_config ?quarantine_dir
+        ?chaos:chaos_injector ()
     in
-    Format.printf
+    say
       "fuzzing %s (%s contract, %s traces, %s executor, %s engine, seed %d)...@."
       defense.Defense.name
-      (match contract with
-      | Some c -> c.Amulet_contracts.Contract.name
-      | None -> defense.Defense.contract.Amulet_contracts.Contract.name)
+      (Run_spec.contract_name spec)
       (Utrace.format_name fmt_) (Executor.mode_name mode) (Engine.kind_name engine)
       seed;
     (match resume_journal with
     | Some j ->
-        Format.printf "resuming from checkpoint: %d/%d rounds done, %d violation(s)@."
+        say "resuming from checkpoint: %d/%d rounds done, %d violation(s)@."
           j.Journal.programs_run j.Journal.n_programs
           (List.length j.Journal.violations)
     | None -> ());
@@ -282,25 +315,24 @@ let fuzz_cmd =
           Format.eprintf
             "note: --journal/--resume apply to single-instance campaigns; \
              ignored with --parallel@.";
-        Campaign.run_parallel ~instances:parallel ~metrics cfg defense
+        Campaign.run_parallel ~instances:parallel ~metrics spec
       end
       else begin
         let n = ref 0 in
         Campaign.run ?journal_path ~checkpoint_every ?resume:resume_journal
-          ~metrics cfg defense ~on_violation:(fun v ->
+          ~metrics spec ~on_violation:(fun v ->
             incr n;
-            Format.printf "@.--- violation %d ---@.%a@." !n Violation.pp v)
+            if not json then
+              Format.printf "@.--- violation %d ---@.%a@." !n Violation.pp v)
       end
     in
     (match metrics_out with
     | None -> ()
     | Some path ->
-        Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc
-              (Amulet_obs.Obs.Snapshot.to_json r.Campaign.metrics);
-            Out_channel.output_char oc '\n');
-        Format.printf "telemetry written to %s@." path);
-    if parallel > 1 then
+        Output.write_file path
+          (Amulet_obs.Obs.Snapshot.to_json r.Campaign.metrics);
+        say "telemetry written to %s@." path);
+    if parallel > 1 && not json then
       List.iteri
         (fun i v -> Format.printf "@.--- violation %d ---@.%a@." (i + 1) Violation.pp v)
         r.Campaign.violations;
@@ -312,20 +344,138 @@ let fuzz_cmd =
           (fun i v ->
             let path = Filename.concat dir (Printf.sprintf "violation_%03d.amulet" i) in
             Violation_io.save (Violation_io.of_violation v) path;
-            Format.printf "saved %s@." path)
+            say "saved %s@." path)
           r.Campaign.violations);
-    Format.printf "@.%a" Campaign.pp r;
-    if Campaign.detected r then 1 else 0
+    if json then Output.emit (result_json r)
+    else Format.printf "@.%a" Campaign.pp r;
+    if Campaign.detected r then Output.exit_violation else Output.exit_clean
   in
   let term =
     Term.(
-      const run $ defense_t $ programs $ inputs $ boosts $ mode $ engine $ fmt_ $ contract $ ways
-      $ mshrs $ stop $ seed_t $ unaligned $ parallel $ prefetcher $ save_dir
-      $ deadline_ms $ quarantine_dir $ journal $ resume $ checkpoint_every $ chaos
-      $ metrics_out)
+      const run $ defense_t $ programs $ inputs $ boosts $ mode_t $ engine_t
+      $ fmt_ $ contract $ ways $ mshrs $ stop $ seed_t $ unaligned $ parallel
+      $ prefetcher $ save_dir $ deadline_ms $ budget_ms $ quarantine_dir
+      $ journal $ resume $ checkpoint_every $ chaos $ metrics_t $ json_t)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a testing campaign against a secure-speculation defense.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let presets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PRESET"
+          ~doc:
+            "Defense presets to sweep; names or case-insensitive globs \
+             ($(b,invisispec*), $(b,*patched)).  Default: every preset.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains for the work-stealing scheduler.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"N" ~doc:"Fuzzing rounds per shard.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N" ~doc:"Seed shards per preset.")
+  in
+  let inputs =
+    Arg.(value & opt int 10 & info [ "i"; "inputs" ] ~doc:"Base inputs per program.")
+  in
+  let boosts =
+    Arg.(value & opt int 4 & info [ "b"; "boosts" ] ~doc:"Boosted mutants per base input.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Wall-clock budget per fuzzing round.")
+  in
+  let budget_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS" ~doc:"Wall-clock budget per shard.")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_sweep.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the sweep report JSON.")
+  in
+  let journal_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:"Checkpoint every shard into DIR (shard_<id>_<defense>.json).")
+  in
+  let run presets domains rounds shards inputs boosts deadline_ms budget_ms seed
+      mode engine out journal_dir metrics_out json =
+   Output.guarded @@ fun () ->
+    let say fmt = (if json then Format.eprintf else Format.printf) fmt in
+    match Sweep.select presets with
+    | Error msg ->
+        Format.eprintf "amulet: %s@." msg;
+        Output.exit_fault
+    | Ok selected ->
+        let make_spec d =
+          Run_spec.make ~defense:d ~engine ~mode ~inputs ~boosts ?deadline_ms
+            ?budget_ms ()
+        in
+        let js =
+          Sweep.jobs ~presets:selected ~shards_per_preset:shards ~rounds ~seed
+            ~make_spec ()
+        in
+        say "sweeping %d preset(s), %d job(s) on %d domain(s), seed %d...@."
+          (List.length selected) (List.length js) domains seed;
+        let metrics =
+          match metrics_out with
+          | Some _ -> Amulet_obs.Obs.create ()
+          | None -> Amulet_obs.Obs.noop
+        in
+        (match journal_dir with
+        | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+        | _ -> ());
+        let report = Sweep.run ~domains ~metrics ?journal_dir js in
+        let doc = Sweep.to_json report in
+        Output.write_file out doc;
+        say "report written to %s (fingerprint %s)@." out
+          (Sweep.fingerprint report);
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+            Output.write_file path
+              (Amulet_obs.Obs.Snapshot.to_json report.Sweep.metrics);
+            say "telemetry written to %s@." path);
+        if json then print_endline doc
+        else Format.printf "%a" Sweep.pp report;
+        if report.Sweep.crashed > 0 then Output.exit_fault
+        else if
+          List.exists (fun r -> r.Sweep.violations <> []) report.Sweep.rows
+        then Output.exit_violation
+        else Output.exit_clean
+  in
+  let term =
+    Term.(
+      const run $ presets $ domains $ rounds $ shards $ inputs $ boosts
+      $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ out
+      $ journal_dir $ metrics_t $ json_t)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Run the defense matrix (AMuLeT \xc2\xa75) as one sharded, \
+          work-stealing sweep: per-preset campaign shards on parallel \
+          domains, one warmed engine per defense config per domain, \
+          deterministically merged into a cross-defense report.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -344,30 +494,47 @@ let reproduce_cmd =
              $(b,uv4-split-not-cleaned), $(b,uv5-too-much-cleaning), \
              $(b,spectre-v4)).")
   in
-  let run name seed =
+  let run name seed json =
+   Output.guarded @@ fun () ->
     match Reproducers.find name with
     | None ->
-        Format.eprintf "unknown reproducer %S@." name;
-        2
-    | Some r -> (
-        Format.printf "%s: %s@.defense: %s@.--- program ---@.%s@." r.Reproducers.name
-          r.Reproducers.description r.Reproducers.defense.Defense.name
-          r.Reproducers.asm;
-        match Reproducers.hunt ~seed r with
-        | Some v ->
+        Format.eprintf "amulet: unknown reproducer %S@." name;
+        Output.exit_fault
+    | Some r ->
+        if not json then
+          Format.printf "%s: %s@.defense: %s@.--- program ---@.%s@."
+            r.Reproducers.name r.Reproducers.description
+            r.Reproducers.defense.Defense.name r.Reproducers.asm;
+        let found = Reproducers.hunt ~seed r in
+        (match found, json with
+        | Some v, false ->
             Format.printf "%a@." Violation.pp v;
             (match v.Violation.signature with
             | Some s -> Format.printf "root cause signature: %s@." s
-            | None -> ());
-            0
-        | None ->
-            Format.printf "no violation found within the reproducer budget@.";
-            1)
+            | None -> ())
+        | None, false ->
+            Format.printf "no violation found within the reproducer budget@."
+        | _, true ->
+            Output.emit
+              (Json.Obj
+                 [
+                   ("reproducer", Json.Str r.Reproducers.name);
+                   ("defense", Json.Str r.Reproducers.defense.Defense.name);
+                   ("found", Json.Bool (found <> None));
+                   ( "signature",
+                     match found with
+                     | Some { Violation.signature = Some s; _ } -> Json.Str s
+                     | _ -> Json.Null );
+                 ]));
+        if found <> None then Output.exit_violation else Output.exit_clean
   in
-  let term = Term.(const run $ name_t $ seed_t) in
+  let term = Term.(const run $ name_t $ seed_t $ json_t) in
   Cmd.v
     (Cmd.info "reproduce"
-       ~doc:"Hunt one of the paper's known vulnerabilities with its crafted test.")
+       ~doc:
+         "Hunt one of the paper's known vulnerabilities with its crafted \
+          test.  Exits 1 when the planted violation is found (the expected \
+          outcome), 0 when it is not.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -379,6 +546,7 @@ let run_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly file.")
   in
   let run file defense seed =
+   Output.guarded @@ fun () ->
     let source = In_channel.with_open_text file In_channel.input_all in
     let flat = Amulet_isa.Program.flatten (Amulet_isa.Asm.parse source) in
     Format.printf "--- program ---@.%a@." Amulet_isa.Program.pp_flat flat;
@@ -400,7 +568,7 @@ let run_cmd =
     Format.printf "--- uarch trace: %a@." Utrace.pp outcome.Executor.trace;
     Format.printf "--- debug log (%d events) ---@." (List.length events);
     List.iter (fun e -> Format.printf "%a@." Amulet_uarch.Event.pp e) events;
-    0
+    Output.exit_clean
   in
   let term = Term.(const run $ file $ defense_t $ seed_t) in
   Cmd.v
@@ -428,40 +596,57 @@ let analyze_cmd =
   let mshrs =
     Arg.(value & opt (some int) None & info [ "mshrs" ] ~doc:"Amplification: MSHR count.")
   in
-  let run file do_minimize ways mshrs =
+  let run file do_minimize ways mshrs json =
+   Output.guarded @@ fun () ->
     let stored = Violation_io.load file in
-    Format.printf "defense: %s  contract: %s%s@." stored.Violation_io.defense_name
-      stored.Violation_io.contract_name
-      (match stored.Violation_io.signature with
-      | Some s -> "  (recorded signature: " ^ s ^ ")"
-      | None -> "");
-    Format.printf "--- program ---@.%a@." Amulet_isa.Program.pp_flat
-      stored.Violation_io.program;
+    if not json then begin
+      Format.printf "defense: %s  contract: %s%s@." stored.Violation_io.defense_name
+        stored.Violation_io.contract_name
+        (match stored.Violation_io.signature with
+        | Some s -> "  (recorded signature: " ^ s ^ ")"
+        | None -> "");
+      Format.printf "--- program ---@.%a@." Amulet_isa.Program.pp_flat
+        stored.Violation_io.program
+    end;
     let sim_config =
       match ways, mshrs, Defense.find stored.Violation_io.defense_name with
       | None, None, _ | _, _, None -> None
       | _, _, Some d -> Some (Defense.config ?l1d_ways:ways ?mshrs d)
     in
     let r = Violation_io.reanalyze ~minimize:do_minimize ?sim_config stored in
-    if not r.Violation_io.reproduced then begin
+    if json then
+      Output.emit
+        (Json.Obj
+           [
+             ("defense", Json.Str stored.Violation_io.defense_name);
+             ("contract", Json.Str stored.Violation_io.contract_name);
+             ("reproduced", Json.Bool r.Violation_io.reproduced);
+             ( "signature",
+               match r.Violation_io.leak_class with
+               | Some c -> Json.Str (Analysis.class_name c)
+               | None -> Json.Null );
+           ])
+    else if not r.Violation_io.reproduced then
       Format.printf
-        "violation did NOT reproduce under a fresh context (it may need the          original campaign's microarchitectural context or an amplified          configuration: try --ways/--mshrs)@.";
-      1
-    end
+        "violation did NOT reproduce under a fresh context (it may need the          original campaign's microarchitectural context or an amplified          configuration: try --ways/--mshrs)@."
     else begin
       (match r.Violation_io.leak_class with
       | Some c -> Format.printf "reproduced; signature: %s@." (Analysis.class_name c)
       | None -> ());
       (match r.Violation_io.minimization with
       | Some m -> Format.printf "%a" Minimize.pp_result m
-      | None -> ());
-      0
-    end
+      | None -> ())
+    end;
+    if r.Violation_io.reproduced then Output.exit_violation
+    else Output.exit_clean
   in
-  let term = Term.(const run $ file $ do_minimize $ ways $ mshrs) in
+  let term = Term.(const run $ file $ do_minimize $ ways $ mshrs $ json_t) in
   Cmd.v
     (Cmd.info "analyze"
-       ~doc:"Reload a saved violation, revalidate, classify and optionally minimize it.")
+       ~doc:
+         "Reload a saved violation, revalidate, classify and optionally \
+          minimize it.  Exits 1 when the violation reproduces, 0 when it \
+          does not.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -474,11 +659,6 @@ let explain_cmd =
       required & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"A violation file written by fuzz --save-dir.")
   in
-  let json =
-    Arg.(
-      value & flag
-      & info [ "json" ] ~doc:"Emit the forensics report as JSON on stdout.")
-  in
   let ways =
     Arg.(value & opt (some int) None & info [ "ways" ] ~doc:"Amplification: L1D ways.")
   in
@@ -486,6 +666,7 @@ let explain_cmd =
     Arg.(value & opt (some int) None & info [ "mshrs" ] ~doc:"Amplification: MSHR count.")
   in
   let run file json ways mshrs =
+   Output.guarded @@ fun () ->
     let stored = Violation_io.load file in
     let sim_config =
       match ways, mshrs, Defense.find stored.Violation_io.defense_name with
@@ -495,16 +676,18 @@ let explain_cmd =
     let report = Forensics.explain ?sim_config stored in
     if json then print_endline (Forensics.to_json report)
     else Format.printf "%a" Forensics.pp report;
-    if report.Forensics.reproduced then 0 else 1
+    if report.Forensics.reproduced then Output.exit_violation
+    else Output.exit_clean
   in
-  let term = Term.(const run $ file $ json $ ways $ mshrs) in
+  let term = Term.(const run $ file $ json_t $ ways $ mshrs) in
   Cmd.v
     (Cmd.info "explain"
        ~doc:
          "Violation forensics: re-run a saved violation's two inputs from an \
           identical microarchitectural context and report the contract-trace \
           comparison, the trace diff, the hardware-counter delta between the \
-          two executions, and the root-cause class.")
+          two executions, and the root-cause class.  Exits 1 when the \
+          violation reproduces, 0 when it does not.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -512,36 +695,86 @@ let explain_cmd =
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
-  let run () =
-    Format.printf "defenses:@.";
-    List.iter
-      (fun d ->
-        Format.printf "  %-22s %s (contract %s, %d-page sandbox)@." d.Defense.name
-          d.Defense.description d.Defense.contract.Amulet_contracts.Contract.name
-          d.Defense.sandbox_pages)
-      Defense.all;
-    Format.printf "@.contracts:@.";
-    List.iter
-      (fun c ->
-        Format.printf "  %-10s %s@." c.Amulet_contracts.Contract.name
-          c.Amulet_contracts.Contract.description)
-      Amulet_contracts.Contract.all;
-    Format.printf "@.trace formats:@.";
-    List.iter
-      (fun f -> Format.printf "  %s@." (Utrace.format_name f))
-      Utrace.all_formats;
-    Format.printf "@.reproducers:@.";
-    List.iter
-      (fun r -> Format.printf "  %-24s %s@." r.Reproducers.name r.Reproducers.description)
-      Reproducers.all;
-    0
+  let run json =
+   Output.guarded @@ fun () ->
+    if json then
+      Output.emit
+        (Json.Obj
+           [
+             ( "defenses",
+               Json.List
+                 (List.map
+                    (fun d ->
+                      Json.Obj
+                        [
+                          ("name", Json.Str d.Defense.name);
+                          ("description", Json.Str d.Defense.description);
+                          ( "contract",
+                            Json.Str d.Defense.contract.Amulet_contracts.Contract.name
+                          );
+                          ("sandbox_pages", Json.Int d.Defense.sandbox_pages);
+                        ])
+                    Defense.all) );
+             ( "contracts",
+               Json.List
+                 (List.map
+                    (fun c ->
+                      Json.Obj
+                        [
+                          ("name", Json.Str c.Amulet_contracts.Contract.name);
+                          ( "description",
+                            Json.Str c.Amulet_contracts.Contract.description );
+                        ])
+                    Amulet_contracts.Contract.all) );
+             ( "trace_formats",
+               Json.List
+                 (List.map
+                    (fun f -> Json.Str (Utrace.format_name f))
+                    Utrace.all_formats) );
+             ( "reproducers",
+               Json.List
+                 (List.map
+                    (fun r ->
+                      Json.Obj
+                        [
+                          ("name", Json.Str r.Reproducers.name);
+                          ("description", Json.Str r.Reproducers.description);
+                          ( "defense",
+                            Json.Str r.Reproducers.defense.Defense.name );
+                        ])
+                    Reproducers.all) );
+           ])
+    else begin
+      Format.printf "defenses:@.";
+      List.iter
+        (fun d ->
+          Format.printf "  %-22s %s (contract %s, %d-page sandbox)@." d.Defense.name
+            d.Defense.description d.Defense.contract.Amulet_contracts.Contract.name
+            d.Defense.sandbox_pages)
+        Defense.all;
+      Format.printf "@.contracts:@.";
+      List.iter
+        (fun c ->
+          Format.printf "  %-10s %s@." c.Amulet_contracts.Contract.name
+            c.Amulet_contracts.Contract.description)
+        Amulet_contracts.Contract.all;
+      Format.printf "@.trace formats:@.";
+      List.iter
+        (fun f -> Format.printf "  %s@." (Utrace.format_name f))
+        Utrace.all_formats;
+      Format.printf "@.reproducers:@.";
+      List.iter
+        (fun r -> Format.printf "  %-24s %s@." r.Reproducers.name r.Reproducers.description)
+        Reproducers.all
+    end;
+    Output.exit_clean
   in
   Cmd.v (Cmd.info "list" ~doc:"List defenses, contracts, trace formats, reproducers.")
-    Term.(const run $ const ())
+    Term.(const run $ json_t)
 
 let main =
   let doc = "AMuLeT: automated design-time testing of secure speculation countermeasures" in
   Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
-    [ fuzz_cmd; reproduce_cmd; run_cmd; analyze_cmd; explain_cmd; list_cmd ]
+    [ fuzz_cmd; sweep_cmd; reproduce_cmd; run_cmd; analyze_cmd; explain_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -14,20 +14,8 @@ let sweep_point ~l1d_ways ~mshrs =
   let t0 = Unix.gettimeofday () in
   let r =
     Campaign.run
-      {
-        Campaign.n_programs = 120;
-        stop_after_violations = Some 1;
-        seed = 7;
-        classify = true;
-        fuzzer =
-          {
-            Fuzzer.default_config with
-            Fuzzer.n_base_inputs = 8;
-            boosts_per_input = 6;
-            sim_config = Some sim_config;
-          };
-      }
-      defense
+      (Run_spec.make ~defense ~rounds:120 ~stop_after:1 ~seed:7 ~inputs:8
+         ~boosts:6 ~sim_config ())
   in
   let dt = Unix.gettimeofday () -. t0 in
   Format.printf "%-34s %8.1f s   %s@."

@@ -10,15 +10,8 @@ open Amulet_defenses
 
 let campaign defense ~n_programs ~stop =
   Campaign.run
-    {
-      Campaign.n_programs;
-      stop_after_violations = stop;
-      seed = 7;
-      classify = true;
-      fuzzer =
-        { Fuzzer.default_config with Fuzzer.n_base_inputs = 8; boosts_per_input = 5 };
-    }
-    defense
+    (Run_spec.make ~defense ~rounds:n_programs ?stop_after:stop ~seed:7
+       ~inputs:8 ~boosts:5 ())
 
 let () =
   Format.printf

@@ -14,21 +14,13 @@ let () =
      taint-boosted mutants that provably share a contract trace), runs them
      through the simulator, and flags validated microarchitectural
      differences within a contract-equivalence class. *)
-  let config =
-    {
-      Campaign.n_programs = 50;
-      stop_after_violations = Some 1;  (* stop at the first finding *)
-      seed = 2024;
-      classify = true;  (* run root-cause signature classification *)
-      fuzzer =
-        {
-          Fuzzer.default_config with
-          Fuzzer.n_base_inputs = 10;
-          boosts_per_input = 4;  (* 50 test cases per program *)
-        };
-    }
+  let spec =
+    Run_spec.make ~defense:Defense.baseline ~rounds:50 ~seed:2024
+      ~stop_after:1 (* stop at the first finding *)
+      ~inputs:10 ~boosts:4 (* 50 test cases per program *)
+      ()
   in
-  let result = Campaign.run config Defense.baseline in
+  let result = Campaign.run spec in
   (match result.Campaign.violations with
   | [] -> Format.printf "no violations found (try more programs)@."
   | v :: _ ->

@@ -14,9 +14,7 @@ let () =
   Format.printf "Hunting a CleanupSpec violation to root-cause...@.@.";
   let defense = Defense.cleanupspec in
   let fz =
-    Fuzzer.create
-      ~cfg:{ Fuzzer.default_config with Fuzzer.n_base_inputs = 10; boosts_per_input = 6 }
-      ~seed:5 defense
+    Fuzzer.create (Run_spec.make ~defense ~seed:5 ~inputs:10 ~boosts:6 ())
   in
   let r = Reproducers.uv3 in
   match Fuzzer.test_program fz (Reproducers.flat r) with

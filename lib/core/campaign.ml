@@ -30,6 +30,14 @@ let default_config =
     classify = true;
   }
 
+let spec_of_config (cfg : config) (defense : Defense.t) =
+  {
+    (Fuzzer.spec_of_config ~defense ~seed:cfg.seed cfg.fuzzer) with
+    Run_spec.rounds = cfg.n_programs;
+    stop_after_violations = cfg.stop_after_violations;
+    classify = cfg.classify;
+  }
+
 type result = {
   defense : Defense.t;
   contract_name : string;
@@ -45,6 +53,9 @@ type result = {
   throughput : float;  (** test cases / second *)
   detection_times : float list;
       (** per violation: seconds since the previous find (or campaign start) *)
+  budget_exhausted : bool;
+      (** the run stopped because [budget_ms] ran out, not because it
+          finished its rounds or hit [stop_after_violations] *)
   metrics : Obs.Snapshot.t;
       (** telemetry delta accumulated over the campaign (empty unless a
           live registry was passed in) *)
@@ -62,32 +73,31 @@ let count_classes classes =
    cycles: resumability depends only on (seed, i). *)
 let round_seed seed i = seed + ((i + 1) * 2654435761)
 
-(* The contract a campaign tests is knowable from its config alone — used
-   when no round ever completed, so no result carries the name. *)
-let configured_contract_name (cfg : config) (defense : Defense.t) =
-  (Option.value cfg.fuzzer.Fuzzer.contract ~default:defense.Defense.contract)
-    .Amulet_contracts.Contract.name
-
-let classify_one cfg defense v =
+let classify_one (spec : Run_spec.t) v =
   let executor =
-    Executor.create ~mode:Executor.Opt ?sim_config:cfg.fuzzer.Fuzzer.sim_config
-      ~format:cfg.fuzzer.Fuzzer.trace_format defense (Stats.create ())
+    Executor.create ~mode:Executor.Opt ?sim_config:spec.Run_spec.sim_config
+      ~format:spec.Run_spec.trace_format spec.Run_spec.defense (Stats.create ())
   in
   Executor.start_program executor;
   Analysis.classify_violation executor v
 
-(** Run a campaign of [cfg.n_programs] fuzzing rounds against [defense].
+(** Run a campaign of [spec.rounds] fuzzing rounds against [spec.defense].
     [on_violation] fires as findings come in (progress reporting).
     [journal_path] checkpoints progress atomically every [checkpoint_every]
-    rounds; [resume] continues from a loaded checkpoint instead of round
-    0. *)
+    rounds; [resume] continues from a loaded checkpoint instead of round 0.
+    [engine] injects a warmed engine + stats sink (sweep cache). *)
 let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
-    ?(checkpoint_every = 10) ?resume ?(metrics = Obs.noop) (cfg : config)
-    (defense : Defense.t) : result =
-  let fuzzer = Fuzzer.create ~cfg:cfg.fuzzer ~metrics ~seed:cfg.seed defense in
+    ?(checkpoint_every = 10) ?resume ?(metrics = Obs.noop) ?engine
+    (spec : Run_spec.t) : result =
+  let defense = spec.Run_spec.defense in
+  let fuzzer = Fuzzer.create ~metrics ?engine spec in
   (* campaign-local telemetry delta, even on a registry shared across runs *)
   let metrics_before = Obs.Snapshot.of_registry metrics in
   let started = Obs.Clock.now_s () in
+  (* the fuzzer's stats sink may be shared across campaigns (injected warm
+     engine): account in deltas against its state at campaign start *)
+  let tc0 = Stats.test_cases (Fuzzer.stats fuzzer) in
+  let faults0 = Stats.fault_counts (Fuzzer.stats fuzzer) in
   (* baselines carried over from the checkpoint being resumed *)
   let base_programs, base_discarded, base_tc, base_faults, base_times, base_violations =
     match resume with
@@ -95,7 +105,7 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
     | Some (j : Journal.t) ->
         let vs =
           List.map
-            (Violation_io.rehydrate ?sim_config:cfg.fuzzer.Fuzzer.sim_config)
+            (Violation_io.rehydrate ?sim_config:spec.Run_spec.sim_config)
             j.Journal.violations
         in
         ( j.Journal.programs_run,
@@ -107,7 +117,9 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
   in
   let violations = ref (List.rev base_violations) in
   let classes =
-    ref (if cfg.classify then List.map (classify_one cfg defense) base_violations else [])
+    ref
+      (if spec.Run_spec.classify then List.map (classify_one spec) base_violations
+       else [])
   in
   let detection_times = ref (List.rev base_times) in
   let last_find = ref started in
@@ -115,10 +127,19 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
   let discarded = ref base_discarded in
   let programs = ref base_programs in
   let stop = ref false in
+  let budget_exhausted = ref false in
+  let budget_hit () =
+    match spec.Run_spec.budget_ms with
+    | None -> false
+    | Some b -> Obs.Clock.elapsed_ms ~since:started >= b
+  in
+  if spec.Run_spec.budget_ms <> None then Fuzzer.set_budget_check fuzzer budget_hit;
   let merged_faults () =
     let c = Fault.Counters.create () in
     Fault.Counters.add_list c base_faults;
     Fault.Counters.merge c (Stats.fault_counters (Fuzzer.stats fuzzer));
+    (* subtract the shared sink's pre-campaign counts *)
+    List.iter (fun (cls, n) -> Fault.Counters.record_class c ~n:(-n) cls) faults0;
     Fault.Counters.to_list c
   in
   let checkpoint () =
@@ -127,8 +148,8 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
     | Some path ->
         Journal.save
           {
-            Journal.seed = cfg.seed;
-            n_programs = cfg.n_programs;
+            Journal.seed = spec.Run_spec.seed;
+            n_programs = spec.Run_spec.rounds;
             defense_name = defense.Defense.name;
             contract_name = (Fuzzer.contract fuzzer).Amulet_contracts.Contract.name;
             programs_run = !programs;
@@ -140,28 +161,41 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
           }
           path
   in
-  (match cfg.stop_after_violations with
+  (match spec.Run_spec.stop_after_violations with
   | Some k when List.length !violations >= k -> stop := true
   | _ -> ());
-  while (not !stop) && !programs < cfg.n_programs do
-    Fuzzer.reseed fuzzer ~seed:(round_seed cfg.seed !programs);
-    incr programs;
-    (match Fuzzer.round fuzzer with
-    | Fuzzer.No_violation _ -> ()
-    | Fuzzer.Discarded _ -> incr discarded
-    | Fuzzer.Found v ->
-        let now = Obs.Clock.now_s () in
-        detection_times := (now -. !last_find) :: !detection_times;
-        last_find := now;
-        if cfg.classify then classes := classify_one cfg defense v :: !classes;
-        violations := v :: !violations;
-        on_violation v;
-        (match cfg.stop_after_violations with
-        | Some k when List.length !violations >= k -> stop := true
-        | _ -> ()));
-    (* throughput accounting uses the fuzzer's own test-case counter *)
-    test_cases := base_tc + Stats.test_cases (Fuzzer.stats fuzzer);
-    if (!programs - base_programs) mod checkpoint_every = 0 then checkpoint ()
+  while (not !stop) && (not !budget_exhausted) && !programs < spec.Run_spec.rounds do
+    if budget_hit () then budget_exhausted := true
+    else begin
+      Fuzzer.reseed fuzzer ~seed:(round_seed spec.Run_spec.seed !programs);
+      incr programs;
+      match Fuzzer.round fuzzer with
+      | exception Fuzzer.Budget ->
+          (* the budget tripped mid-round: abandon the partial round so the
+             final checkpoint lands exactly on the last completed round
+             boundary — resume replays the interrupted round from scratch *)
+          decr programs;
+          budget_exhausted := true
+      | outcome ->
+          (match outcome with
+          | Fuzzer.No_violation _ -> ()
+          | Fuzzer.Discarded _ -> incr discarded
+          | Fuzzer.Found v ->
+              let now = Obs.Clock.now_s () in
+              detection_times := (now -. !last_find) :: !detection_times;
+              last_find := now;
+              if spec.Run_spec.classify then classes := classify_one spec v :: !classes;
+              violations := v :: !violations;
+              on_violation v;
+              (match spec.Run_spec.stop_after_violations with
+              | Some k when List.length !violations >= k -> stop := true
+              | _ -> ()));
+          (* throughput accounting uses the fuzzer's own test-case counter;
+             only advanced on completed rounds so a budget-abandoned partial
+             round never leaks into the checkpoint *)
+          test_cases := base_tc + (Stats.test_cases (Fuzzer.stats fuzzer) - tc0);
+          if (!programs - base_programs) mod checkpoint_every = 0 then checkpoint ()
+    end
   done;
   checkpoint ();
   let duration = Obs.Clock.elapsed_s ~since:started in
@@ -178,10 +212,16 @@ let run ?(on_violation = fun (_ : Violation.t) -> ()) ?journal_path
     duration;
     throughput = (if duration > 0. then float_of_int !test_cases /. duration else 0.);
     detection_times = List.rev !detection_times;
+    budget_exhausted = !budget_exhausted;
     metrics =
       Obs.Snapshot.diff ~older:metrics_before
         ~newer:(Obs.Snapshot.of_registry metrics);
   }
+
+let run_cfg ?on_violation ?journal_path ?checkpoint_every ?resume ?metrics
+    (cfg : config) (defense : Defense.t) : result =
+  run ?on_violation ?journal_path ?checkpoint_every ?resume ?metrics
+    (spec_of_config cfg defense)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel campaigns                                                  *)
@@ -232,6 +272,7 @@ let merge_results (defense : Defense.t) ~fallback_contract ~elapsed crash_counts
     duration;
     throughput = (if duration > 0. then float_of_int test_cases /. duration else 0.);
     detection_times = List.concat_map (fun r -> r.detection_times) results;
+    budget_exhausted = List.exists (fun r -> r.budget_exhausted) results;
     metrics =
       List.fold_left
         (fun acc r -> Obs.Snapshot.merge acc r.metrics)
@@ -240,7 +281,7 @@ let merge_results (defense : Defense.t) ~fallback_contract ~elapsed crash_counts
 
 (** Run [instances] independent campaign instances on parallel domains —
     the paper's methodology (16 or 100 parallel AMuLeT instances) — each
-    with a distinct seed derived from [cfg.seed], and merge the results.
+    with a distinct seed derived from [spec.seed], and merge the results.
 
     Supervised: a crashing instance never takes down the others — its
     domain is joined defensively, the crash is recorded as an
@@ -248,26 +289,27 @@ let merge_results (defense : Defense.t) ~fallback_contract ~elapsed crash_counts
     derived seed up to [retries] times.  The merge covers every instance
     that completed; if {e all} instances exhaust their retries the call
     still returns a structured (failed) result whose [fault_counts] carry
-    the crashes, rather than aborting a long campaign.  [instance_cfg]
-    overrides the per-instance config derivation (supervision tests use it
+    the crashes, rather than aborting a long campaign.  [instance_spec]
+    overrides the per-instance spec derivation (supervision tests use it
     to plant a crashing instance).  [metrics], when live, makes each domain
     record telemetry into a private registry; the merged snapshot lands in
     [result.metrics]. *)
-let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg
-    ?(metrics = Obs.noop) (cfg : config) (defense : Defense.t) : result =
+let run_parallel ?(instances = 4) ?(retries = 2) ?instance_spec
+    ?(metrics = Obs.noop) (spec : Run_spec.t) : result =
   assert (instances >= 1);
+  let defense = spec.Run_spec.defense in
   let started = Obs.Clock.now_s () in
   (* domains must not share one registry (unsynchronised counters); each
      instance gets its own and the snapshots merge after the joins *)
   let telemetry = Obs.is_enabled metrics in
-  let cfg_of i attempt =
+  let spec_of i attempt =
     let base =
-      match instance_cfg with
+      match instance_spec with
       | Some f -> f i
-      | None -> { cfg with seed = cfg.seed + (i * 7919) }
+      | None -> Run_spec.with_seed spec (spec.Run_spec.seed + (i * 7919))
     in
     (* restarts must not replay the crashing seed *)
-    { base with seed = base.seed + (attempt * 104729) }
+    Run_spec.with_seed base (base.Run_spec.seed + (attempt * 104729))
   in
   let crash_counts = Fault.Counters.create () in
   let results = Array.make instances None in
@@ -282,7 +324,7 @@ let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg
             attempt,
             Domain.spawn (fun () ->
                 let dm = if telemetry then Obs.create () else Obs.noop in
-                try Ok (run ~metrics:dm (cfg_of i attempt) defense)
+                try Ok (run ~metrics:dm (spec_of i attempt))
                 with exn -> Error (Fault.exn_info exn)) ))
         batch
     in
@@ -302,10 +344,18 @@ let run_parallel ?(instances = 4) ?(retries = 2) ?instance_cfg
       domains
   done;
   merge_results defense
-    ~fallback_contract:(configured_contract_name cfg defense)
+    ~fallback_contract:(Run_spec.contract_name spec)
     ~elapsed:(Obs.Clock.elapsed_s ~since:started)
     crash_counts
     (List.filter_map Fun.id (Array.to_list results))
+
+let run_parallel_cfg ?instances ?retries ?instance_cfg ?metrics (cfg : config)
+    (defense : Defense.t) : result =
+  let instance_spec =
+    Option.map (fun f i -> spec_of_config (f i) defense) instance_cfg
+  in
+  run_parallel ?instances ?retries ?instance_spec ?metrics
+    (spec_of_config cfg defense)
 
 let detected r = r.violations <> []
 
@@ -331,6 +381,7 @@ let pp fmt r =
         counts;
       if r.quarantined > 0 then Format.fprintf fmt "  (quarantined: %d)" r.quarantined;
       Format.fprintf fmt "@.");
+  if r.budget_exhausted then Format.fprintf fmt "  (budget exhausted)@.";
   (match avg_detection_time r with
   | Some t -> Format.fprintf fmt "  avg detection time: %.2f s@." t
   | None -> ());

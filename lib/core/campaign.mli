@@ -1,5 +1,7 @@
 (** Testing campaigns: many fuzzing rounds against one defense, with the
-    metrics the paper's evaluation reports (Tables 3, 4, 6). *)
+    metrics the paper's evaluation reports (Tables 3, 4, 6).  Campaigns are
+    described by a {!Run_spec.t}; the legacy [config] record remains only
+    for the deprecated [run_cfg]/[run_parallel_cfg] entry points. *)
 
 open Amulet_defenses
 
@@ -12,6 +14,9 @@ type config = {
 }
 
 val default_config : config
+
+val spec_of_config : config -> Defense.t -> Run_spec.t
+(** Lift a legacy campaign [config] into the unified spec. *)
 
 type result = {
   defense : Defense.t;
@@ -27,6 +32,9 @@ type result = {
   duration : float;
   throughput : float;  (** test cases per second *)
   detection_times : float list;
+  budget_exhausted : bool;
+      (** the run stopped on [Run_spec.budget_ms], not by finishing its
+          rounds or hitting [stop_after_violations] *)
   metrics : Amulet_obs.Obs.Snapshot.t;
       (** telemetry delta accumulated over the campaign (empty unless a
           live registry was passed in) *)
@@ -43,23 +51,40 @@ val run :
   ?checkpoint_every:int ->
   ?resume:Journal.t ->
   ?metrics:Amulet_obs.Obs.t ->
+  ?engine:Engine.t * Stats.t ->
+  Run_spec.t ->
+  result
+(** Run [spec.rounds] fuzzing rounds against [spec.defense].
+    [journal_path] checkpoints progress atomically every [checkpoint_every]
+    (default 10) rounds and at campaign end; [resume] continues from a
+    loaded checkpoint instead of round 0 and, with the same spec, ends with
+    the same totals as an uninterrupted run.  [metrics] (default noop) is
+    threaded down to the fuzzer/engine/simulator counters; the
+    campaign-local delta lands in [result.metrics].  [engine] injects a
+    warmed engine + stats sink (see {!Fuzzer.create}); accounting is
+    delta-based, so a sink shared across successive campaigns stays
+    correct.  When [spec.budget_ms] runs out — even mid-round — the
+    campaign stops at the last {e completed} round boundary with a clean
+    final checkpoint ([result.budget_exhausted] set), so a resume replays
+    the interrupted round instead of double-counting it. *)
+
+val run_cfg :
+  ?on_violation:(Violation.t -> unit) ->
+  ?journal_path:string ->
+  ?checkpoint_every:int ->
+  ?resume:Journal.t ->
+  ?metrics:Amulet_obs.Obs.t ->
   config ->
   Defense.t ->
   result
-(** [journal_path] checkpoints progress atomically every [checkpoint_every]
-    (default 10) rounds and at campaign end; [resume] continues from a
-    loaded checkpoint instead of round 0 and, with the same seed and
-    config, ends with the same totals as an uninterrupted run.  [metrics]
-    (default noop) is threaded down to the fuzzer/engine/simulator
-    counters; the campaign-local delta lands in [result.metrics]. *)
+(** @deprecated Legacy entry point; build a {!Run_spec.t} and use {!run}. *)
 
 val run_parallel :
   ?instances:int ->
   ?retries:int ->
-  ?instance_cfg:(int -> config) ->
+  ?instance_spec:(int -> Run_spec.t) ->
   ?metrics:Amulet_obs.Obs.t ->
-  config ->
-  Defense.t ->
+  Run_spec.t ->
   result
 (** The paper's parallel methodology: independent instances on OCaml
     domains, distinct derived seeds, merged results (durations combine as
@@ -69,10 +94,21 @@ val run_parallel :
     instance — one crashing domain no longer discards the others' results.
     If {e every} instance exhausts its retries, the call still returns a
     structured failed result: zero programs and violations, the crashes
-    classified in [fault_counts] — never an exception.  [instance_cfg]
-    overrides per-instance config derivation (supervision tests).
+    classified in [fault_counts] — never an exception.  [instance_spec]
+    overrides per-instance spec derivation (supervision tests).
     [metrics], when live, gives each domain a private registry and merges
     the per-instance snapshots into [result.metrics]. *)
+
+val run_parallel_cfg :
+  ?instances:int ->
+  ?retries:int ->
+  ?instance_cfg:(int -> config) ->
+  ?metrics:Amulet_obs.Obs.t ->
+  config ->
+  Defense.t ->
+  result
+(** @deprecated Legacy entry point; build a {!Run_spec.t} and use
+    {!run_parallel}. *)
 
 val detected : result -> bool
 val avg_detection_time : result -> float option

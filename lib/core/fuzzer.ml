@@ -53,6 +53,44 @@ let default_config =
     isolate_rounds = true;
   }
 
+(* The config <-> Run_spec bridge: [config] stays the fuzzer's internal
+   working record; the public construction surface is {!Run_spec.t}. *)
+let config_of_spec (s : Run_spec.t) =
+  {
+    n_base_inputs = s.Run_spec.n_base_inputs;
+    boosts_per_input = s.Run_spec.boosts_per_input;
+    contract = s.Run_spec.contract;
+    generator = s.Run_spec.generator;
+    executor_mode = s.Run_spec.mode;
+    engine = s.Run_spec.engine;
+    trace_format = s.Run_spec.trace_format;
+    boot_insts = s.Run_spec.boot_insts;
+    sim_config = s.Run_spec.sim_config;
+    deadline_ms = s.Run_spec.deadline_ms;
+    quarantine_dir = s.Run_spec.quarantine_dir;
+    chaos = s.Run_spec.chaos;
+    isolate_rounds = s.Run_spec.isolate_rounds;
+  }
+
+let spec_of_config ~(defense : Defense.t) ~seed (cfg : config) =
+  let base = Run_spec.make ~defense ~seed () in
+  {
+    base with
+    Run_spec.contract = cfg.contract;
+    n_base_inputs = cfg.n_base_inputs;
+    boosts_per_input = cfg.boosts_per_input;
+    generator = cfg.generator;
+    mode = cfg.executor_mode;
+    engine = cfg.engine;
+    trace_format = cfg.trace_format;
+    boot_insts = cfg.boot_insts;
+    sim_config = cfg.sim_config;
+    deadline_ms = cfg.deadline_ms;
+    quarantine_dir = cfg.quarantine_dir;
+    chaos = cfg.chaos;
+    isolate_rounds = cfg.isolate_rounds;
+  }
+
 type t = {
   cfg : config;
   defense : Defense.t;
@@ -62,6 +100,9 @@ type t = {
   mutable rng : Rng.t;
   started_at : float;
   mutable quarantined : int;
+  mutable budget_check : (unit -> bool) option;
+      (* campaign-level wall-clock budget, polled at the same points as the
+         per-round deadline so a blown budget surfaces mid-round *)
   (* fuzzer-level telemetry, resolved once against the stats registry *)
   m_rounds : Obs.counter;
   m_base_inputs : Obs.counter;
@@ -74,18 +115,29 @@ type t = {
   m_discards : Obs.counter;
 }
 
-let create ?(cfg = default_config) ?(metrics = Obs.noop) ~seed
-    (defense : Defense.t) =
-  let stats = Stats.create ~metrics () in
+let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
+  let defense = spec.Run_spec.defense in
+  let cfg = config_of_spec spec in
   let contract = Option.value cfg.contract ~default:defense.Defense.contract in
   let generator =
     { cfg.generator with Generator.sandbox_pages = defense.Defense.sandbox_pages }
   in
   let cfg = { cfg with generator } in
-  let engine =
-    Engine.create ~boot_insts:cfg.boot_insts ~format:cfg.trace_format
-      ?sim_config:cfg.sim_config ?chaos:cfg.chaos ~kind:cfg.engine
-      ~mode:cfg.executor_mode defense stats
+  let engine, stats =
+    match engine with
+    | Some (engine, stats) ->
+        (* injected warmed engine (sweep cache): its stats sink is adopted
+           wholesale; spec.chaos is ignored because chaos is armed at
+           executor creation *)
+        (engine, stats)
+    | None ->
+        let stats = Stats.create ~metrics () in
+        let engine =
+          Engine.create ~boot_insts:cfg.boot_insts ~format:cfg.trace_format
+            ?sim_config:cfg.sim_config ?chaos:cfg.chaos ~kind:cfg.engine
+            ~mode:cfg.executor_mode defense stats
+        in
+        (engine, stats)
   in
   {
     cfg;
@@ -93,9 +145,10 @@ let create ?(cfg = default_config) ?(metrics = Obs.noop) ~seed
     contract;
     engine;
     stats;
-    rng = Rng.create ~seed;
+    rng = Rng.create ~seed:spec.Run_spec.seed;
     started_at = Obs.Clock.now_s ();
     quarantined = 0;
+    budget_check = None;
     m_rounds = Obs.counter metrics "fuzzer.rounds";
     m_base_inputs = Obs.counter metrics "fuzzer.base_inputs";
     m_mutants = Obs.counter metrics "fuzzer.boost.mutants";
@@ -104,9 +157,19 @@ let create ?(cfg = default_config) ?(metrics = Obs.noop) ~seed
     m_discards = Obs.counter metrics "fuzzer.discards";
   }
 
+let create_cfg ?(cfg = default_config) ?metrics ~seed (defense : Defense.t) =
+  create ?metrics (spec_of_config ~defense ~seed cfg)
+
 let stats t = t.stats
 let contract t = t.contract
 let quarantined t = t.quarantined
+
+(* Campaign-level wall-clock budget exhausted.  Deliberately NOT contained
+   by [isolate_rounds]: the round's work is abandoned, and the campaign is
+   expected to roll back to the last completed round boundary. *)
+exception Budget
+
+let set_budget_check t f = t.budget_check <- Some f
 
 (** Replace the PRNG stream.  Campaigns reseed before every round with a
     seed derived from (campaign seed, round index), making each round
@@ -142,7 +205,10 @@ let deadline_start t =
 (* [Obs.Clock.elapsed_ms] clamps to >= 0: the wall clock is not monotonic,
    and an NTP step backwards must not instantly exhaust (or extend) the
    budget. *)
-let check_deadline d =
+let check_deadline t d =
+  (match t.budget_check with
+  | Some exhausted when exhausted () -> raise Budget
+  | _ -> ());
   match d.budget_ms with
   | None -> ()
   | Some budget ->
@@ -166,7 +232,7 @@ let build_test_cases t flat dl =
   let n = t.cfg.n_base_inputs in
   for _ = 1 to n do
     if !fault = None then begin
-      check_deadline dl;
+      check_deadline t dl;
       let base = Input.generate t.rng ~pages:t.cfg.generator.Generator.sandbox_pages in
       let result = ctrace_of t flat base ~collect_taint:true in
       match result.Leakage_model.fault with
@@ -178,7 +244,7 @@ let build_test_cases t flat dl =
           | None -> ()
           | Some taint ->
               for _ = 1 to t.cfg.boosts_per_input do
-                check_deadline dl;
+                check_deadline t dl;
                 let mutant = Input.mutate_free t.rng taint base in
                 (* taint tracking is conservative, but verify: a mutant whose
                    contract trace moved would poison its class *)
@@ -264,7 +330,7 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
          warm simulator (the engine re-pristines per its mode/backend) *)
       let batch =
         Engine.run_batch t.engine
-          ~check:(fun () -> check_deadline dl)
+          ~check:(fun () -> check_deadline t dl)
           flat
           (Array.map (fun c -> c.input) arr)
       in
@@ -277,7 +343,7 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
             (fun (_hash, members) ->
               match members with
               | first :: rest when !candidate = None ->
-                  check_deadline dl;
+                  check_deadline t dl;
                   let a = arr.(first) in
                   List.iter
                     (fun j ->
@@ -328,7 +394,9 @@ let test_program t (flat : Program.flat) : round_result =
     try test_program_exn t flat dl with Deadline fault -> discard t flat fault
   in
   if t.cfg.isolate_rounds then
-    try contained () with exn -> discard t flat (Fault.of_exn exn)
+    try contained () with
+    | Budget as e -> raise e
+    | exn -> discard t flat (Fault.of_exn exn)
   else contained ()
 
 (** Generate a fresh random program and fuzz it. *)

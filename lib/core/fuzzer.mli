@@ -24,16 +24,46 @@ type config = {
 
 val default_config : config
 
+val config_of_spec : Run_spec.t -> config
+(** Project a {!Run_spec.t} onto the fuzzer's internal knobs (campaign-level
+    fields — rounds, budget, stop-after — are not the fuzzer's concern). *)
+
+val spec_of_config : defense:Defense.t -> seed:int -> config -> Run_spec.t
+(** Lift a legacy [config] into a {!Run_spec.t}; campaign-level fields keep
+    {!Run_spec.make} defaults.  Bridge for the deprecated entry points. *)
+
 type t
 
 val create :
+  ?metrics:Amulet_obs.Obs.t -> ?engine:Engine.t * Stats.t -> Run_spec.t -> t
+(** Build a fuzzer from a {!Run_spec.t} (defense, seed and all execution
+    knobs live in the spec).  [metrics] (default noop) receives the
+    [fuzzer.*] counters and is threaded through stats/engine/executor down
+    to the simulator's [uarch.*] hardware counters.  [engine] injects an
+    existing (typically warmed) engine and its stats sink instead of
+    building one — the sweep orchestrator uses this to reuse one pooled
+    engine across every job of the same defense config; the spec's
+    [chaos] is ignored for injected engines (chaos arms at executor
+    creation). *)
+
+val create_cfg :
   ?cfg:config -> ?metrics:Amulet_obs.Obs.t -> seed:int -> Defense.t -> t
-(** [metrics] (default noop) receives the [fuzzer.*] counters and is
-    threaded through stats/engine/executor down to the simulator's
-    [uarch.*] hardware counters. *)
+(** @deprecated Legacy entry point; build a {!Run_spec.t} and use
+    {!create} instead. *)
 
 val stats : t -> Stats.t
 val contract : t -> Contract.t
+
+exception Budget
+(** Raised mid-round when the campaign-level budget check installed by
+    {!set_budget_check} trips.  Unlike {!Fault.Deadline_exceeded}, this is
+    {e not} contained by [isolate_rounds]: the partial round is abandoned
+    and the caller rolls back to the last completed round boundary. *)
+
+val set_budget_check : t -> (unit -> bool) -> unit
+(** Install a whole-run budget predicate, polled at every per-round
+    deadline checkpoint; when it returns [true], the round raises
+    {!Budget}. *)
 
 val quarantined : t -> int
 (** Test cases written to the quarantine corpus so far. *)

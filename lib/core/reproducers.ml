@@ -255,14 +255,9 @@ let hunt ?(seed = 7) ?(n_base_inputs = 10) ?(boosts_per_input = 8) ?sim_config r
         Some (Amulet_defenses.Defense.config ~l1d_ways:2 ~mshrs:2 r.defense)
     | None, _ -> None
   in
-  let cfg =
-    {
-      Fuzzer.default_config with
-      Fuzzer.n_base_inputs;
-      boosts_per_input;
-      boot_insts = 500;
-      sim_config;
-    }
+  let spec seed =
+    Run_spec.make ~defense:r.defense ~seed ~inputs:n_base_inputs
+      ~boosts:boosts_per_input ~boot_insts:500 ?sim_config ()
   in
   let classify v =
     let ex =
@@ -275,7 +270,7 @@ let hunt ?(seed = 7) ?(n_base_inputs = 10) ?(boosts_per_input = 8) ?sim_config r
   let rec attempt tries seed =
     if tries = 0 then None
     else
-      let fz = Fuzzer.create ~cfg ~seed r.defense in
+      let fz = Fuzzer.create (spec seed) in
       match Fuzzer.test_program fz (flat r) with
       | Fuzzer.Found v ->
           ignore (classify v);
@@ -289,7 +284,7 @@ let hunt ?(seed = 7) ?(n_base_inputs = 10) ?(boosts_per_input = 8) ?sim_config r
          hand-crafted timing; fall back to the way the paper actually found
          them — a random campaign — and keep the first violation carrying
          the expected signature. *)
-      let fz = Fuzzer.create ~cfg ~seed r.defense in
+      let fz = Fuzzer.create (spec seed) in
       let rec rounds n =
         if n = 0 then None
         else

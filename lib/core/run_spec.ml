@@ -1,0 +1,73 @@
+open Amulet_contracts
+open Amulet_defenses
+
+type t = {
+  defense : Defense.t;
+  contract : Contract.t option;
+  rounds : int;
+  seed : int;
+  stop_after_violations : int option;
+  classify : bool;
+  deadline_ms : float option;
+  budget_ms : float option;
+  n_base_inputs : int;
+  boosts_per_input : int;
+  generator : Generator.config;
+  mode : Executor.mode;
+  engine : Engine.kind;
+  trace_format : Utrace.format;
+  boot_insts : int;
+  sim_config : Amulet_uarch.Config.t option;
+  quarantine_dir : string option;
+  chaos : Fault.injector option;
+  isolate_rounds : bool;
+}
+
+let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
+    ?budget_ms ?(inputs = 10) ?(boosts = 4) ?contract ?stop_after
+    ?(classify = true) ?(generator = Generator.default) ?(mode = Executor.Opt)
+    ?(trace_format = Utrace.L1d_tlb)
+    ?(boot_insts = Amulet_uarch.Simulator.default_boot_insts) ?sim_config
+    ?quarantine_dir ?chaos ?(isolate_rounds = true) () =
+  let engine =
+    match (engine, backend) with
+    | Some k, _ -> k
+    | None, Some Executor.Pool -> Engine.Pooled
+    | None, Some Executor.Rebuild -> Engine.Naive
+    | None, None -> Engine.Pooled
+  in
+  {
+    defense;
+    contract;
+    rounds;
+    seed;
+    stop_after_violations = stop_after;
+    classify;
+    deadline_ms;
+    budget_ms;
+    n_base_inputs = inputs;
+    boosts_per_input = boosts;
+    generator;
+    mode;
+    engine;
+    trace_format;
+    boot_insts;
+    sim_config;
+    quarantine_dir;
+    chaos;
+    isolate_rounds;
+  }
+
+let with_seed t seed = { t with seed }
+let with_defense t defense = { t with defense }
+
+let contract_name t =
+  match t.contract with
+  | Some c -> c.Contract.name
+  | None -> t.defense.Defense.contract.Contract.name
+
+let pp ppf t =
+  Format.fprintf ppf "%s vs %s: %d rounds, seed %d, %s engine, %s mode"
+    t.defense.Defense.name (contract_name t) t.rounds t.seed
+    (match t.engine with Engine.Pooled -> "pooled" | Engine.Naive -> "naive")
+    (match t.mode with Executor.Opt -> "opt" | Executor.Naive -> "naive")

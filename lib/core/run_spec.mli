@@ -1,0 +1,84 @@
+(** The unified run specification: one flat record describing a fuzzing
+    run end to end — what to test ([defense], [contract]), how long
+    ([rounds], [stop_after_violations], per-round [deadline_ms], whole-run
+    [budget_ms]), how to generate work ([n_base_inputs], [boosts_per_input],
+    [generator], [seed]) and how to execute it ([mode], [engine],
+    [trace_format], [boot_insts], [sim_config]).
+
+    This record consolidates the knobs that used to be spread across
+    [Fuzzer.config], the [Campaign.config] wrapper, [Executor.backend] and
+    the [Engine] kind: {!Fuzzer.create}, [Campaign.run]/[Campaign.run_parallel]
+    and [Sweep] all consume a [Run_spec.t], and the CLI builds one per
+    subcommand.  Build specs with {!make} and refine them by functional
+    update ([{ spec with seed = ... }] — every field is exposed). *)
+
+open Amulet_contracts
+open Amulet_defenses
+
+type t = {
+  (* what to test *)
+  defense : Defense.t;
+  contract : Contract.t option;  (** override the defense's default *)
+  (* how long *)
+  rounds : int;  (** test programs per run (campaign rounds) *)
+  seed : int;
+  stop_after_violations : int option;
+  classify : bool;  (** run root-cause signature classification *)
+  deadline_ms : float option;  (** wall-clock budget per fuzzing round *)
+  budget_ms : float option;
+      (** wall-clock budget for the whole run; exhausting it stops the
+          campaign at a round boundary with a clean journal checkpoint *)
+  (* input population *)
+  n_base_inputs : int;
+  boosts_per_input : int;
+  generator : Generator.config;
+  (* execution *)
+  mode : Executor.mode;
+  engine : Engine.kind;  (** execution backend (trace-invisible) *)
+  trace_format : Utrace.format;
+  boot_insts : int;
+  sim_config : Amulet_uarch.Config.t option;  (** amplification override *)
+  (* supervision *)
+  quarantine_dir : string option;
+  chaos : Fault.injector option;  (** fault injection (self-tests) *)
+  isolate_rounds : bool;
+}
+
+val make :
+  defense:Defense.t ->
+  ?engine:Engine.kind ->
+  ?backend:Executor.backend ->
+  ?seed:int ->
+  ?rounds:int ->
+  ?deadline_ms:float ->
+  ?budget_ms:float ->
+  ?inputs:int ->
+  ?boosts:int ->
+  ?contract:Contract.t ->
+  ?stop_after:int ->
+  ?classify:bool ->
+  ?generator:Generator.config ->
+  ?mode:Executor.mode ->
+  ?trace_format:Utrace.format ->
+  ?boot_insts:int ->
+  ?sim_config:Amulet_uarch.Config.t ->
+  ?quarantine_dir:string ->
+  ?chaos:Fault.injector ->
+  ?isolate_rounds:bool ->
+  unit ->
+  t
+(** Builder with the defaults the stack has always used: 20 rounds, seed 42,
+    10 base inputs x 4 boosts, [Opt] executor mode on the [Pooled] engine,
+    L1D+TLB traces, the defense's own contract, classification on.
+    [backend] is accepted as the executor-level spelling of the engine
+    choice ([Pool] -> [Pooled], [Rebuild] -> [Naive]); an explicit [engine]
+    wins when both are given. *)
+
+val with_seed : t -> int -> t
+val with_defense : t -> Defense.t -> t
+
+val contract_name : t -> string
+(** The contract this spec tests — knowable without running anything. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary (defense, contract, rounds, seed, engine, mode). *)

@@ -1,0 +1,479 @@
+(** Sharded multi-defense sweep on a work-stealing domain scheduler.
+
+    Determinism contract: a shard's entire behaviour is fixed by its
+    [Run_spec.t] (seed included) at job-construction time; which domain
+    runs it, and in what order, only affects wall-clock fields.  Engine
+    reuse across jobs is safe because [Executor.start_program] re-pristines
+    the simulator per program (the PR-2 pooled-engine property), and the
+    campaign's stats accounting is delta-based. *)
+
+open Amulet_defenses
+module Obs = Amulet_obs.Obs
+
+type job = { id : int; shard : int; spec : Run_spec.t }
+
+(* ------------------------------------------------------------------ *)
+(* Job construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Case-insensitive glob: '*' matches any substring, everything else is
+   literal. *)
+let glob_match pat name =
+  let pat = String.lowercase_ascii pat and name = String.lowercase_ascii name in
+  let np = String.length pat and nn = String.length name in
+  let rec go p n =
+    if p = np then n = nn
+    else
+      match pat.[p] with
+      | '*' -> go (p + 1) n || (n < nn && go p (n + 1))
+      | c -> n < nn && name.[n] = c && go (p + 1) (n + 1)
+  in
+  go 0 0
+
+let select patterns =
+  match patterns with
+  | [] -> Ok Defense.all
+  | _ -> (
+      let unmatched =
+        List.find_opt
+          (fun p ->
+            not
+              (List.exists
+                 (fun (d : Defense.t) -> glob_match p d.Defense.name)
+                 Defense.all))
+          patterns
+      in
+      match unmatched with
+      | Some p -> Error (Printf.sprintf "no defense preset matches %S" p)
+      | None ->
+          Ok
+            (List.filter
+               (fun (d : Defense.t) ->
+                 List.exists (fun p -> glob_match p d.Defense.name) patterns)
+               Defense.all))
+
+(* The shard seed depends only on (sweep seed, preset index, shard index):
+   the same derivation style as Campaign.round_seed / run_parallel, and
+   never on which domain picks the job up. *)
+let shard_seed ~seed pi shard = seed + ((pi + 1) * 2654435761) + (shard * 7919)
+
+let jobs ?(presets = Defense.all) ?(shards_per_preset = 1) ?(rounds = 20)
+    ?(seed = 42) ?make_spec () =
+  let make_spec =
+    match make_spec with
+    | Some f -> f
+    | None -> fun d -> Run_spec.make ~defense:d ()
+  in
+  let id = ref (-1) in
+  List.concat
+    (List.mapi
+       (fun pi d ->
+         List.init shards_per_preset (fun s ->
+             incr id;
+             let spec =
+               {
+                 (make_spec d) with
+                 Run_spec.rounds;
+                 seed = shard_seed ~seed pi s;
+               }
+             in
+             { id = !id; shard = s; spec }))
+       presets)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = Completed of Campaign.result | Crashed of Fault.exn_info
+type shard = { job : job; outcome : outcome; wall_s : float }
+
+type row = {
+  defense : Defense.t;
+  contract_name : string;
+  shards : int;
+  crashed_shards : int;
+  rounds : int;
+  discarded : int;
+  test_cases : int;
+  violations : Violation.t list;
+  violation_classes : (Analysis.leak_class * int) list;
+  fault_counts : (Fault.cls * int) list;
+  quarantined : int;
+  wall_s : float;
+  inputs_per_sec : float;
+  time_to_first_leak : float option;
+  budget_exhausted : bool;
+}
+
+type report = {
+  rows : row list;
+  shards : shard list;
+  domains : int;
+  jobs : int;
+  crashed : int;
+  wall_s : float;
+  test_cases : int;
+  metrics : Obs.Snapshot.t;
+}
+
+(* One warmed engine per distinct defense config, private to a domain.
+   The key is pure data (Config.t is ints/bools/variants), so structural
+   hashing is sound. *)
+type engine_key = {
+  k_defense : string;
+  k_mode : Executor.mode;
+  k_kind : Engine.kind;
+  k_format : Utrace.format;
+  k_boot : int;
+  k_sim : Amulet_uarch.Config.t option;
+}
+
+let locked lock f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception exn ->
+      Mutex.unlock lock;
+      raise exn
+
+let run ?(domains = 1) ?(metrics = Obs.noop) ?journal_dir
+    ?(checkpoint_every = 10) js : report =
+  (* merge position is list order, whatever ids the caller set *)
+  let js = List.mapi (fun i j -> { j with id = i }) js in
+  let n = List.length js in
+  let domains = max 1 (min domains (max 1 n)) in
+  let started = Obs.Clock.now_s () in
+  let telemetry = Obs.is_enabled metrics in
+  (* round-robin initial distribution in job order *)
+  let queues = Array.make domains [] in
+  List.iteri (fun i j -> queues.(i mod domains) <- j :: queues.(i mod domains)) js;
+  Array.iteri (fun d q -> queues.(d) <- List.rev q) queues;
+  let lock = Mutex.create () in
+  let results = Array.make (max 1 n) None in
+  let next_job d =
+    locked lock (fun () ->
+        match queues.(d) with
+        | j :: rest ->
+            queues.(d) <- rest;
+            Some j
+        | [] -> (
+            (* steal the tail of the longest other queue: owners pop from
+               the front, thieves from the back *)
+            let victim = ref (-1) and best = ref 0 in
+            Array.iteri
+              (fun i q ->
+                let l = List.length q in
+                if i <> d && l > !best then begin
+                  victim := i;
+                  best := l
+                end)
+              queues;
+            if !victim < 0 then None
+            else
+              let rec split acc = function
+                | [ last ] -> (List.rev acc, last)
+                | x :: rest -> split (x :: acc) rest
+                | [] -> assert false
+              in
+              let front, last = split [] queues.(!victim) in
+              queues.(!victim) <- front;
+              Some last))
+  in
+  let run_shard dm cache (job : job) =
+    let spec = job.spec in
+    let t0 = Obs.Clock.now_s () in
+    let journal_path =
+      Option.map
+        (fun dir ->
+          Filename.concat dir
+            (Printf.sprintf "shard_%03d_%s.json" job.id
+               spec.Run_spec.defense.Defense.name))
+        journal_dir
+    in
+    let engine =
+      (* chaos arms at executor creation, so chaos shards must not share a
+         cached engine *)
+      if spec.Run_spec.chaos <> None then None
+      else begin
+        let key =
+          {
+            k_defense = spec.Run_spec.defense.Defense.name;
+            k_mode = spec.Run_spec.mode;
+            k_kind = spec.Run_spec.engine;
+            k_format = spec.Run_spec.trace_format;
+            k_boot = spec.Run_spec.boot_insts;
+            k_sim = spec.Run_spec.sim_config;
+          }
+        in
+        match Hashtbl.find_opt cache key with
+        | Some es -> Some es
+        | None ->
+            let stats = Stats.create ~metrics:dm () in
+            let e =
+              Engine.create ~boot_insts:spec.Run_spec.boot_insts
+                ~format:spec.Run_spec.trace_format
+                ?sim_config:spec.Run_spec.sim_config ~kind:spec.Run_spec.engine
+                ~mode:spec.Run_spec.mode spec.Run_spec.defense stats
+            in
+            Engine.warm e;
+            Hashtbl.replace cache key (e, stats);
+            Some (e, stats)
+      end
+    in
+    let outcome =
+      try Completed (Campaign.run ?journal_path ~checkpoint_every ~metrics:dm ?engine spec)
+      with exn -> Crashed (Fault.exn_info exn)
+    in
+    { job; outcome; wall_s = Obs.Clock.elapsed_s ~since:t0 }
+  in
+  let worker d () =
+    let dm = if telemetry then Obs.create () else Obs.noop in
+    let cache = Hashtbl.create 8 in
+    let rec loop () =
+      match next_job d with
+      | None -> ()
+      | Some job ->
+          results.(job.id) <- Some (run_shard dm cache job);
+          loop ()
+    in
+    loop ();
+    Obs.Snapshot.of_registry dm
+  in
+  let snapshots =
+    if domains = 1 then [ worker 0 () ]
+    else
+      List.init domains (fun d -> Domain.spawn (fun () -> worker d ()))
+      |> List.map (fun d ->
+             (* a domain dying outside shard isolation must not take the
+                sweep down; its unfinished shards surface as Crashed below *)
+             try Domain.join d with _ -> Obs.Snapshot.empty)
+  in
+  let shards =
+    List.map
+      (fun (job : job) ->
+        match results.(job.id) with
+        | Some s -> s
+        | None ->
+            {
+              job;
+              outcome = Crashed (Fault.exn_info (Failure "worker domain died"));
+              wall_s = 0.;
+            })
+      js
+  in
+  (* ---------------- deterministic merge, in job order ---------------- *)
+  let row_of (defense : Defense.t) group =
+    let completed =
+      List.filter_map
+        (fun s -> match s.outcome with Completed r -> Some r | Crashed _ -> None)
+        group
+    in
+    let sum f = List.fold_left (fun acc r -> acc + f r) 0 completed in
+    let sumf f = List.fold_left (fun acc r -> acc +. f r) 0. completed in
+    let wall_s = List.fold_left (fun acc (s : shard) -> acc +. s.wall_s) 0. group in
+    let test_cases = sum (fun r -> r.Campaign.test_cases) in
+    let merged_classes =
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          List.iter
+            (fun (c, k) ->
+              Hashtbl.replace tbl c
+                (k + Option.value (Hashtbl.find_opt tbl c) ~default:0))
+            r.Campaign.violation_classes)
+        completed;
+      Hashtbl.fold (fun c k acc -> (c, k) :: acc) tbl []
+    in
+    let fault_counts =
+      let c = Fault.Counters.create () in
+      List.iter (fun r -> Fault.Counters.add_list c r.Campaign.fault_counts) completed;
+      List.iter
+        (fun s ->
+          match s.outcome with
+          | Crashed info -> Fault.Counters.record c (Fault.Instance_crash info)
+          | Completed _ -> ())
+        group;
+      Fault.Counters.to_list c
+    in
+    let time_to_first_leak =
+      List.fold_left
+        (fun acc r ->
+          match r.Campaign.detection_times with
+          | first :: _ -> (
+              match acc with
+              | None -> Some first
+              | Some t -> Some (Float.min t first))
+          | [] -> acc)
+        None completed
+    in
+    {
+      defense;
+      contract_name =
+        (match completed with
+        | r :: _ -> r.Campaign.contract_name
+        | [] -> (
+            match group with
+            | s :: _ -> Run_spec.contract_name s.job.spec
+            | [] -> ""));
+      shards = List.length group;
+      crashed_shards = List.length group - List.length completed;
+      rounds = sum (fun r -> r.Campaign.programs_run);
+      discarded = sum (fun r -> r.Campaign.discarded_programs);
+      test_cases;
+      violations = List.concat_map (fun r -> r.Campaign.violations) completed;
+      violation_classes = merged_classes;
+      fault_counts;
+      quarantined = sum (fun r -> r.Campaign.quarantined);
+      wall_s;
+      inputs_per_sec =
+        (let compute = sumf (fun r -> r.Campaign.duration) in
+         if compute > 0. then float_of_int test_cases /. compute else 0.);
+      time_to_first_leak;
+      budget_exhausted = List.exists (fun r -> r.Campaign.budget_exhausted) completed;
+    }
+  in
+  let rows =
+    (* group shards by preset, preserving first-appearance order *)
+    let order = ref [] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun s ->
+        let name = s.job.spec.Run_spec.defense.Defense.name in
+        if not (Hashtbl.mem tbl name) then begin
+          order := name :: !order;
+          Hashtbl.replace tbl name (s.job.spec.Run_spec.defense, ref [])
+        end;
+        let _, group = Hashtbl.find tbl name in
+        group := s :: !group)
+      shards;
+    List.rev_map
+      (fun name ->
+        let defense, group = Hashtbl.find tbl name in
+        row_of defense (List.rev !group))
+      !order
+  in
+  let crashed =
+    List.length
+      (List.filter (fun s -> match s.outcome with Crashed _ -> true | _ -> false) shards)
+  in
+  {
+    rows;
+    shards;
+    domains;
+    jobs = n;
+    crashed;
+    wall_s = Obs.Clock.elapsed_s ~since:started;
+    test_cases = List.fold_left (fun acc (r : row) -> acc + r.test_cases) 0 rows;
+    metrics =
+      List.fold_left (fun acc s -> Obs.Snapshot.merge acc s) Obs.Snapshot.empty
+        snapshots;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Only scheduling-independent content: seeds fix the violations, so two
+   runs of the same jobs must digest identically whatever the domain count
+   or steal order.  Wall-clock fields are deliberately absent. *)
+let fingerprint report =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s|%s|%d|%d|%d|%d\n" r.defense.Defense.name
+           r.contract_name r.rounds r.discarded r.test_cases
+           (List.length r.violations));
+      List.iter
+        (fun (v : Violation.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%Lx|%Lx|%Lx|%s\n" v.Violation.ctrace_hash
+               (Utrace.hash v.Violation.trace_a)
+               (Utrace.hash v.Violation.trace_b)
+               v.Violation.program_text))
+        r.violations)
+    report.rows;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json report =
+  let buf = Buffer.create 4096 in
+  let str s = "\"" ^ json_escape s ^ "\"" in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{";
+  add "\"schema\":\"amulet.sweep/1\",";
+  add "\"domains\":%d,\"jobs\":%d,\"crashed\":%d," report.domains report.jobs
+    report.crashed;
+  add "\"wall_s\":%.3f,\"test_cases\":%d," report.wall_s report.test_cases;
+  add "\"fingerprint\":%s," (str (fingerprint report));
+  add "\"rows\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",";
+      add "{\"defense\":%s,\"contract\":%s," (str r.defense.Defense.name)
+        (str r.contract_name);
+      add "\"shards\":%d,\"crashed_shards\":%d," r.shards r.crashed_shards;
+      add "\"rounds\":%d,\"discarded\":%d,\"test_cases\":%d," r.rounds
+        r.discarded r.test_cases;
+      add "\"violations\":%d," (List.length r.violations);
+      add "\"violation_classes\":{";
+      List.iteri
+        (fun j (c, k) ->
+          if j > 0 then add ",";
+          add "%s:%d" (str (Analysis.class_name c)) k)
+        r.violation_classes;
+      add "},\"faults\":{";
+      List.iteri
+        (fun j (c, k) ->
+          if j > 0 then add ",";
+          add "%s:%d" (str (Fault.class_name c)) k)
+        r.fault_counts;
+      add "},\"quarantined\":%d," r.quarantined;
+      add "\"wall_s\":%.3f,\"inputs_per_sec\":%.1f," r.wall_s r.inputs_per_sec;
+      (match r.time_to_first_leak with
+      | Some t -> add "\"time_to_first_leak\":%.4f," t
+      | None -> add "\"time_to_first_leak\":null,");
+      add "\"budget_exhausted\":%b}" r.budget_exhausted)
+    report.rows;
+  add "],";
+  add "\"metrics\":%s" (Obs.Snapshot.to_json report.metrics);
+  add "}";
+  Buffer.contents buf
+
+let pp fmt report =
+  Format.fprintf fmt
+    "sweep: %d jobs on %d domain(s), %d crashed, %.1f s, %d test cases@."
+    report.jobs report.domains report.crashed report.wall_s report.test_cases;
+  Format.fprintf fmt "  %-22s %-9s %6s %6s %8s %6s %9s %8s@." "defense"
+    "contract" "shards" "rounds" "tc" "viol" "tc/s" "ttfl";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-22s %-9s %3d%s %6d %8d %6d %9.0f %8s%s@."
+        r.defense.Defense.name r.contract_name r.shards
+        (if r.crashed_shards > 0 then Printf.sprintf "(%d!)" r.crashed_shards
+         else "   ")
+        r.rounds r.test_cases
+        (List.length r.violations)
+        r.inputs_per_sec
+        (match r.time_to_first_leak with
+        | Some t -> Printf.sprintf "%.2fs" t
+        | None -> "-")
+        (if r.budget_exhausted then "  [budget]" else ""))
+    report.rows

@@ -217,8 +217,8 @@ let test_stats_accounting () =
 let test_fuzzer_finds_spectre_in_crafted_program () =
   let fz =
     Fuzzer.create
-      ~cfg:{ Fuzzer.default_config with Fuzzer.n_base_inputs = 8; boosts_per_input = 5; boot_insts = 300 }
-      ~seed:17 Defense.baseline
+      (Run_spec.make ~defense:Defense.baseline ~seed:17 ~inputs:8 ~boosts:5
+         ~boot_insts:300 ())
   in
   match Fuzzer.test_program fz (Program.flatten (Asm.parse spectre_src)) with
   | Fuzzer.Found v ->
@@ -237,8 +237,8 @@ let test_fuzzer_clean_on_straightline_code () =
 |} in
   let fz =
     Fuzzer.create
-      ~cfg:{ Fuzzer.default_config with Fuzzer.n_base_inputs = 6; boosts_per_input = 4; boot_insts = 300 }
-      ~seed:9 Defense.baseline
+      (Run_spec.make ~defense:Defense.baseline ~seed:9 ~inputs:6 ~boosts:4
+         ~boot_insts:300 ())
   in
   match Fuzzer.test_program fz (Program.flatten (Asm.parse src)) with
   | Fuzzer.No_violation _ -> ()
@@ -248,15 +248,8 @@ let test_fuzzer_clean_on_straightline_code () =
 let test_campaign_counters () =
   let r =
     Campaign.run
-      {
-        Campaign.default_config with
-        Campaign.n_programs = 3;
-        stop_after_violations = None;
-        classify = false;
-        fuzzer =
-          { Fuzzer.default_config with Fuzzer.n_base_inputs = 3; boosts_per_input = 2; boot_insts = 200 };
-      }
-      Defense.baseline
+      (Run_spec.make ~defense:Defense.baseline ~rounds:3 ~classify:false
+         ~inputs:3 ~boosts:2 ~boot_insts:200 ())
   in
   checki "programs" 3 r.Campaign.programs_run;
   checkb "test cases counted" true (r.Campaign.test_cases > 0);
@@ -294,9 +287,8 @@ let test_side_by_side_renders () =
 let test_fuzzer_naive_mode_also_finds () =
   let fz =
     Fuzzer.create
-      ~cfg:{ Fuzzer.default_config with Fuzzer.n_base_inputs = 8; boosts_per_input = 5;
-             boot_insts = 100; executor_mode = Executor.Naive }
-      ~seed:17 Defense.baseline
+      (Run_spec.make ~defense:Defense.baseline ~seed:17 ~inputs:8 ~boosts:5
+         ~boot_insts:100 ~mode:Executor.Naive ())
   in
   match Fuzzer.test_program fz (Program.flatten (Asm.parse spectre_src)) with
   | Fuzzer.Found _ -> ()
@@ -309,15 +301,8 @@ let test_fuzzer_naive_mode_also_finds () =
 let test_campaign_stop_after () =
   let r =
     Campaign.run
-      {
-        Campaign.n_programs = 50;
-        stop_after_violations = Some 1;
-        seed = 2024;
-        classify = false;
-        fuzzer =
-          { Fuzzer.default_config with Fuzzer.n_base_inputs = 8; boosts_per_input = 4; boot_insts = 200 };
-      }
-      Defense.baseline
+      (Run_spec.make ~defense:Defense.baseline ~rounds:50 ~stop_after:1
+         ~seed:2024 ~classify:false ~inputs:8 ~boosts:4 ~boot_insts:200 ())
   in
   checki "stops at first violation" 1 (List.length r.Campaign.violations);
   checkb "did not run all programs" true (r.Campaign.programs_run < 50)
@@ -405,21 +390,15 @@ let () =
 
 (* parallel campaigns: the paper's multi-instance methodology on domains *)
 let test_parallel_campaign_merges () =
-  let cfg =
-    {
-      Campaign.n_programs = 4;
-      stop_after_violations = None;
-      seed = 5;
-      classify = false;
-      fuzzer =
-        { Fuzzer.default_config with Fuzzer.n_base_inputs = 4; boosts_per_input = 2; boot_insts = 200 };
-    }
+  let spec =
+    Run_spec.make ~defense:Defense.baseline ~rounds:4 ~seed:5 ~classify:false
+      ~inputs:4 ~boosts:2 ~boot_insts:200 ()
   in
-  let merged = Campaign.run_parallel ~instances:3 cfg Defense.baseline in
+  let merged = Campaign.run_parallel ~instances:3 spec in
   checki "programs summed" 12 merged.Campaign.programs_run;
   checkb "test cases summed" true (merged.Campaign.test_cases > 0);
   (* determinism: same seeds give the same merged violation count *)
-  let again = Campaign.run_parallel ~instances:3 cfg Defense.baseline in
+  let again = Campaign.run_parallel ~instances:3 spec in
   checki "deterministic across runs"
     (List.length merged.Campaign.violations)
     (List.length again.Campaign.violations)
@@ -435,8 +414,8 @@ let () =
 let find_speclfb_violation () =
   let fz =
     Fuzzer.create
-      ~cfg:{ Fuzzer.default_config with Fuzzer.n_base_inputs = 8; boosts_per_input = 5; boot_insts = 300 }
-      ~seed:17 Defense.speclfb
+      (Run_spec.make ~defense:Defense.speclfb ~seed:17 ~inputs:8 ~boosts:5
+         ~boot_insts:300 ())
   in
   let rec go n =
     if n = 0 then Alcotest.fail "no speclfb violation found"

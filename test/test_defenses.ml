@@ -9,30 +9,11 @@ open Amulet_defenses
 
 let checkb = Alcotest.check Alcotest.bool
 
-let quick_fuzzer_cfg =
-  {
-    Fuzzer.default_config with
-    Fuzzer.n_base_inputs = 6;
-    boosts_per_input = 4;
-    boot_insts = 500;
-  }
-
 let campaign ?(n_programs = 25) ?(stop = Some 1) ?sim_config ?generator ?(seed = 11)
     defense =
-  let fuzzer =
-    match generator with
-    | None -> { quick_fuzzer_cfg with Fuzzer.sim_config }
-    | Some g -> { quick_fuzzer_cfg with Fuzzer.sim_config; generator = g }
-  in
   Campaign.run
-    {
-      Campaign.n_programs;
-      stop_after_violations = stop;
-      seed;
-      classify = true;
-      fuzzer;
-    }
-    defense
+    (Run_spec.make ~defense ~rounds:n_programs ?stop_after:stop ~seed ~inputs:6
+       ~boosts:4 ~boot_insts:500 ?sim_config ?generator ())
 
 let has_class c r =
   List.exists (fun (c', _) -> c = c') r.Campaign.violation_classes
@@ -60,21 +41,9 @@ let test_invisispec_uv2_amplified () =
   in
   let r =
     Campaign.run
-      {
-        Campaign.n_programs = 100;
-        stop_after_violations = Some 1;
-        seed = 7;
-        classify = true;
-        fuzzer =
-          {
-            Fuzzer.default_config with
-            Fuzzer.n_base_inputs = 8;
-            boosts_per_input = 6;
-            boot_insts = 500;
-            sim_config = Some sim_config;
-          };
-      }
-      Defense.invisispec_patched
+      (Run_spec.make ~defense:Defense.invisispec_patched ~rounds:100
+         ~stop_after:1 ~seed:7 ~inputs:8 ~boosts:6 ~boot_insts:500 ~sim_config
+         ())
   in
   checkb "amplification reveals UV2" true
     (Campaign.detected r && has_class Analysis.Mshr_interference_uv2 r)
@@ -110,9 +79,8 @@ let test_speclfb_patched_clean () =
 let fuzz_crafted ?sim_config ~seed defense src =
   let fz =
     Fuzzer.create
-      ~cfg:{ quick_fuzzer_cfg with Fuzzer.n_base_inputs = 10; boosts_per_input = 6;
-             sim_config }
-      ~seed defense
+      (Run_spec.make ~defense ~seed ~inputs:10 ~boosts:6 ~boot_insts:500
+         ?sim_config ())
   in
   Fuzzer.test_program fz (Program.flatten (Asm.parse src))
 
@@ -316,21 +284,8 @@ let test_ghostminion_fixes_uv2 () =
   let run defense =
     let sim_config = Defense.config ~l1d_ways:2 ~mshrs:2 defense in
     Campaign.run
-      {
-        Campaign.n_programs = 100;
-        stop_after_violations = Some 1;
-        seed = 7;
-        classify = true;
-        fuzzer =
-          {
-            Fuzzer.default_config with
-            Fuzzer.n_base_inputs = 8;
-            boosts_per_input = 6;
-            boot_insts = 500;
-            sim_config = Some sim_config;
-          };
-      }
-      defense
+      (Run_spec.make ~defense ~rounds:100 ~stop_after:1 ~seed:7 ~inputs:8
+         ~boosts:6 ~boot_insts:500 ~sim_config ())
   in
   let invisi = run Defense.invisispec_patched in
   checkb "patched InvisiSpec leaks UV2 when amplified" true
@@ -368,21 +323,8 @@ let test_prefetcher_breaks_patched_invisispec () =
   let with_pf = { (Defense.config d) with Amulet_uarch.Config.nl_prefetcher = true } in
   let run sim_config =
     Campaign.run
-      {
-        Campaign.n_programs = 40;
-        stop_after_violations = Some 1;
-        seed = 11;
-        classify = true;
-        fuzzer =
-          {
-            Fuzzer.default_config with
-            Fuzzer.n_base_inputs = 8;
-            boosts_per_input = 5;
-            boot_insts = 500;
-            sim_config;
-          };
-      }
-      d
+      (Run_spec.make ~defense:d ~rounds:40 ~stop_after:1 ~seed:11 ~inputs:8
+         ~boosts:5 ~boot_insts:500 ?sim_config ())
   in
   let without = run None in
   checkb "patched InvisiSpec clean without prefetcher" false (Campaign.detected without);

@@ -18,25 +18,13 @@ let checki = Alcotest.check Alcotest.int
 let has_prefix p s =
   String.length s >= String.length p && String.sub s 0 (String.length p) = p
 
-let cfg engine =
-  {
-    Campaign.n_programs = 5;
-    stop_after_violations = None;
-    seed = 17;
-    classify = false;
-    fuzzer =
-      {
-        Fuzzer.default_config with
-        Fuzzer.n_base_inputs = 6;
-        boosts_per_input = 3;
-        boot_insts = 250;
-        engine;
-      };
-  }
+let spec engine =
+  Run_spec.make ~defense:Defense.speclfb ~engine ~rounds:5 ~seed:17
+    ~classify:false ~inputs:6 ~boosts:3 ~boot_insts:250 ()
 
 let run_campaign ?(telemetry = true) engine =
   let metrics = if telemetry then Obs.create () else Obs.noop in
-  Campaign.run ~metrics (cfg engine) Defense.speclfb
+  Campaign.run ~metrics (spec engine)
 
 (* Everything that identifies a violation, including both raw trace hashes
    — if telemetry or the engine perturbed a single trace byte, the key

@@ -115,15 +115,8 @@ let test_fuzzer_round_parity () =
       for seed = 1 to 3 do
         let mk kind =
           Fuzzer.create
-            ~cfg:
-              {
-                Fuzzer.default_config with
-                Fuzzer.n_base_inputs = 4;
-                boosts_per_input = 2;
-                boot_insts = boot;
-                engine = kind;
-              }
-            ~seed:(1000 + seed) defense
+            (Run_spec.make ~defense ~engine:kind ~seed:(1000 + seed) ~inputs:4
+               ~boosts:2 ~boot_insts:boot ())
         in
         let a = Fuzzer.round (mk Engine.Naive) in
         let b = Fuzzer.round (mk Engine.Pooled) in
@@ -167,26 +160,23 @@ let test_snapshot_determinism () =
 (* Chaos injection through the batched path                            *)
 (* ------------------------------------------------------------------ *)
 
-let chaos_cfg injector =
-  {
-    Fuzzer.default_config with
-    Fuzzer.n_base_inputs = 3;
-    boosts_per_input = 2;
-    boot_insts = boot;
-    chaos = Some injector;
-  }
+let chaos_spec ~seed injector =
+  Run_spec.make ~defense:Defense.baseline ~seed ~inputs:3 ~boosts:2
+    ~boot_insts:boot ~chaos:injector ()
 
 let test_chaos_sim_fault () =
-  let cfg = chaos_cfg (Fault.injector ~p_sim_fault:1.0 ~seed:13 ()) in
-  let fz = Fuzzer.create ~cfg ~seed:21 Defense.baseline in
+  let fz =
+    Fuzzer.create (chaos_spec ~seed:21 (Fault.injector ~p_sim_fault:1.0 ~seed:13 ()))
+  in
   match Fuzzer.round fz with
   | Fuzzer.Discarded f ->
       checkb "injected sim fault classified" true (Fault.class_of f = Fault.C_injected)
   | _ -> Alcotest.fail "expected Discarded through the batched path"
 
 let test_chaos_crash () =
-  let cfg = chaos_cfg (Fault.injector ~p_crash:1.0 ~seed:13 ()) in
-  let fz = Fuzzer.create ~cfg ~seed:22 Defense.baseline in
+  let fz =
+    Fuzzer.create (chaos_spec ~seed:22 (Fault.injector ~p_crash:1.0 ~seed:13 ()))
+  in
   match Fuzzer.round fz with
   | Fuzzer.Discarded f ->
       checkb "injected crash contained and classified" true

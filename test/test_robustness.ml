@@ -9,13 +9,13 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let checks = Alcotest.check Alcotest.string
 
-let small_fuzzer =
-  {
-    Fuzzer.default_config with
-    Fuzzer.n_base_inputs = 4;
-    boosts_per_input = 2;
-    boot_insts = 200;
-  }
+(* small-budget spec shared by the supervision tests; per-test knobs ride
+   on Run_spec.make's optional arguments *)
+let small_spec ~rounds ~seed ?stop_after ?deadline_ms ?quarantine_dir ?chaos
+    ?isolate_rounds () =
+  Run_spec.make ~defense:Defense.baseline ~rounds ~seed ?stop_after
+    ~classify:false ~inputs:4 ~boosts:2 ~boot_insts:200 ?deadline_ms
+    ?quarantine_dir ?chaos ?isolate_rounds ()
 
 (* a fresh path that does not exist yet (the fuzzer mkdir_p's it) *)
 let temp_dir prefix =
@@ -74,18 +74,10 @@ let test_chaos_campaign_survives () =
   (* p = 0.02 per test case for each of crash/timeout/sim-fault: with ~12
      test cases per round, well over 5% of the 50 rounds misbehave *)
   let chaos = Fault.injector ~p_crash:0.02 ~p_timeout:0.02 ~p_sim_fault:0.02 ~seed:99 () in
-  let cfg =
-    {
-      Campaign.n_programs = 50;
-      stop_after_violations = None;
-      seed = 11;
-      classify = false;
-      fuzzer =
-        { small_fuzzer with Fuzzer.chaos = Some chaos; quarantine_dir = Some qdir };
-    }
-  in
   (* zero uncaught exceptions: this call returning IS the property *)
-  let r = Campaign.run cfg Defense.baseline in
+  let r =
+    Campaign.run (small_spec ~rounds:50 ~seed:11 ~chaos ~quarantine_dir:qdir ())
+  in
   checki "all 50 rounds completed" 50 r.Campaign.programs_run;
   checkb "some rounds were discarded" true (r.Campaign.discarded_programs > 0);
   (* every discarded round was classified: per-class counts add up *)
@@ -105,16 +97,7 @@ let test_chaos_campaign_survives () =
   rm_rf qdir
 
 let test_deadline_degrades_to_discard () =
-  let cfg =
-    {
-      Campaign.n_programs = 5;
-      stop_after_violations = None;
-      seed = 3;
-      classify = false;
-      fuzzer = { small_fuzzer with Fuzzer.deadline_ms = Some 0. };
-    }
-  in
-  let r = Campaign.run cfg Defense.baseline in
+  let r = Campaign.run (small_spec ~rounds:5 ~seed:3 ~deadline_ms:0. ()) in
   checki "all rounds ran" 5 r.Campaign.programs_run;
   checki "all rounds discarded" 5 r.Campaign.discarded_programs;
   checki "all classified as deadline" 5
@@ -128,36 +111,21 @@ let test_deadline_degrades_to_discard () =
 
 let test_parallel_survives_crashing_instance () =
   let n_programs = 3 in
-  let cfg =
-    {
-      Campaign.n_programs;
-      stop_after_violations = None;
-      seed = 5;
-      classify = false;
-      fuzzer = small_fuzzer;
-    }
-  in
+  let spec = small_spec ~rounds:n_programs ~seed:5 () in
   (* instance 0 crashes on its first test case (isolation off, so the
      injected crash escapes the round and kills the whole domain — the
      regression this guards: Domain.join used to rethrow and drop every
      healthy instance's results) *)
   let crashing =
-    {
-      cfg with
-      Campaign.fuzzer =
-        {
-          small_fuzzer with
-          Fuzzer.isolate_rounds = false;
-          chaos = Some (Fault.injector ~p_crash:1.0 ~seed:1 ());
-        };
-    }
+    small_spec ~rounds:n_programs ~seed:5 ~isolate_rounds:false
+      ~chaos:(Fault.injector ~p_crash:1.0 ~seed:1 ())
+      ()
   in
-  let instance_cfg i =
-    if i = 0 then crashing else { cfg with Campaign.seed = cfg.seed + (i * 7919) }
+  let instance_spec i =
+    if i = 0 then crashing
+    else Run_spec.with_seed spec (spec.Run_spec.seed + (i * 7919))
   in
-  let r =
-    Campaign.run_parallel ~instances:3 ~retries:0 ~instance_cfg cfg Defense.baseline
-  in
+  let r = Campaign.run_parallel ~instances:3 ~retries:0 ~instance_spec spec in
   checki "survivors' programs merged" (2 * n_programs) r.Campaign.programs_run;
   checkb "test cases from survivors" true (r.Campaign.test_cases > 0);
   checki "crash recorded in fault counts" 1
@@ -169,16 +137,9 @@ let test_parallel_retry_recovers () =
   (* every instance crashes on attempt 0 and 1 seeds?  No — chaos draws are
      per-test-case from the injector seed, so a p=1 injector crashes every
      attempt.  Instead: healthy instances with retries simply succeed. *)
-  let cfg =
-    {
-      Campaign.n_programs = 2;
-      stop_after_violations = None;
-      seed = 8;
-      classify = false;
-      fuzzer = small_fuzzer;
-    }
+  let r =
+    Campaign.run_parallel ~instances:2 ~retries:2 (small_spec ~rounds:2 ~seed:8 ())
   in
-  let r = Campaign.run_parallel ~instances:2 ~retries:2 cfg Defense.baseline in
   checki "both instances completed" 4 r.Campaign.programs_run
 
 (* When every instance exhausts its retries the campaign must degrade to a
@@ -186,22 +147,14 @@ let test_parallel_retry_recovers () =
    work reported — never an exception that aborts the caller. *)
 let test_parallel_all_crash_structured () =
   let crashing =
-    {
-      Campaign.n_programs = 2;
-      stop_after_violations = None;
-      seed = 5;
-      classify = false;
-      fuzzer =
-        {
-          small_fuzzer with
-          Fuzzer.isolate_rounds = false;
-          chaos = Some (Fault.injector ~p_crash:1.0 ~seed:1 ());
-        };
-    }
+    small_spec ~rounds:2 ~seed:5 ~isolate_rounds:false
+      ~chaos:(Fault.injector ~p_crash:1.0 ~seed:1 ())
+      ()
   in
   let r =
-    Campaign.run_parallel ~instances:2 ~retries:1 ~instance_cfg:(fun _ -> crashing)
-      crashing Defense.baseline
+    Campaign.run_parallel ~instances:2 ~retries:1
+      ~instance_spec:(fun _ -> crashing)
+      crashing
   in
   checki "no programs completed" 0 r.Campaign.programs_run;
   checkb "no violations" true (r.Campaign.violations = []);
@@ -220,14 +173,7 @@ let test_parallel_all_crash_structured () =
 let find_violation defense =
   let fz =
     Fuzzer.create
-      ~cfg:
-        {
-          Fuzzer.default_config with
-          Fuzzer.n_base_inputs = 8;
-          boosts_per_input = 5;
-          boot_insts = 300;
-        }
-      ~seed:17 defense
+      (Run_spec.make ~defense ~seed:17 ~inputs:8 ~boosts:5 ~boot_insts:300 ())
   in
   let rec go n =
     if n = 0 then Alcotest.fail "no violation found"
@@ -279,24 +225,16 @@ let test_journal_rejects_garbage () =
   Sys.remove path
 
 let test_checkpoint_resume_determinism () =
-  let mk n =
-    {
-      Campaign.n_programs = n;
-      stop_after_violations = None;
-      seed = 2024;
-      classify = false;
-      fuzzer = small_fuzzer;
-    }
-  in
+  let mk n = small_spec ~rounds:n ~seed:2024 () in
   (* the reference: one uninterrupted 10-round campaign *)
-  let full = Campaign.run (mk 10) Defense.baseline in
+  let full = Campaign.run (mk 10) in
   (* the "killed" campaign: 4 rounds under a journal (as if killed at the
      round-4 checkpoint), then resumed to the full 10 *)
   let path = Filename.temp_file "amulet" ".journal" in
-  ignore (Campaign.run ~journal_path:path ~checkpoint_every:1 (mk 4) Defense.baseline);
+  ignore (Campaign.run ~journal_path:path ~checkpoint_every:1 (mk 4));
   let j = Journal.load path in
   checki "journal saw 4 rounds" 4 j.Journal.programs_run;
-  let resumed = Campaign.run ~journal_path:path ~resume:j (mk 10) Defense.baseline in
+  let resumed = Campaign.run ~journal_path:path ~resume:j (mk 10) in
   Sys.remove path;
   checki "same programs_run" full.Campaign.programs_run resumed.Campaign.programs_run;
   checki "same violation count"

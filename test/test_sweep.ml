@@ -1,0 +1,242 @@
+(* Sweep orchestrator tests: preset selection, the full matrix completing
+   under a small budget, released-bug presets finding their planted
+   violations, scheduler determinism (fingerprints identical across domain
+   counts), shard journaling, and whole-run budget exhaustion stopping at
+   a round boundary. *)
+
+open Amulet
+open Amulet_isa
+open Amulet_defenses
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Preset selection                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_select () =
+  (match Sweep.select [] with
+  | Ok ds -> checki "empty selects all" (List.length Defense.all) (List.length ds)
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  (match Sweep.select [ "invisi*" ] with
+  | Ok ds ->
+      checkb "glob matches the invisispec family" true
+        (List.mem Defense.invisispec ds && List.mem Defense.invisispec_patched ds);
+      checkb "glob excludes others" false (List.mem Defense.baseline ds)
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  (match Sweep.select [ "SpecLFB" ] with
+  | Ok [ d ] -> checks "case-insensitive exact" "speclfb" d.Defense.name
+  | Ok _ -> Alcotest.fail "expected exactly one preset"
+  | Error e -> Alcotest.failf "unexpected error: %s" e);
+  match Sweep.select [ "baseline"; "nada*" ] with
+  | Error e ->
+      checks "first unmatched pattern reported"
+        "no defense preset matches \"nada*\"" e
+  | Ok _ -> Alcotest.fail "expected an error for an unmatched pattern"
+
+(* ------------------------------------------------------------------ *)
+(* Every preset completes a small shard                                 *)
+(* ------------------------------------------------------------------ *)
+
+let small_matrix ?(shards_per_preset = 1) ?(rounds = 1) ?presets ?(seed = 9) () =
+  Sweep.jobs ?presets ~shards_per_preset ~rounds ~seed
+    ~make_spec:(fun d ->
+      Run_spec.make ~defense:d ~classify:false ~inputs:3 ~boosts:2
+        ~boot_insts:200 ())
+    ()
+
+let test_all_presets_complete () =
+  let rep = Sweep.run (small_matrix ()) in
+  checki "one row per preset" (List.length Defense.all) (List.length rep.Sweep.rows);
+  checki "no crashed shards" 0 rep.Sweep.crashed;
+  checki "all jobs ran" (List.length Defense.all) rep.Sweep.jobs;
+  List.iter
+    (fun (r : Sweep.row) ->
+      checki (r.Sweep.defense.Defense.name ^ " completed its rounds") 1
+        (r.Sweep.rounds + r.Sweep.discarded);
+      checkb
+        (r.Sweep.defense.Defense.name ^ " contract derived")
+        true
+        (r.Sweep.contract_name <> ""))
+    rep.Sweep.rows
+
+(* ------------------------------------------------------------------ *)
+(* Released-bug presets detect their planted violations                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The random-campaign route, bounded: each released defense stops at its
+   first violation.  STT's KV3 is too rare for a small random budget (the
+   paper reports ~3 h average detection), so it is exercised through the
+   crafted figure-9 program below instead. *)
+let test_released_bugs_detected () =
+  let presets = [ Defense.baseline; Defense.invisispec; Defense.speclfb ] in
+  let js =
+    Sweep.jobs ~presets ~rounds:25 ~seed:11
+      ~make_spec:(fun d ->
+        Run_spec.make ~defense:d ~stop_after:1 ~classify:false ~inputs:6
+          ~boosts:4 ~boot_insts:500 ())
+      ()
+  in
+  let rep = Sweep.run js in
+  List.iter
+    (fun (r : Sweep.row) ->
+      checkb (r.Sweep.defense.Defense.name ^ " leaks under its contract") true
+        (r.Sweep.violations <> []);
+      checkb
+        (r.Sweep.defense.Defense.name ^ " has a time-to-first-leak")
+        true
+        (r.Sweep.time_to_first_leak <> None))
+    rep.Sweep.rows
+
+let test_cleanupspec_released_bug () =
+  let js =
+    Sweep.jobs ~presets:[ Defense.cleanupspec ] ~rounds:40 ~seed:11
+      ~make_spec:(fun d ->
+        Run_spec.make ~defense:d ~stop_after:1 ~classify:false ~inputs:6
+          ~boosts:4 ~boot_insts:500 ())
+      ()
+  in
+  let rep = Sweep.run js in
+  match rep.Sweep.rows with
+  | [ r ] -> checkb "cleanupspec leaks" true (r.Sweep.violations <> [])
+  | _ -> Alcotest.fail "expected exactly one row"
+
+(* Figure 9 (paper): STT's tainted speculative store fills the D-TLB. *)
+let figure9_src = {|
+.bb0:
+  AND RDI, 0b1111111111000000
+  CMP RAX, qword ptr [R14 + RDI]
+  JNZ .done
+  AND RCX, 0b1111111111111111
+  MOV RBX, word ptr [R14 + RCX]
+  AND RBX, 0b1111111111111111111
+  MOV dword ptr [R14 + RBX], RDX
+.done:
+  EXIT
+|}
+
+let test_stt_released_bug () =
+  let fz =
+    Fuzzer.create
+      (Run_spec.make ~defense:Defense.stt ~seed:7 ~inputs:10 ~boosts:6
+         ~boot_insts:500 ())
+  in
+  match Fuzzer.test_program fz (Program.flatten (Asm.parse figure9_src)) with
+  | Fuzzer.Found _ -> ()
+  | Fuzzer.No_violation _ -> Alcotest.fail "STT did not leak the planted program"
+  | Fuzzer.Discarded f -> Alcotest.failf "discarded: %s" (Fault.to_string f)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler determinism                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_domains_deterministic () =
+  let presets =
+    [ Defense.baseline; Defense.invisispec; Defense.cleanupspec; Defense.speclfb ]
+  in
+  let mk () =
+    small_matrix ~presets ~shards_per_preset:2 ~rounds:2 ~seed:5 ()
+  in
+  let r1 = Sweep.run ~domains:1 (mk ()) in
+  let r4 = Sweep.run ~domains:4 (mk ()) in
+  checks "fingerprints identical across domain counts" (Sweep.fingerprint r1)
+    (Sweep.fingerprint r4);
+  checki "same total test cases" r1.Sweep.test_cases r4.Sweep.test_cases;
+  checki "same job count" r1.Sweep.jobs r4.Sweep.jobs;
+  checki "no crashes either way" 0 (r1.Sweep.crashed + r4.Sweep.crashed)
+
+(* ------------------------------------------------------------------ *)
+(* Shard journaling                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let temp_dir prefix =
+  let f = Filename.temp_file prefix "" in
+  Sys.remove f;
+  Unix.mkdir f 0o755;
+  f
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_shard_journals () =
+  let dir = temp_dir "amulet-sweep-journal" in
+  let presets = [ Defense.baseline; Defense.speclfb ] in
+  let js = small_matrix ~presets ~rounds:2 () in
+  let rep = Sweep.run ~journal_dir:dir ~checkpoint_every:1 js in
+  checki "no crashes" 0 rep.Sweep.crashed;
+  let files = Sys.readdir dir in
+  checki "one journal per shard" (List.length js) (Array.length files);
+  (* every journal is loadable and saw its shard's rounds *)
+  Array.iter
+    (fun f ->
+      let j = Journal.load (Filename.concat dir f) in
+      checki (f ^ " rounds journaled") 2 j.Journal.programs_run)
+    files;
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Whole-run budget: exhaustion stops cleanly at a round boundary       *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_exhaustion () =
+  let r =
+    Campaign.run
+      (Run_spec.make ~defense:Defense.baseline ~rounds:50 ~budget_ms:0.
+         ~classify:false ~inputs:3 ~boosts:2 ~boot_insts:200 ())
+  in
+  checkb "budget exhaustion flagged" true r.Campaign.budget_exhausted;
+  checki "no partial round counted" 0 r.Campaign.programs_run;
+  (* a checkpoint written mid-budget is a loadable round-boundary journal *)
+  let path = Filename.temp_file "amulet-sweep" ".journal" in
+  ignore
+    (Campaign.run ~journal_path:path ~checkpoint_every:1
+       (Run_spec.make ~defense:Defense.baseline ~rounds:3 ~budget_ms:60000.
+          ~classify:false ~inputs:3 ~boosts:2 ~boot_insts:200 ()));
+  let j = Journal.load path in
+  Sys.remove path;
+  checki "journal at round boundary" 3 j.Journal.programs_run
+
+(* ------------------------------------------------------------------ *)
+(* Report export                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_export () =
+  let rep = Sweep.run (small_matrix ~presets:[ Defense.baseline ] ()) in
+  let json = Sweep.to_json rep in
+  let contains needle =
+    let nl = String.length needle and hl = String.length json in
+    let rec go i = i + nl <= hl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "schema tagged" true (contains "\"amulet.sweep/1\"");
+  checkb "fingerprint embedded" true (contains (Sweep.fingerprint rep));
+  checkb "row for the preset" true (contains "\"baseline\"")
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ("select", [ Alcotest.test_case "globs" `Quick test_select ]);
+      ( "matrix",
+        [
+          Alcotest.test_case "all presets complete" `Slow test_all_presets_complete;
+          Alcotest.test_case "released bugs detected" `Slow
+            test_released_bugs_detected;
+          Alcotest.test_case "cleanupspec released bug" `Slow
+            test_cleanupspec_released_bug;
+          Alcotest.test_case "stt planted program" `Slow test_stt_released_bug;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "domains 1 vs 4 identical" `Slow
+            test_domains_deterministic;
+          Alcotest.test_case "shard journals" `Slow test_shard_journals;
+        ] );
+      ( "budget",
+        [ Alcotest.test_case "round-boundary stop" `Quick test_budget_exhaustion ] );
+      ("export", [ Alcotest.test_case "json document" `Slow test_json_export ]);
+    ]
