@@ -3,6 +3,8 @@
    Subcommands:
      fuzz       - run a testing campaign against a defense
      sweep      - run the sharded multi-defense matrix sweep
+     serve      - run the matrix as a crash-tolerant coordinator + workers
+     worker     - join a coordinator as a campaign worker process
      reproduce  - hunt a known vulnerability with its crafted reproducer
      run        - execute an assembly file on the simulator and print traces
      analyze    - revalidate/classify/minimize a saved violation
@@ -253,17 +255,28 @@ let fuzz_cmd =
             }
     in
     let resume_journal =
-      Option.map
-        (fun path ->
-          let j = Journal.load path in
-          if j.Journal.defense_name <> defense.Defense.name then
-            failwith
-              (Printf.sprintf
-                 "journal %s was written for defense %s, not %s (pass -d %s)"
-                 path j.Journal.defense_name defense.Defense.name
-                 j.Journal.defense_name);
-          j)
-        resume
+      match resume with
+      | None -> None
+      | Some path -> (
+          (* a torn checkpoint (crash mid-write on an fsync-less FS) is
+             quarantined and the campaign starts fresh — never a crash *)
+          match Journal.recover path with
+          | Journal.Resumed j ->
+              if j.Journal.defense_name <> defense.Defense.name then
+                failwith
+                  (Printf.sprintf
+                     "journal %s was written for defense %s, not %s (pass -d %s)"
+                     path j.Journal.defense_name defense.Defense.name
+                     j.Journal.defense_name);
+              Some j
+          | Journal.Quarantined { corrupt_path; error } ->
+              Format.eprintf
+                "amulet: journal %s is corrupt (%s); moved aside to %s, \
+                 starting fresh@."
+                path error corrupt_path;
+              None
+          | Journal.Fresh ->
+              failwith (Printf.sprintf "no journal to resume at %s" path))
     in
     (* a resumed campaign replays the journal's seed and keeps checkpointing
        into the same file unless another --journal is given *)
@@ -476,6 +489,295 @@ let sweep_cmd =
           work-stealing sweep: per-preset campaign shards on parallel \
           domains, one warmed engine per defense config per domain, \
           deterministically merged into a cross-defense report.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* serve / worker — the distributed campaign service                   *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let presets =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PRESET"
+          ~doc:"Defense presets, as for $(b,amulet sweep).  Default: all.")
+  in
+  let workers =
+    Arg.(
+      value & opt int 2
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Local worker processes to spawn.  $(b,0) spawns none — the \
+             coordinator then waits for external $(b,amulet worker \
+             --connect) processes.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"N" ~doc:"Fuzzing rounds per shard.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N" ~doc:"Seed shards per preset.")
+  in
+  let inputs =
+    Arg.(value & opt int 10 & info [ "i"; "inputs" ] ~doc:"Base inputs per program.")
+  in
+  let boosts =
+    Arg.(value & opt int 4 & info [ "b"; "boosts" ] ~doc:"Boosted mutants per base input.")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS" ~doc:"Wall-clock budget per fuzzing round.")
+  in
+  let budget_ms =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget-ms" ] ~docv:"MS" ~doc:"Wall-clock budget per shard.")
+  in
+  let socket =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Unix-domain socket to listen on (default: a per-pid path under \
+             the temp dir).")
+  in
+  let journal_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Shard checkpoint directory (default: a per-pid dir under the \
+             temp dir).  Reassigned shards resume from these journals.")
+  in
+  let heartbeat_s =
+    Arg.(
+      value & opt float 0.5
+      & info [ "heartbeat-s" ] ~docv:"S" ~doc:"Heartbeat cadence told to workers.")
+  in
+  let lease_timeout_s =
+    Arg.(
+      value & opt float 10.
+      & info [ "lease-timeout-s" ] ~docv:"S"
+          ~doc:"Expire a lease silent for this long and reassign its shard.")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:"Abandon a shard after N leases (poisoned-shard guard).")
+  in
+  let idle_timeout_s =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout-s" ] ~docv:"S"
+          ~doc:"Fail remaining shards after this long with no connected workers.")
+  in
+  let worker_chaos =
+    Arg.(
+      value & opt (some float) None
+      & info [ "worker-chaos" ] ~docv:"P"
+          ~doc:
+            "Robustness self-test: spawned workers die (SIGKILL-style) at \
+             each round boundary with probability P; the coordinator must \
+             reassign and the fingerprint must not change.")
+  in
+  let out =
+    Arg.(
+      value & opt string "BENCH_serve.json"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the serve report JSON.")
+  in
+  let run presets workers rounds shards inputs boosts deadline_ms budget_ms
+      seed mode engine socket journal_dir heartbeat_s lease_timeout_s
+      max_attempts idle_timeout_s worker_chaos out metrics_out json =
+   Output.guarded @@ fun () ->
+    let say fmt = (if json then Format.eprintf else Format.printf) fmt in
+    match Sweep.select presets with
+    | Error msg ->
+        Format.eprintf "amulet: %s@." msg;
+        Output.exit_fault
+    | Ok selected ->
+        (* the job list is built exactly as `amulet sweep` builds it, so the
+           two paths fingerprint-compare for the same flags *)
+        let make_spec d =
+          Run_spec.make ~defense:d ~engine ~mode ~inputs ~boosts ?deadline_ms
+            ?budget_ms ()
+        in
+        let js =
+          Sweep.jobs ~presets:selected ~shards_per_preset:shards ~rounds ~seed
+            ~make_spec ()
+        in
+        let pid = Unix.getpid () in
+        let socket =
+          match socket with
+          | Some s -> s
+          | None ->
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Printf.sprintf "amulet-serve-%d.sock" pid)
+        in
+        let journal_dir =
+          match journal_dir with
+          | Some d -> d
+          | None ->
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Printf.sprintf "amulet-serve-%d.journals" pid)
+        in
+        if not (Sys.file_exists journal_dir) then Sys.mkdir journal_dir 0o755;
+        let metrics =
+          match metrics_out with
+          | Some _ -> Amulet_obs.Obs.create ()
+          | None -> Amulet_obs.Obs.noop
+        in
+        (* bind before spawning so workers never see a missing socket *)
+        let coord =
+          Coordinator.create ~socket ~metrics ~journal_dir ~heartbeat_s
+            ~lease_timeout_s ~max_attempts ~idle_timeout_s ()
+        in
+        say "serving %d preset(s), %d job(s) on %s, %d local worker(s)...@."
+          (List.length selected) (List.length js) socket workers;
+        let spawn i =
+          let args =
+            [
+              Sys.executable_name; "worker"; "--connect"; socket;
+              "--name"; Printf.sprintf "local-%d" i;
+              "--seed"; string_of_int (seed + i);
+            ]
+            @ (match worker_chaos with
+              | Some p -> [ "--chaos-kill"; string_of_float p ]
+              | None -> [])
+          in
+          (* workers inherit stderr for both streams: stdout stays clean for
+             the coordinator's --json document *)
+          Unix.create_process Sys.executable_name (Array.of_list args)
+            Unix.stdin Unix.stderr Unix.stderr
+        in
+        let pids = List.init workers spawn in
+        let report = Coordinator.serve coord js in
+        List.iter
+          (fun p -> try ignore (Unix.waitpid [] p) with Unix.Unix_error _ -> ())
+          pids;
+        let doc = Coordinator.to_json report in
+        Output.write_file out doc;
+        say "report written to %s (fingerprint %s)@." out
+          report.Coordinator.fingerprint;
+        (match metrics_out with
+        | None -> ()
+        | Some path ->
+            Output.write_file path
+              (Amulet_obs.Obs.Snapshot.to_json report.Coordinator.metrics);
+            say "telemetry written to %s@." path);
+        if json then print_endline doc
+        else Format.printf "%a" Coordinator.pp report;
+        if report.Coordinator.crashed > 0 then Output.exit_fault
+        else if report.Coordinator.violations > 0 then Output.exit_violation
+        else Output.exit_clean
+  in
+  let term =
+    Term.(
+      const run $ presets $ workers $ rounds $ shards $ inputs $ boosts
+      $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ socket
+      $ journal_dir $ heartbeat_s $ lease_timeout_s $ max_attempts
+      $ idle_timeout_s $ worker_chaos $ out $ metrics_t $ json_t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the defense matrix as a crash-tolerant distributed service: a \
+          coordinator leases shards to worker processes over a Unix-domain \
+          socket, reassigns the shards of dead or silent workers (resuming \
+          from their journals), and merges results into the same \
+          deterministic fingerprint as $(b,amulet sweep).")
+    term
+
+let worker_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCK"
+          ~doc:"Coordinator socket to connect to (required).")
+  in
+  let name_t =
+    Arg.(
+      value & opt (some string) None
+      & info [ "name" ] ~docv:"NAME" ~doc:"Worker name (default: worker-<pid>).")
+  in
+  let chaos_kill =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-kill" ] ~docv:"P"
+          ~doc:"Chaos: die abruptly at a round boundary with probability P.")
+  in
+  let chaos_drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-drop" ] ~docv:"P"
+          ~doc:"Chaos: swallow a heartbeat with probability P.")
+  in
+  let chaos_delay =
+    Arg.(
+      value & opt float 0.
+      & info [ "chaos-delay" ] ~docv:"P"
+          ~doc:"Chaos: stall before a heartbeat with probability P.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 6
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Transient connect failures to retry before giving up.")
+  in
+  let backoff_ms =
+    Arg.(
+      value & opt float 50.
+      & info [ "backoff-ms" ] ~docv:"MS"
+          ~doc:"Base reconnect backoff (doubled per attempt, jittered).")
+  in
+  let run connect name chaos_kill chaos_drop chaos_delay retries backoff_ms seed
+      =
+   Output.guarded @@ fun () ->
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "worker-%d" (Unix.getpid ())
+    in
+    let chaos =
+      if chaos_kill = 0. && chaos_drop = 0. && chaos_delay = 0. then None
+      else
+        Some
+          (Fault.injector ~p_kill_worker:chaos_kill ~p_drop_message:chaos_drop
+             ~p_delay_heartbeat:chaos_delay ~seed ())
+    in
+    match
+      Worker.run ~connect ~name ?chaos ~retries ~backoff_s:(backoff_ms /. 1000.)
+        ~seed ()
+    with
+    | Worker.Finished ->
+        Format.eprintf "%s: done@." name;
+        Output.exit_clean
+    | Worker.Coordinator_lost why ->
+        Format.eprintf "%s: coordinator lost (%s); journals are checkpointed@."
+          name why;
+        Output.exit_fault
+    | Worker.Gave_up { attempts } ->
+        Format.eprintf "%s: could not connect to %s after %d attempt(s)@." name
+          connect attempts;
+        Output.exit_fault
+  in
+  let term =
+    Term.(
+      const run $ connect $ name_t $ chaos_kill $ chaos_drop $ chaos_delay
+      $ retries $ backoff_ms $ seed_t)
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Join a coordinator as a campaign worker: run leased shards on a \
+          warmed pooled engine, heartbeat at round boundaries, checkpoint \
+          into the coordinator's journal dir.  Exits 2 when the coordinator \
+          is unreachable or vanishes (work is resumable from journals).")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -775,6 +1077,9 @@ let list_cmd =
 let main =
   let doc = "AMuLeT: automated design-time testing of secure speculation countermeasures" in
   Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
-    [ fuzz_cmd; sweep_cmd; reproduce_cmd; run_cmd; analyze_cmd; explain_cmd; list_cmd ]
+    [
+      fuzz_cmd; sweep_cmd; serve_cmd; worker_cmd; reproduce_cmd; run_cmd;
+      analyze_cmd; explain_cmd; list_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

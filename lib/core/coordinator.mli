@@ -1,0 +1,99 @@
+(** The coordinator side of the distributed campaign service ([amulet
+    serve]): a single-threaded [select] loop that leases sweep jobs to
+    {!Worker}s over {!Proto}, tracks per-worker heartbeats, and reassigns
+    the shards of dead or silent workers to live ones.
+
+    Lease / heartbeat state machine (per connection):
+    {v
+      accept → [Hello] → [Hello_ok] → idle
+      idle   —lease granted→                    leased
+      leased —[Heartbeat] within lease_timeout→ leased   (deadline renewed)
+      leased —[Result]/[Quarantine_shard]→      idle     (next lease pumped)
+      leased —EOF / EPIPE / deadline missed→    dropped  (shard requeued at
+                                                          the queue front)
+      any    —malformed frame→                  dropped  ([Shutdown] sent,
+                                                          C_protocol counted)
+    v}
+
+    Requeued shards carry their journal path, so the adopting worker
+    resumes from the last checkpoint instead of restarting; a shard that
+    exhausts [max_attempts] leases (or that a worker quarantines) is
+    abandoned and reported — never retried forever, never fatal.  The
+    merged report reduces to {!Sweep.Ident} rows: its {!field-fingerprint}
+    is byte-identical to the in-process {!Sweep} path for the same jobs,
+    whatever the worker count or crash history. *)
+
+module Obs = Amulet_obs.Obs
+
+type t
+(** A bound, listening coordinator (single use: {!serve} closes the
+    socket when the matrix completes). *)
+
+val create :
+  socket:string ->
+  ?name:string ->
+  ?metrics:Obs.t ->
+  ?journal_dir:string ->
+  ?checkpoint_every:int ->
+  ?heartbeat_s:float ->
+  ?lease_timeout_s:float ->
+  ?max_attempts:int ->
+  ?idle_timeout_s:float ->
+  unit ->
+  t
+(** Bind and listen on the Unix-domain [socket] (an existing socket file is
+    replaced).  Binding before {!serve} lets the caller spawn local workers
+    that connect immediately.  [journal_dir], when set, gives every lease a
+    per-shard checkpoint path inside it — required for resumed (rather than
+    restarted) reassignment.  [heartbeat_s] (default 0.5) is the cadence
+    told to workers; a lease silent for [lease_timeout_s] (default 10) is
+    expired.  A shard is abandoned after [max_attempts] (default 3) leases,
+    and the whole remainder after [idle_timeout_s] (default 30) with no
+    connected workers. *)
+
+val socket_path : t -> string
+
+type status =
+  | Done of Proto.shard_result
+  | Abandoned of string
+      (** exceeded [max_attempts], reported unrunnable, or no live workers *)
+
+type shard = {
+  job : Sweep.job;
+  status : status;
+  worker : string;  (** the worker that resolved it ("" when abandoned) *)
+  attempts : int;  (** leases granted: 1 + reassignments *)
+  wall_s : float;  (** grant-to-result of the resolving lease *)
+}
+
+type report = {
+  shards : shard list;  (** every shard, in job order *)
+  rows : Sweep.Ident.row list;
+      (** per-preset merge, first-appearance job order — the digest input *)
+  fingerprint : string;
+      (** equals {!Sweep.fingerprint} of the same jobs run in-process *)
+  workers_joined : int;
+  reassignments : int;
+  worker_lost : int;
+  protocol_errors : int;
+  crashed : int;  (** abandoned shards (lost past retry cap, quarantined) *)
+  wall_s : float;
+  test_cases : int;
+  violations : int;
+  fault_counts : (Fault.cls * int) list;
+  metrics : Obs.Snapshot.t;
+}
+
+val serve : t -> Sweep.job list -> report
+(** Run the matrix to completion: lease every job (reindexed in list
+    order), ride out worker crashes, merge results deterministically.
+    Returns when every shard is [Done] or [Abandoned]; the listening
+    socket is closed and unlinked on the way out.  Never raises for
+    worker-side misbehaviour. *)
+
+val to_json : report -> string
+(** The BENCH_serve.json document (schema [amulet.serve/1]); embeds
+    ["fingerprint":"…"] exactly like the sweep document so CI can compare
+    the two with the same grep. *)
+
+val pp : Format.formatter -> report -> unit

@@ -376,6 +376,8 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
                   trace_b = tb;
                   context = ctx;
                   ctrace_hash = a.ctrace_hash;
+                  trace_a_hash = Utrace.hash ta;
+                  trace_b_hash = Utrace.hash tb;
                   contract = t.contract;
                   defense_name = t.defense.Defense.name;
                   detection_seconds = Obs.Clock.elapsed_s ~since:t.started_at;

@@ -40,20 +40,39 @@ let output out (j : t) =
           j.fault_counts));
   Printf.fprintf out "detection_times=%s\n"
     (String.concat "," (List.map (Printf.sprintf "%.6f") j.detection_times));
+  (* integrity: a truncation that happens to land on a violation-block
+     boundary would otherwise parse cleanly with silently fewer
+     violations — the count makes any such tear detectable *)
+  Printf.fprintf out "violations=%d\n" (List.length j.violations);
   List.iter
     (fun s ->
       Printf.fprintf out "%s\n" violation_marker;
       Violation_io.output out s)
     j.violations
 
-(** Atomic checkpoint: write [path].tmp in full, then rename over [path] —
-    a kill at any instant leaves the previous or the new checkpoint intact,
-    never a torn file. *)
+(** Atomic + durable checkpoint: write [path].tmp in full, flush and fsync
+    the temp fd, rename over [path], then fsync the containing directory —
+    a kill or power loss at any instant leaves the previous or the new
+    checkpoint intact, never a torn file.  Without the fsyncs the rename
+    can land on disk before the data, "committing" a truncated file. *)
 let save (j : t) path =
   let tmp = path ^ ".tmp" in
   let out = open_out tmp in
-  Fun.protect ~finally:(fun () -> close_out out) (fun () -> output out j);
-  Sys.rename tmp path
+  Fun.protect
+    ~finally:(fun () -> close_out out)
+    (fun () ->
+      output out j;
+      flush out;
+      Unix.fsync (Unix.descr_of_out_channel out));
+  Sys.rename tmp path;
+  (* the rename itself must be durable: fsync the directory entry.  Best
+     effort — some filesystems refuse fsync on a directory fd. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | dirfd ->
+      Fun.protect
+        ~finally:(fun () -> Unix.close dirfd)
+        (fun () -> try Unix.fsync dirfd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Reading                                                             *)
@@ -132,6 +151,13 @@ let load path : t =
           raise (Format_error ("embedded violation: " ^ e)))
       (List.filter (fun c -> c <> []) violation_chunks)
   in
+  (match Hashtbl.find_opt meta "violations" with
+  | Some n when int_of_string_opt n <> Some (List.length violations) ->
+      raise
+        (Format_error
+           (Printf.sprintf "journal truncated: header says %s violations, found %d"
+              n (List.length violations)))
+  | _ -> ());
   {
     seed = int_of "seed";
     n_programs = int_of "n_programs";
@@ -144,3 +170,26 @@ let load path : t =
     detection_times = parse_times (find "detection_times");
     violations;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type recovery =
+  | Resumed of t
+  | Quarantined of { corrupt_path : string; error : string }
+  | Fresh
+
+let recover path =
+  if not (Sys.file_exists path) then Fresh
+  else
+    match load path with
+    | j -> Resumed j
+    | exception (Format_error e | Violation_io.Format_error e) ->
+        (* a torn checkpoint (crash between write and fsync on a pre-fsync
+           journal, disk corruption, truncation) must not kill the campaign:
+           move it aside for triage and start over *)
+        let corrupt_path = path ^ ".corrupt" in
+        (try Sys.rename path corrupt_path
+         with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+        Quarantined { corrupt_path; error = e }

@@ -26,7 +26,23 @@ type t = {
 }
 
 val save : t -> string -> unit
-(** Atomic checkpoint: write-temp-then-rename over [path]. *)
+(** Atomic, durable checkpoint: write [path].tmp in full, flush + fsync it,
+    rename over [path], fsync the containing directory (best effort).  A
+    kill or power cut at any instant leaves the previous or the new
+    checkpoint, never a torn file. *)
 
 val load : string -> t
 (** Raises {!Format_error} on malformed input. *)
+
+type recovery =
+  | Resumed of t  (** the checkpoint loaded cleanly *)
+  | Quarantined of { corrupt_path : string; error : string }
+      (** the checkpoint was torn/corrupt; it was moved to [corrupt_path]
+          for triage and the campaign should start from round 0 *)
+  | Fresh  (** no checkpoint exists at that path *)
+
+val recover : string -> recovery
+(** Defensive load for resume paths ([fuzz --resume], shard re-adoption by
+    a distributed worker): never raises on a damaged checkpoint — it
+    quarantines the file aside ([path].corrupt) instead, so a crash that
+    tore a journal costs at most that shard's progress, not the campaign. *)

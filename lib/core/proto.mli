@@ -1,0 +1,94 @@
+(** The coordinator/worker wire protocol: length-prefixed, versioned binary
+    frames with a payload CRC-32, over Unix-domain stream sockets.
+
+    Frame layout (integers big-endian): [u32 payload-length], [u8 version],
+    [u8 tag], payload bytes, [u32 CRC-32(payload)].  A frame whose version
+    differs from {!version} is rejected before its payload is interpreted
+    (the coordinator answers with a [Shutdown] naming both versions); a CRC
+    or structure failure raises {!Protocol_error} — the peer is counted
+    under {!Fault.C_protocol} and disconnected, never crashed into.
+
+    Message flow: worker sends [Hello] once; coordinator answers [Hello_ok]
+    (carrying the heartbeat cadence) and then drives the session with
+    [Lease]s.  During a lease the worker streams [Heartbeat]s at round
+    boundaries and finishes with a [Result] (or [Quarantine_shard] when the
+    shard itself is poisoned); the coordinator ends the session with
+    [Shutdown].  Everything a lease carries — including the full
+    {!Run_spec.t} — round-trips exactly, so the deterministic-fingerprint
+    guarantee survives the wire. *)
+
+val version : int
+(** Current protocol version (frame byte 4). *)
+
+exception Protocol_error of string
+(** Malformed, corrupt, truncated or version-mismatched frame. *)
+
+exception Closed
+(** The peer closed the connection (EOF mid-read). *)
+
+type lease = {
+  lease_id : int;  (** unique per grant; reassignments get fresh ids *)
+  job_id : int;  (** merge position in the sweep's job list *)
+  shard : int;  (** shard index within the job's preset *)
+  journal_path : string option;
+      (** where to checkpoint; pre-existing content is adopted (resume) *)
+  checkpoint_every : int;
+  spec : Run_spec.t;
+}
+
+type shard_result = {
+  lease_id : int;
+  job_id : int;
+  contract_name : string;
+  rounds_done : int;
+  discarded : int;
+  test_cases : int;
+  quarantined : int;
+  duration_s : float;
+  budget_exhausted : bool;
+  fault_counts : (Fault.cls * int) list;
+  detection_times : float list;
+  violations : Sweep.Ident.v list;
+      (** findings reduced to their fingerprint identity *)
+}
+
+type msg =
+  | Hello of { worker : string; pid : int }
+  | Hello_ok of { coordinator : string; heartbeat_s : float }
+  | Lease of lease
+  | Heartbeat of { lease_id : int; rounds_done : int }
+  | Result of shard_result
+  | Quarantine_shard of { lease_id : int; job_id : int; reason : string }
+  | Shutdown of { reason : string }
+
+val write_msg : Unix.file_descr -> msg -> unit
+(** Encode, frame and write the whole message (blocking; retries EINTR).
+    Raises [Unix.Unix_error (EPIPE, _, _)] when the peer is gone. *)
+
+val read_msg : Unix.file_descr -> msg
+(** Blocking read of one complete frame.  Raises {!Closed} on EOF and
+    {!Protocol_error} on damage or version mismatch. *)
+
+val write_frame : ?version:int -> Unix.file_descr -> tag:int -> string -> unit
+(** Low-level escape hatch (tests): frame an arbitrary payload, optionally
+    under a different protocol version. *)
+
+val crc32 : string -> int32
+(** The frame checksum (IEEE 802.3 polynomial), exposed for tests. *)
+
+(** Incremental frame decoder for a non-blocking reader (the coordinator's
+    select loop): feed raw bytes as they arrive, poll for complete
+    messages. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes -> int -> unit
+  (** Append the first [len] bytes just read from the socket. *)
+
+  val next : t -> [ `Msg of msg | `Awaiting | `Error of string ]
+  (** Pop the next complete message.  [`Error] covers CRC/version/structure
+      damage; the connection should be dropped (the decoder state is not
+      recoverable after an error). *)
+end

@@ -116,17 +116,55 @@ type report = {
   metrics : Obs.Snapshot.t;
 }
 
-(* One warmed engine per distinct defense config, private to a domain.
-   The key is pure data (Config.t is ints/bools/variants), so structural
-   hashing is sound. *)
-type engine_key = {
-  k_defense : string;
-  k_mode : Executor.mode;
-  k_kind : Engine.kind;
-  k_format : Utrace.format;
-  k_boot : int;
-  k_sim : Amulet_uarch.Config.t option;
-}
+(* One warmed engine per distinct defense config, private to one domain or
+   one worker process.  Shared by the in-process scheduler below and by the
+   distributed {!Worker}, so both paths pay simulator boots identically. *)
+module Engine_cache = struct
+  (* The key is pure data (Config.t is ints/bools/variants), so structural
+     hashing is sound. *)
+  type key = {
+    k_defense : string;
+    k_mode : Executor.mode;
+    k_kind : Engine.kind;
+    k_format : Utrace.format;
+    k_boot : int;
+    k_sim : Amulet_uarch.Config.t option;
+  }
+
+  type t = (key, Engine.t * Stats.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let get (cache : t) ~metrics (spec : Run_spec.t) =
+    (* chaos arms at executor creation, so chaos shards must not share a
+       cached engine *)
+    if spec.Run_spec.chaos <> None then None
+    else begin
+      let key =
+        {
+          k_defense = spec.Run_spec.defense.Defense.name;
+          k_mode = spec.Run_spec.mode;
+          k_kind = spec.Run_spec.engine;
+          k_format = spec.Run_spec.trace_format;
+          k_boot = spec.Run_spec.boot_insts;
+          k_sim = spec.Run_spec.sim_config;
+        }
+      in
+      match Hashtbl.find_opt cache key with
+      | Some es -> Some es
+      | None ->
+          let stats = Stats.create ~metrics () in
+          let e =
+            Engine.create ~boot_insts:spec.Run_spec.boot_insts
+              ~format:spec.Run_spec.trace_format
+              ?sim_config:spec.Run_spec.sim_config ~kind:spec.Run_spec.engine
+              ~mode:spec.Run_spec.mode spec.Run_spec.defense stats
+          in
+          Engine.warm e;
+          Hashtbl.replace cache key (e, stats);
+          Some (e, stats)
+    end
+end
 
 let locked lock f =
   Mutex.lock lock;
@@ -192,36 +230,7 @@ let run ?(domains = 1) ?(metrics = Obs.noop) ?journal_dir
                spec.Run_spec.defense.Defense.name))
         journal_dir
     in
-    let engine =
-      (* chaos arms at executor creation, so chaos shards must not share a
-         cached engine *)
-      if spec.Run_spec.chaos <> None then None
-      else begin
-        let key =
-          {
-            k_defense = spec.Run_spec.defense.Defense.name;
-            k_mode = spec.Run_spec.mode;
-            k_kind = spec.Run_spec.engine;
-            k_format = spec.Run_spec.trace_format;
-            k_boot = spec.Run_spec.boot_insts;
-            k_sim = spec.Run_spec.sim_config;
-          }
-        in
-        match Hashtbl.find_opt cache key with
-        | Some es -> Some es
-        | None ->
-            let stats = Stats.create ~metrics:dm () in
-            let e =
-              Engine.create ~boot_insts:spec.Run_spec.boot_insts
-                ~format:spec.Run_spec.trace_format
-                ?sim_config:spec.Run_spec.sim_config ~kind:spec.Run_spec.engine
-                ~mode:spec.Run_spec.mode spec.Run_spec.defense stats
-            in
-            Engine.warm e;
-            Hashtbl.replace cache key (e, stats);
-            Some (e, stats)
-      end
-    in
+    let engine = Engine_cache.get cache ~metrics:dm spec in
     let outcome =
       try Completed (Campaign.run ?journal_path ~checkpoint_every ~metrics:dm ?engine spec)
       with exn -> Crashed (Fault.exn_info exn)
@@ -230,7 +239,7 @@ let run ?(domains = 1) ?(metrics = Obs.noop) ?journal_dir
   in
   let worker d () =
     let dm = if telemetry then Obs.create () else Obs.noop in
-    let cache = Hashtbl.create 8 in
+    let cache = Engine_cache.create () in
     let rec loop () =
       match next_job d with
       | None -> ()
@@ -376,26 +385,73 @@ let run ?(domains = 1) ?(metrics = Obs.noop) ?journal_dir
 (* ------------------------------------------------------------------ *)
 
 (* Only scheduling-independent content: seeds fix the violations, so two
-   runs of the same jobs must digest identically whatever the domain count
-   or steal order.  Wall-clock fields are deliberately absent. *)
-let fingerprint report =
-  let buf = Buffer.create 4096 in
-  List.iter
+   runs of the same jobs must digest identically whatever the domain count,
+   steal order, worker count or crash/reassignment history.  Wall-clock
+   fields are deliberately absent.  The digest bytes live here, in one
+   place, so the in-process scheduler and the distributed coordinator can
+   never drift apart: both reduce their results to [Ident.row]s and call
+   {!Ident.fingerprint}. *)
+module Ident = struct
+  type v = {
+    ctrace_hash : int64;
+    hash_a : int64;
+    hash_b : int64;
+    program_text : string;
+  }
+
+  type row = {
+    defense : string;
+    contract : string;
+    rounds : int;
+    discarded : int;
+    test_cases : int;
+    violations : v list;
+  }
+
+  (* Identity uses the hashes captured at detection time, not a recompute
+     from [trace_a]/[trace_b]: a journal-resumed violation's traces are
+     re-executions under a fresh context, but its stored hashes are the
+     originals — so resumed shards fingerprint identically. *)
+  let of_violation (v : Violation.t) =
+    {
+      ctrace_hash = v.Violation.ctrace_hash;
+      hash_a = v.Violation.trace_a_hash;
+      hash_b = v.Violation.trace_b_hash;
+      program_text = v.Violation.program_text;
+    }
+
+  let fingerprint rows =
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun r ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s|%s|%d|%d|%d|%d\n" r.defense r.contract r.rounds
+             r.discarded r.test_cases
+             (List.length r.violations));
+        List.iter
+          (fun v ->
+            Buffer.add_string buf
+              (Printf.sprintf "%Lx|%Lx|%Lx|%s\n" v.ctrace_hash v.hash_a
+                 v.hash_b v.program_text))
+          r.violations)
+      rows;
+    Digest.to_hex (Digest.string (Buffer.contents buf))
+end
+
+let ident_rows report =
+  List.map
     (fun r ->
-      Buffer.add_string buf
-        (Printf.sprintf "%s|%s|%d|%d|%d|%d\n" r.defense.Defense.name
-           r.contract_name r.rounds r.discarded r.test_cases
-           (List.length r.violations));
-      List.iter
-        (fun (v : Violation.t) ->
-          Buffer.add_string buf
-            (Printf.sprintf "%Lx|%Lx|%Lx|%s\n" v.Violation.ctrace_hash
-               (Utrace.hash v.Violation.trace_a)
-               (Utrace.hash v.Violation.trace_b)
-               v.Violation.program_text))
-        r.violations)
-    report.rows;
-  Digest.to_hex (Digest.string (Buffer.contents buf))
+      {
+        Ident.defense = r.defense.Defense.name;
+        contract = r.contract_name;
+        rounds = r.rounds;
+        discarded = r.discarded;
+        test_cases = r.test_cases;
+        violations = List.map Ident.of_violation r.violations;
+      })
+    report.rows
+
+let fingerprint report = Ident.fingerprint (ident_rows report)
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in

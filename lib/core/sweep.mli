@@ -78,6 +78,18 @@ type report = {
       (** merged per-domain registries (empty unless [metrics] was live) *)
 }
 
+(** One warmed engine per distinct defense config, private to one domain or
+    one worker process.  Used by {!run}'s domains and by the distributed
+    {!Worker}, so both paths amortize simulator boots identically.
+    Chaos-armed specs never share a cached engine (chaos arms at executor
+    creation) — {!Engine_cache.get} returns [None] for them. *)
+module Engine_cache : sig
+  type t
+
+  val create : unit -> t
+  val get : t -> metrics:Obs.t -> Run_spec.t -> (Engine.t * Stats.t) option
+end
+
 val run :
   ?domains:int ->
   ?metrics:Obs.t ->
@@ -92,13 +104,46 @@ val run :
     crashing shard or domain is recorded as {!Crashed} and the sweep
     completes. *)
 
+(** The scheduling-independent identity of a sweep's findings, and the one
+    digest implementation both execution paths share: the in-process
+    scheduler ({!fingerprint}) and the distributed {!Coordinator} each
+    reduce their merged results to [Ident.row]s and digest those bytes, so
+    the fleet can never drift from the single-process reference. *)
+module Ident : sig
+  type v = {
+    ctrace_hash : int64;
+    hash_a : int64;  (** {!Utrace.hash} of the violating trace pair *)
+    hash_b : int64;
+    program_text : string;
+  }
+
+  type row = {
+    defense : string;
+    contract : string;
+    rounds : int;
+    discarded : int;
+    test_cases : int;
+    violations : v list;  (** in job order within the preset *)
+  }
+
+  val of_violation : Violation.t -> v
+
+  val fingerprint : row list -> string
+  (** Hex digest over the rows' bytes; wall-clock-free by construction. *)
+end
+
+val ident_rows : report -> Ident.row list
+(** The report's rows reduced to their deterministic identity. *)
+
 val fingerprint : report -> string
 (** Hex digest over the deterministic content of the report — per-preset
     round/test-case/discard totals and every violation's identity
     (contract-trace hash, both microarchitectural trace hashes, program
     text) — excluding all wall-clock-dependent fields.  Equal fingerprints
     across [~domains:1] and [~domains:n] runs of the same jobs are the
-    determinism guarantee CI enforces. *)
+    determinism guarantee CI enforces; equality with the {!Coordinator}'s
+    fingerprint for the same jobs is the distributed-service gate.
+    Equals [Ident.fingerprint (ident_rows report)]. *)
 
 val to_json : report -> string
 (** The BENCH_sweep.json document (schema [amulet.sweep/1]). *)

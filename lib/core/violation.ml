@@ -18,6 +18,13 @@ type t = {
   context : Amulet_uarch.Simulator.context;
       (** the common predictor context under which the violation validated *)
   ctrace_hash : int64;
+  trace_a_hash : int64;
+  trace_b_hash : int64;
+      (** identity hashes of the detection-time traces.  Captured when the
+          violation is found because the validating context is not
+          serialized: a journal round-trip cannot re-derive the exact
+          traces, so these (with [ctrace_hash]) are what sweep/service
+          fingerprints key on. *)
   contract : Contract.t;
   defense_name : string;
   detection_seconds : float;  (** since the campaign / program batch began *)

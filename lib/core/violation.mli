@@ -14,6 +14,10 @@ type t = {
   context : Amulet_uarch.Simulator.context;
       (** the shared context under which the violation validated *)
   ctrace_hash : int64;
+  trace_a_hash : int64;
+  trace_b_hash : int64;
+      (** detection-time trace identity (survives journal round-trips, where
+          the unstored validating context makes traces unreproducible) *)
   contract : Contract.t;
   defense_name : string;
   detection_seconds : float;

@@ -18,6 +18,13 @@ type stored = {
   input_a : Input.t;
   input_b : Input.t;
   signature : string option;
+  identity : (int64 * int64 * int64) option;
+      (* (ctrace_hash, trace_a_hash, trace_b_hash) captured at detection
+         time.  The validating context is not serialized, so re-execution
+         cannot re-derive the original traces; without this, a resumed
+         campaign's violations would fingerprint differently from the
+         uninterrupted run.  [None] only for files written before the key
+         existed. *)
 }
 
 exception Format_error of string
@@ -30,6 +37,11 @@ let of_violation (v : Violation.t) : stored =
     input_a = v.Violation.input_a;
     input_b = v.Violation.input_b;
     signature = v.Violation.signature;
+    identity =
+      Some
+        ( v.Violation.ctrace_hash,
+          v.Violation.trace_a_hash,
+          v.Violation.trace_b_hash );
   }
 
 (* ------------------------------------------------------------------ *)
@@ -65,6 +77,9 @@ let output out (s : stored) =
   Printf.fprintf out "contract=%s\n" s.contract_name;
   (match s.signature with
   | Some sig_ -> Printf.fprintf out "signature=%s\n" sig_
+  | None -> ());
+  (match s.identity with
+  | Some (c, a, b) -> Printf.fprintf out "identity=0x%Lx,0x%Lx,0x%Lx\n" c a b
   | None -> ());
   Printf.fprintf out "[program]\n";
   (* assembly of the flattened program: one instruction per line with
@@ -172,6 +187,20 @@ let parse (lines : string list) : stored =
     input_a = { Input.regs = regs_a; mem = bytes_of_hex (Buffer.contents mem_a) };
     input_b = { Input.regs = regs_b; mem = bytes_of_hex (Buffer.contents mem_b) };
     signature = Hashtbl.find_opt meta "signature";
+    identity =
+      (match Hashtbl.find_opt meta "identity" with
+      | None -> None
+      | Some s -> (
+          match String.split_on_char ',' s with
+          | [ c; a; b ] -> (
+              match
+                ( Int64.of_string_opt c,
+                  Int64.of_string_opt a,
+                  Int64.of_string_opt b )
+              with
+              | Some c, Some a, Some b -> Some (c, a, b)
+              | _ -> raise (Format_error ("bad identity line: " ^ s)))
+          | _ -> raise (Format_error ("bad identity line: " ^ s))));
   }
 
 (** Load a violation file written by {!save}. *)
@@ -243,6 +272,14 @@ let rehydrate ?sim_config (s : stored) : Violation.t =
   Executor.start_program ex;
   let oa = Executor.run ex s.program s.input_a in
   let ob = Executor.run ex s.program s.input_b in
+  (* re-executed traces serve analysis; identity comes from the stored
+     detection-time hashes so fingerprints survive the round-trip (the
+     fallback recomputation only applies to pre-identity files) *)
+  let ctrace_hash, trace_a_hash, trace_b_hash =
+    match s.identity with
+    | Some id -> id
+    | None -> (0L, Utrace.hash oa.Executor.trace, Utrace.hash ob.Executor.trace)
+  in
   {
     Violation.program = s.program;
     program_text = Format.asprintf "%a" Program.pp_flat s.program;
@@ -251,7 +288,9 @@ let rehydrate ?sim_config (s : stored) : Violation.t =
     trace_a = oa.Executor.trace;
     trace_b = ob.Executor.trace;
     context = oa.Executor.context;
-    ctrace_hash = 0L;
+    ctrace_hash;
+    trace_a_hash;
+    trace_b_hash;
     contract;
     defense_name = s.defense_name;
     detection_seconds = 0.;
@@ -304,6 +343,8 @@ let reanalyze ?(minimize = false) ?sim_config (s : stored) : reanalysis =
         trace_b = ob.Executor.trace;
         context = oa.Executor.context;
         ctrace_hash = 0L;
+        trace_a_hash = Utrace.hash oa.Executor.trace;
+        trace_b_hash = Utrace.hash ob.Executor.trace;
         contract;
         defense_name = s.defense_name;
         detection_seconds = 0.;

@@ -12,6 +12,11 @@ type stored = {
   input_a : Input.t;
   input_b : Input.t;
   signature : string option;
+  identity : (int64 * int64 * int64) option;
+      (** (ctrace_hash, trace_a_hash, trace_b_hash) captured at detection
+          time — the fingerprint identity a journal round-trip must
+          preserve, since the validating context (and hence the exact
+          traces) cannot be re-derived.  [None] only for legacy files. *)
 }
 
 exception Format_error of string
@@ -45,7 +50,9 @@ val save_quarantine :
 
 val rehydrate : ?sim_config:Amulet_uarch.Config.t -> stored -> Violation.t
 (** Rebuild a full violation by re-executing both inputs (used when resuming
-    a journaled campaign; traces and context are re-derived). *)
+    a journaled campaign; traces and context are re-derived for analysis,
+    while the identity hashes are restored from [identity] so resumed
+    campaigns fingerprint identically to uninterrupted ones). *)
 
 type reanalysis = {
   reproduced : bool;

@@ -1,0 +1,55 @@
+(** The worker side of the distributed campaign service ([amulet worker
+    --connect SOCK]): runs leased shards on a warmed pooled engine,
+    heartbeats at round boundaries, and degrades gracefully when the
+    coordinator (or the network) misbehaves.
+
+    One warmed {!Sweep.Engine_cache} lives for the whole session, so
+    successive leases of the same defense preset skip the simulator boot —
+    the same amortization the in-process scheduler's domains get. *)
+
+module Obs = Amulet_obs.Obs
+
+type outcome =
+  | Finished  (** coordinator sent [Shutdown]: clean end of the matrix *)
+  | Coordinator_lost of string
+      (** the socket died mid-session.  Not an emergency: every completed
+          round is checkpointed, so the shard resumes wherever its journal
+          stopped.  The CLI maps this to exit code 2. *)
+  | Gave_up of { attempts : int }
+      (** could not connect within the retry budget (also exit code 2) *)
+
+val backoff_delay :
+  base_s:float -> cap_s:float -> attempt:int -> u:float -> float
+(** The pure reconnect-delay schedule: exponential ([base_s * 2^attempt],
+    capped at [cap_s]) with jitter spreading the result over
+    [\[0.5x, 1.5x)] of the exponential value as [u] ranges over [\[0,1)].
+    Exposed so tests can pin the schedule without sleeping. *)
+
+val run :
+  connect:string ->
+  ?name:string ->
+  ?metrics:Obs.t ->
+  ?chaos:Fault.injector ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?seed:int ->
+  unit ->
+  outcome
+(** Connect to the coordinator socket [connect] (retrying transient
+    failures [retries] times, default 6, with {!backoff_delay} sleeps
+    seeded from [seed] and the pid), introduce ourselves as [name], then
+    serve leases until [Shutdown].
+
+    Per lease: adopt the journal via {!Journal.recover} (a torn checkpoint
+    is quarantined, the shard restarts fresh), heartbeat immediately and
+    then at every round boundary at the cadence the coordinator announced,
+    and finish with a [Result] whose violations are reduced to
+    {!Sweep.Ident.v}.  A crash inside the campaign is reported as
+    [Quarantine_shard] — the worker survives to take the next lease.
+
+    [chaos], when set, arms the worker-level injector modes at round
+    boundaries: [p_kill_worker] calls [Unix._exit 137] {e after} the
+    round's checkpoint (so the successor resumes losslessly),
+    [p_drop_message] swallows a heartbeat, [p_delay_heartbeat] stalls one.
+    Chaos kills make this call never return — callers fork first (the CLI
+    runs workers as their own processes anyway). *)
