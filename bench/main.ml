@@ -258,7 +258,7 @@ let table5 () =
     for i = 0 to programs - 1 do
       match Fuzzer.round fz with
       | Fuzzer.Found _ -> found.(i) <- true
-      | Fuzzer.No_violation _ | Fuzzer.Discarded _ -> ()
+      | Fuzzer.No_violation _ | Fuzzer.Discarded _ | Fuzzer.Screened -> ()
     done;
     let dt = Unix.gettimeofday () -. t0 in
     let stats = Fuzzer.stats fz in
@@ -796,6 +796,135 @@ let sweep_bench () =
   if not identical then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Static pre-analysis: lint/leakcheck throughput and screen soundness  *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the static leakage pre-analysis (CFG + dataflow + lint +
+   transmitter classification) and enforces its two contracts: every
+   curated reproducer is classified potentially leaky (zero false
+   negatives), and a screening campaign reports exactly the violations an
+   unfiltered one does while simulating measurably fewer inputs.  Emits
+   BENCH_static.json (path overridable via AMULET_BENCH_JSON). *)
+let static_bench () =
+  section "Static pre-analysis: leakcheck throughput and screen soundness";
+  (* 1. raw analysis throughput over generated programs *)
+  let n = scale 2000 in
+  let rng = Rng.create ~seed:11 in
+  let programs = Array.init n (fun _ -> Generator.generate_flat rng) in
+  let t0 = Unix.gettimeofday () in
+  let leaky_default =
+    Array.fold_left
+      (fun acc flat ->
+        if (Amulet_static.Leakcheck.analyze flat).Amulet_static.Leakcheck.leaky
+        then acc + 1
+        else acc)
+      0 programs
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let progs_per_sec = float_of_int n /. dt in
+  (* 2. screen rate on a fence-rich population (where screening can fire;
+     under the default config virtually every program carries a gadget) *)
+  let fence_cfg =
+    { Generator.default with Generator.blocks = 3; fence_fraction = 0.25;
+      mem_fraction = 0.25 }
+  in
+  let rng = Rng.create ~seed:11 in
+  let leaky_fenced = ref 0 in
+  for _ = 1 to n do
+    let flat = Generator.generate_flat ~cfg:fence_cfg rng in
+    if (Amulet_static.Leakcheck.analyze flat).Amulet_static.Leakcheck.leaky
+    then incr leaky_fenced
+  done;
+  let screen_rate_default = float_of_int (n - leaky_default) /. float_of_int n in
+  let screen_rate_fenced = float_of_int (n - !leaky_fenced) /. float_of_int n in
+  Format.printf
+    "analysis: %.0f programs/sec   screenable: %.1f%% (default gen) %.1f%% \
+     (fence-rich gen)@."
+    progs_per_sec
+    (100. *. screen_rate_default)
+    (100. *. screen_rate_fenced);
+  (* 3. soundness floor: all curated reproducers must classify leaky *)
+  let flagged =
+    List.filter
+      (fun r ->
+        let sandbox_bytes =
+          r.Reproducers.defense.Defense.sandbox_pages
+          * Amulet_emu.Memory.page_size
+        in
+        (Amulet_static.Leakcheck.analyze ~sandbox_bytes (Reproducers.flat r))
+          .Amulet_static.Leakcheck.leaky)
+      Reproducers.all
+  in
+  let n_repro = List.length Reproducers.all in
+  let repro_sound = List.length flagged = n_repro in
+  Format.printf "reproducers flagged potentially-leaky: %d/%d@."
+    (List.length flagged) n_repro;
+  (* 4. screen-vs-off equivalence on the fence-rich population: identical
+     violations, strictly fewer simulated inputs *)
+  let rounds = scale 50 in
+  let spec filter =
+    Run_spec.make ~defense:Defense.baseline ~rounds ~seed:2024 ~classify:false
+      ~inputs:8 ~boosts:4 ~boot_insts:200 ~generator:fence_cfg
+      ~static_filter:filter ()
+  in
+  let ident (v : Violation.t) =
+    Printf.sprintf "%Lx/%Lx/%Lx %s" v.Violation.ctrace_hash
+      v.Violation.trace_a_hash v.Violation.trace_b_hash v.Violation.program_text
+  in
+  let metrics = Amulet_obs.Obs.create () in
+  let off = Campaign.run (spec Run_spec.Off) in
+  let screen = Campaign.run ~metrics (spec Run_spec.Screen) in
+  let idents r = List.sort compare (List.map ident r.Campaign.violations) in
+  let same_violations = idents off = idents screen in
+  let screened =
+    Amulet_obs.Obs.Snapshot.counter_value screen.Campaign.metrics
+      "static.screened"
+  in
+  let fewer_inputs = screen.Campaign.test_cases < off.Campaign.test_cases in
+  Format.printf
+    "campaign (%d rounds): off %d violation(s) %d test cases | screen %d \
+     violation(s) %d test cases, %d round(s) screened@."
+    rounds
+    (List.length off.Campaign.violations)
+    off.Campaign.test_cases
+    (List.length screen.Campaign.violations)
+    screen.Campaign.test_cases screened;
+  if not repro_sound then
+    Format.printf "ERROR: a curated reproducer was classified leak-free@.";
+  if not same_violations then
+    Format.printf "ERROR: screening LOST OR ADDED violations@.";
+  if not (screened > 0 && fewer_inputs) then
+    Format.printf "ERROR: screening skipped nothing (no efficiency win)@.";
+  if repro_sound && same_violations && screened > 0 && fewer_inputs then
+    Format.printf
+      "screen filter: sound (same violations, %d%% fewer inputs simulated)@."
+      (100 * (off.Campaign.test_cases - screen.Campaign.test_cases)
+      / off.Campaign.test_cases);
+  let json_path =
+    Option.value (Sys.getenv_opt "AMULET_BENCH_JSON") ~default:"BENCH_static.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"bench\":\"static\",\"programs_analyzed\":%d,\
+     \"analysis_programs_per_sec\":%.1f,\
+     \"screen_rate\":{\"default_generator\":%.4f,\"fence_rich_generator\":%.4f},\
+     \"reproducers\":{\"total\":%d,\"flagged_leaky\":%d},\
+     \"campaign\":{\"rounds\":%d,\
+     \"off\":{\"violations\":%d,\"test_cases\":%d},\
+     \"screen\":{\"violations\":%d,\"test_cases\":%d,\"rounds_screened\":%d},\
+     \"violations_identical\":%b}}\n"
+    n progs_per_sec screen_rate_default screen_rate_fenced n_repro
+    (List.length flagged) rounds
+    (List.length off.Campaign.violations)
+    off.Campaign.test_cases
+    (List.length screen.Campaign.violations)
+    screen.Campaign.test_cases screened same_violations;
+  close_out oc;
+  Format.printf "wrote %s@." json_path;
+  if not (repro_sound && same_violations && screened > 0 && fewer_inputs) then
+    exit 1
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -803,9 +932,12 @@ let () =
   match Sys.getenv_opt "AMULET_BENCH_ONLY" with
   | Some "throughput" -> throughput ()
   | Some "sweep" -> sweep_bench ()
+  | Some "static" -> static_bench ()
   | Some s ->
       Format.eprintf
-        "unknown AMULET_BENCH_ONLY section %S (try: throughput, sweep)@." s;
+        "unknown AMULET_BENCH_ONLY section %S (try: throughput, sweep, \
+         static)@."
+        s;
       exit 2
   | None ->
       Format.printf "%s@.AMuLeT evaluation harness%s@.%s@." hline
@@ -823,6 +955,7 @@ let () =
       table11 ();
       throughput ();
       sweep_bench ();
+      static_bench ();
       extension_ghostminion ();
       extension_prefetcher ();
       extension_parallel ();

@@ -9,6 +9,7 @@
      run        - execute an assembly file on the simulator and print traces
      analyze    - revalidate/classify/minimize a saved violation
      explain    - violation forensics: trace + counter delta of the two runs
+     lint       - static leakage pre-analysis of a program (no simulation)
      list       - show available defenses, contracts, trace formats
 
    All subcommands share the Output conventions: --json for machine-readable
@@ -87,6 +88,27 @@ let engine_t =
            post-boot checkpoint per test case; $(b,naive) rebuilds the \
            simulator whenever pristine state is needed.  Trace-invisible — \
            an escape hatch for A/B-ing the pooled path.")
+
+let static_filter_t =
+  let filter_conv =
+    let parse s =
+      match Run_spec.static_filter_of_name s with
+      | Some f -> Ok f
+      | None -> Error (`Msg "unknown static filter (off, screen, score)")
+    in
+    let print fmt f = Format.fprintf fmt "%s" (Run_spec.static_filter_name f) in
+    Arg.conv (parse, print)
+  in
+  Arg.(
+    value
+    & opt filter_conv Run_spec.Off
+    & info [ "static-filter" ] ~docv:"MODE"
+        ~doc:
+          "Static leakage pre-filter applied to generated programs: \
+           $(b,off) simulates everything; $(b,screen) skips programs the \
+           static analysis proves leak-free (sound — a screened program \
+           cannot violate any bundled contract); $(b,score) redraws \
+           transmitter-free programs a few times but never skips a round.")
 
 let metrics_t =
   Arg.(
@@ -241,7 +263,8 @@ let fuzz_cmd =
   in
   let run defense programs inputs boosts mode engine fmt_ contract ways mshrs stop
       seed unaligned parallel prefetcher save_dir deadline_ms budget_ms
-      quarantine_dir journal resume checkpoint_every chaos metrics_out json =
+      quarantine_dir journal resume checkpoint_every chaos static_filter
+      metrics_out json =
    Output.guarded @@ fun () ->
     let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     let sim_config =
@@ -303,7 +326,7 @@ let fuzz_cmd =
         ~generator:
           { Generator.default with Generator.unaligned_fraction = unaligned }
         ~mode ~trace_format:fmt_ ?sim_config ?quarantine_dir
-        ?chaos:chaos_injector ()
+        ?chaos:chaos_injector ~static_filter ()
     in
     say
       "fuzzing %s (%s contract, %s traces, %s executor, %s engine, seed %d)...@."
@@ -368,7 +391,8 @@ let fuzz_cmd =
       const run $ defense_t $ programs $ inputs $ boosts $ mode_t $ engine_t
       $ fmt_ $ contract $ ways $ mshrs $ stop $ seed_t $ unaligned $ parallel
       $ prefetcher $ save_dir $ deadline_ms $ budget_ms $ quarantine_dir
-      $ journal $ resume $ checkpoint_every $ chaos $ metrics_t $ json_t)
+      $ journal $ resume $ checkpoint_every $ chaos $ static_filter_t
+      $ metrics_t $ json_t)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a testing campaign against a secure-speculation defense.")
@@ -431,7 +455,7 @@ let sweep_cmd =
           ~doc:"Checkpoint every shard into DIR (shard_<id>_<defense>.json).")
   in
   let run presets domains rounds shards inputs boosts deadline_ms budget_ms seed
-      mode engine out journal_dir metrics_out json =
+      mode engine static_filter out journal_dir metrics_out json =
    Output.guarded @@ fun () ->
     let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     match Sweep.select presets with
@@ -441,7 +465,7 @@ let sweep_cmd =
     | Ok selected ->
         let make_spec d =
           Run_spec.make ~defense:d ~engine ~mode ~inputs ~boosts ?deadline_ms
-            ?budget_ms ()
+            ?budget_ms ~static_filter ()
         in
         let js =
           Sweep.jobs ~presets:selected ~shards_per_preset:shards ~rounds ~seed
@@ -479,8 +503,8 @@ let sweep_cmd =
   let term =
     Term.(
       const run $ presets $ domains $ rounds $ shards $ inputs $ boosts
-      $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ out
-      $ journal_dir $ metrics_t $ json_t)
+      $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ static_filter_t
+      $ out $ journal_dir $ metrics_t $ json_t)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -591,8 +615,9 @@ let serve_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the serve report JSON.")
   in
   let run presets workers rounds shards inputs boosts deadline_ms budget_ms
-      seed mode engine socket journal_dir heartbeat_s lease_timeout_s
-      max_attempts idle_timeout_s worker_chaos out metrics_out json =
+      seed mode engine static_filter socket journal_dir heartbeat_s
+      lease_timeout_s max_attempts idle_timeout_s worker_chaos out metrics_out
+      json =
    Output.guarded @@ fun () ->
     let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     match Sweep.select presets with
@@ -604,7 +629,7 @@ let serve_cmd =
            two paths fingerprint-compare for the same flags *)
         let make_spec d =
           Run_spec.make ~defense:d ~engine ~mode ~inputs ~boosts ?deadline_ms
-            ?budget_ms ()
+            ?budget_ms ~static_filter ()
         in
         let js =
           Sweep.jobs ~presets:selected ~shards_per_preset:shards ~rounds ~seed
@@ -678,8 +703,8 @@ let serve_cmd =
   let term =
     Term.(
       const run $ presets $ workers $ rounds $ shards $ inputs $ boosts
-      $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ socket
-      $ journal_dir $ heartbeat_s $ lease_timeout_s $ max_attempts
+      $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ static_filter_t
+      $ socket $ journal_dir $ heartbeat_s $ lease_timeout_s $ max_attempts
       $ idle_timeout_s $ worker_chaos $ out $ metrics_t $ json_t)
   in
   Cmd.v
@@ -993,6 +1018,164 @@ let explain_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Assembly file to analyze, or a violation file written by \
+             $(b,fuzz --save-dir) (detected by the $(b,.amulet) extension; \
+             its recorded program and defense are used).")
+  in
+  let reproducer =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reproducer" ] ~docv:"NAME"
+          ~doc:
+            "Analyze a bundled reproducer program instead of a file (see \
+             $(b,amulet list)).  The reproducer's own defense supplies the \
+             sandbox size.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Speculation window in instructions (default: the simulator's \
+             maximum window).")
+  in
+  let lint_json flat (t : Amulet_static.Leakcheck.t) source =
+    let site (s : Amulet_static.Leakcheck.site) =
+      Json.Obj
+        [
+          ("index", Json.Int s.Amulet_static.Leakcheck.index);
+          ("kind", Json.Str (Amulet_static.Leakcheck.kind_name s.kind));
+          ("inst", Json.Str (Amulet_isa.Inst.to_string flat.Amulet_isa.Program.code.(s.index)));
+          ("transient", Json.Bool s.transient);
+          ("bypass", Json.Bool s.bypass);
+        ]
+    in
+    let diag (d : Amulet_static.Lint.diag) =
+      Json.Obj
+        [
+          ("code", Json.Str d.Amulet_static.Lint.code);
+          ("severity", Json.Str (Amulet_static.Lint.severity_name d.severity));
+          ( "index",
+            match d.index with Some i -> Json.Int i | None -> Json.Null );
+          ("message", Json.Str d.message);
+        ]
+    in
+    Json.Obj
+      [
+        ("source", Json.Str source);
+        ( "classification",
+          Json.Str
+            (if t.Amulet_static.Leakcheck.leaky then "potentially-leaky"
+             else "leak-free") );
+        ("window", Json.Int t.Amulet_static.Leakcheck.window);
+        ( "lint",
+          Json.Obj
+            [
+              ("errors", Json.Int t.lint.Amulet_static.Lint.errors);
+              ("warnings", Json.Int t.lint.Amulet_static.Lint.warnings);
+              ( "diagnostics",
+                Json.List (List.map diag t.lint.Amulet_static.Lint.diags) );
+            ] );
+        ( "speculation_windows",
+          Json.List
+            (List.map
+               (fun (branch, insts) ->
+                 Json.Obj
+                   [
+                     ("branch", Json.Int branch);
+                     ( "transient",
+                       Json.List (List.map (fun i -> Json.Int i) insts) );
+                   ])
+               t.windows) );
+        ("transmitters", Json.List (List.map site t.transmitters));
+        ( "tainted_arch_accesses",
+          Json.List (List.map (fun i -> Json.Int i) t.arch_flows) );
+      ]
+  in
+  let run file reproducer window defense json =
+   Output.guarded @@ fun () ->
+    let target =
+      match file, reproducer with
+      | Some f, None -> Ok (`File f)
+      | None, Some n -> Ok (`Reproducer n)
+      | None, None -> Error "pass an assembly FILE or --reproducer NAME"
+      | Some _, Some _ -> Error "FILE and --reproducer are mutually exclusive"
+    in
+    match target with
+    | Error msg ->
+        Format.eprintf "amulet: %s@." msg;
+        Output.exit_fault
+    | Ok target -> (
+        let loaded =
+          match target with
+          | `Reproducer n -> (
+              match Reproducers.find n with
+              | None -> Error (Printf.sprintf "unknown reproducer %S" n)
+              | Some r ->
+                  Ok
+                    ( Reproducers.flat r,
+                      r.Reproducers.defense.Defense.sandbox_pages,
+                      "reproducer:" ^ n ))
+          | `File f when Filename.check_suffix f ".amulet" ->
+              let stored = Violation_io.load f in
+              let pages =
+                match Defense.find stored.Violation_io.defense_name with
+                | Some d -> d.Defense.sandbox_pages
+                | None -> 1
+              in
+              Ok (stored.Violation_io.program, pages, f)
+          | `File f -> (
+              let source = In_channel.with_open_text f In_channel.input_all in
+              match Amulet_isa.Asm.parse source with
+              | p -> Ok (Amulet_isa.Program.flatten p, defense.Defense.sandbox_pages, f)
+              | exception Amulet_isa.Asm.Parse_error { line; message } ->
+                  Error (Printf.sprintf "%s:%d: parse error: %s" f line message))
+        in
+        match loaded with
+        | Error msg ->
+            Format.eprintf "amulet: %s@." msg;
+            Output.exit_fault
+        | Ok (flat, sandbox_pages, source) ->
+            let sandbox_bytes = sandbox_pages * Amulet_emu.Memory.page_size in
+            let t =
+              Amulet_static.Leakcheck.analyze ?window ~sandbox_bytes flat
+            in
+            if json then Output.emit (lint_json flat t source)
+            else
+              Format.printf "%s:@.%a@." source
+                (Amulet_static.Leakcheck.pp flat)
+                t;
+            if t.Amulet_static.Leakcheck.lint.Amulet_static.Lint.errors > 0
+            then Output.exit_fault
+            else if t.Amulet_static.Leakcheck.leaky then Output.exit_violation
+            else Output.exit_clean)
+  in
+  let term =
+    Term.(const run $ file $ reproducer $ window $ defense_t $ json_t)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyze a test program without simulating it: \
+          well-formedness diagnostics, input-taint flows, speculation \
+          windows and speculative transmitter sites.  Exits 2 on lint \
+          errors or unreadable input, 1 when the program is potentially \
+          leaky, 0 when it is provably leak-free.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1079,7 +1262,7 @@ let main =
   Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
     [
       fuzz_cmd; sweep_cmd; serve_cmd; worker_cmd; reproduce_cmd; run_cmd;
-      analyze_cmd; explain_cmd; list_cmd;
+      analyze_cmd; explain_cmd; lint_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

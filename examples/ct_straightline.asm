@@ -1,0 +1,13 @@
+# Constant-time straight-line code: masked loads, no branches, no stores.
+# Every memory address is input-tainted but executes architecturally, and
+# there is no speculation window for a transient access to hide in —
+# `amulet lint examples/ct_straightline.asm` proves it leak-free (exit 0),
+# and the screen pre-filter would skip simulating it.
+.bb0:
+  AND RDI, 0b111111111000
+  MOV RAX, qword ptr [R14 + RDI]
+  AND RAX, 0b111111111000
+  MOV RBX, qword ptr [R14 + RAX]
+  XOR RCX, RCX
+  ADD RCX, RBX
+  EXIT

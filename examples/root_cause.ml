@@ -18,7 +18,7 @@ let () =
   in
   let r = Reproducers.uv3 in
   match Fuzzer.test_program fz (Reproducers.flat r) with
-  | Fuzzer.No_violation _ | Fuzzer.Discarded _ ->
+  | Fuzzer.No_violation _ | Fuzzer.Discarded _ | Fuzzer.Screened ->
       Format.printf "no violation found; try another seed@."
   | Fuzzer.Found v ->
       Format.printf "%a@." Violation.pp v;

@@ -1,0 +1,13 @@
+# The canonical Spectre-v1 gadget: a bounds check whose flags depend on a
+# load, a conditional branch, and a transient input-addressed load behind
+# it.  `amulet lint examples/spectre_v1.asm` classifies it potentially
+# leaky (exit 1); `amulet fuzz`-ing it against the baseline finds real
+# violations.
+.bb0:
+  AND RDI, 0b111111111000
+  CMP RAX, qword ptr [R14 + RDI]
+  JNZ .done
+  AND RBX, 0b111111111000
+  MOV RCX, qword ptr [R14 + RBX]
+.done:
+  EXIT

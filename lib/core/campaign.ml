@@ -12,32 +12,6 @@
 open Amulet_defenses
 module Obs = Amulet_obs.Obs
 
-type config = {
-  fuzzer : Fuzzer.config;
-  n_programs : int;
-  seed : int;
-  stop_after_violations : int option;
-      (** stop the campaign early once this many violations are found *)
-  classify : bool;  (** run root-cause signature classification *)
-}
-
-let default_config =
-  {
-    fuzzer = Fuzzer.default_config;
-    n_programs = 20;
-    seed = 42;
-    stop_after_violations = None;
-    classify = true;
-  }
-
-let spec_of_config (cfg : config) (defense : Defense.t) =
-  {
-    (Fuzzer.spec_of_config ~defense ~seed:cfg.seed cfg.fuzzer) with
-    Run_spec.rounds = cfg.n_programs;
-    stop_after_violations = cfg.stop_after_violations;
-    classify = cfg.classify;
-  }
-
 type result = {
   defense : Defense.t;
   contract_name : string;
@@ -178,7 +152,7 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
           budget_exhausted := true
       | outcome ->
           (match outcome with
-          | Fuzzer.No_violation _ -> ()
+          | Fuzzer.No_violation _ | Fuzzer.Screened -> ()
           | Fuzzer.Discarded _ -> incr discarded
           | Fuzzer.Found v ->
               let now = Obs.Clock.now_s () in
@@ -220,11 +194,6 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
       Obs.Snapshot.diff ~older:metrics_before
         ~newer:(Obs.Snapshot.of_registry metrics);
   }
-
-let run_cfg ?on_violation ?journal_path ?checkpoint_every ?resume ?metrics
-    (cfg : config) (defense : Defense.t) : result =
-  run ?on_violation ?journal_path ?checkpoint_every ?resume ?metrics
-    (spec_of_config cfg defense)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel campaigns                                                  *)
@@ -351,14 +320,6 @@ let run_parallel ?(instances = 4) ?(retries = 2) ?instance_spec
     ~elapsed:(Obs.Clock.elapsed_s ~since:started)
     crash_counts
     (List.filter_map Fun.id (Array.to_list results))
-
-let run_parallel_cfg ?instances ?retries ?instance_cfg ?metrics (cfg : config)
-    (defense : Defense.t) : result =
-  let instance_spec =
-    Option.map (fun f i -> spec_of_config (f i) defense) instance_cfg
-  in
-  run_parallel ?instances ?retries ?instance_spec ?metrics
-    (spec_of_config cfg defense)
 
 let detected r = r.violations <> []
 

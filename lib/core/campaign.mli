@@ -1,22 +1,8 @@
 (** Testing campaigns: many fuzzing rounds against one defense, with the
     metrics the paper's evaluation reports (Tables 3, 4, 6).  Campaigns are
-    described by a {!Run_spec.t}; the legacy [config] record remains only
-    for the deprecated [run_cfg]/[run_parallel_cfg] entry points. *)
+    described by a {!Run_spec.t}. *)
 
 open Amulet_defenses
-
-type config = {
-  fuzzer : Fuzzer.config;
-  n_programs : int;
-  seed : int;
-  stop_after_violations : int option;
-  classify : bool;
-}
-
-val default_config : config
-
-val spec_of_config : config -> Defense.t -> Run_spec.t
-(** Lift a legacy campaign [config] into the unified spec. *)
 
 type result = {
   defense : Defense.t;
@@ -72,17 +58,6 @@ val run :
     final checkpoint ([result.budget_exhausted] set), so a resume replays
     the interrupted round instead of double-counting it. *)
 
-val run_cfg :
-  ?on_violation:(Violation.t -> unit) ->
-  ?journal_path:string ->
-  ?checkpoint_every:int ->
-  ?resume:Journal.t ->
-  ?metrics:Amulet_obs.Obs.t ->
-  config ->
-  Defense.t ->
-  result
-(** @deprecated Legacy entry point; build a {!Run_spec.t} and use {!run}. *)
-
 val run_parallel :
   ?instances:int ->
   ?retries:int ->
@@ -102,17 +77,6 @@ val run_parallel :
     overrides per-instance spec derivation (supervision tests).
     [metrics], when live, gives each domain a private registry and merges
     the per-instance snapshots into [result.metrics]. *)
-
-val run_parallel_cfg :
-  ?instances:int ->
-  ?retries:int ->
-  ?instance_cfg:(int -> config) ->
-  ?metrics:Amulet_obs.Obs.t ->
-  config ->
-  Defense.t ->
-  result
-(** @deprecated Legacy entry point; build a {!Run_spec.t} and use
-    {!run_parallel}. *)
 
 val detected : result -> bool
 val avg_detection_time : result -> float option

@@ -34,24 +34,10 @@ type config = {
       (** catch exceptions escaping a round and degrade them to classified
           discards; on by default — turned off only by supervision tests
           that need a whole instance to crash *)
+  static_filter : Run_spec.static_filter;
+      (** static leakage pre-filter: skip ([Screen]) or deprioritize
+          ([Score]) programs that provably cannot leak *)
 }
-
-let default_config =
-  {
-    n_base_inputs = 10;
-    boosts_per_input = 4;
-    contract = None;
-    generator = Generator.default;
-    executor_mode = Executor.Opt;
-    engine = Engine.Pooled;
-    trace_format = Utrace.L1d_tlb;
-    boot_insts = Amulet_uarch.Simulator.default_boot_insts;
-    sim_config = None;
-    deadline_ms = None;
-    quarantine_dir = None;
-    chaos = None;
-    isolate_rounds = true;
-  }
 
 (* The config <-> Run_spec bridge: [config] stays the fuzzer's internal
    working record; the public construction surface is {!Run_spec.t}. *)
@@ -70,25 +56,7 @@ let config_of_spec (s : Run_spec.t) =
     quarantine_dir = s.Run_spec.quarantine_dir;
     chaos = s.Run_spec.chaos;
     isolate_rounds = s.Run_spec.isolate_rounds;
-  }
-
-let spec_of_config ~(defense : Defense.t) ~seed (cfg : config) =
-  let base = Run_spec.make ~defense ~seed () in
-  {
-    base with
-    Run_spec.contract = cfg.contract;
-    n_base_inputs = cfg.n_base_inputs;
-    boosts_per_input = cfg.boosts_per_input;
-    generator = cfg.generator;
-    mode = cfg.executor_mode;
-    engine = cfg.engine;
-    trace_format = cfg.trace_format;
-    boot_insts = cfg.boot_insts;
-    sim_config = cfg.sim_config;
-    deadline_ms = cfg.deadline_ms;
-    quarantine_dir = cfg.quarantine_dir;
-    chaos = cfg.chaos;
-    isolate_rounds = cfg.isolate_rounds;
+    static_filter = s.Run_spec.static_filter;
   }
 
 type t = {
@@ -113,7 +81,23 @@ type t = {
          for *)
   m_violations : Obs.counter;
   m_discards : Obs.counter;
+  (* static pre-filter telemetry *)
+  m_static_analyzed : Obs.counter;
+  m_static_leaky : Obs.counter;
+  m_static_screened : Obs.counter;
+  m_static_rescored : Obs.counter;
+      (* score mode: extra generator draws taken to find a leaky candidate *)
 }
+
+(* Speculation window the static pre-filter assumes.  The μarch engines
+   speculate regardless of what the contract models, so never assume less
+   than the default window; a contract configured with a larger window
+   widens the analysis. *)
+let static_window (contract : Contract.t) =
+  match contract.Contract.speculation with
+  | Contract.Conditional_branches { window; _ } ->
+      max window Contract.default_window
+  | Contract.No_speculation -> Contract.default_window
 
 let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
   let defense = spec.Run_spec.defense in
@@ -155,10 +139,11 @@ let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
     m_mutants_same_class = Obs.counter metrics "fuzzer.boost.same_class";
     m_violations = Obs.counter metrics "fuzzer.violations";
     m_discards = Obs.counter metrics "fuzzer.discards";
+    m_static_analyzed = Obs.counter metrics "static.analyzed";
+    m_static_leaky = Obs.counter metrics "static.leaky";
+    m_static_screened = Obs.counter metrics "static.screened";
+    m_static_rescored = Obs.counter metrics "static.rescored";
   }
-
-let create_cfg ?(cfg = default_config) ?metrics ~seed (defense : Defense.t) =
-  create ?metrics (spec_of_config ~defense ~seed cfg)
 
 let stats t = t.stats
 let contract t = t.contract
@@ -192,6 +177,10 @@ type round_result =
   | Discarded of Fault.t
       (** the round misbehaved (model/simulator fault, blown deadline,
           crash, injected fault) and was classified and dropped *)
+  | Screened
+      (** the static pre-filter classified the generated program as
+          provably leak-free; no input was simulated
+          ([static_filter = Screen] only) *)
 
 (* Per-round wall-clock budget.  Raised internally, converted to a
    classified [Discarded] before test_program returns. *)
@@ -401,18 +390,64 @@ let test_program t (flat : Program.flat) : round_result =
     | exn -> discard t flat (Fault.of_exn exn)
   else contained ()
 
-(** Generate a fresh random program and fuzz it. *)
+(* Static classification of a candidate program under this fuzzer's
+   defense (sandbox capacity) and contract (speculation window). *)
+let static_leaky t flat =
+  let sandbox_bytes =
+    t.defense.Defense.sandbox_pages * Amulet_emu.Memory.page_size
+  in
+  Obs.incr t.m_static_analyzed;
+  let report =
+    Amulet_static.Leakcheck.analyze ~window:(static_window t.contract)
+      ~sandbox_bytes flat
+  in
+  if report.Amulet_static.Leakcheck.leaky then Obs.incr t.m_static_leaky;
+  report.Amulet_static.Leakcheck.leaky
+
+(* Apply the static pre-filter: [None] means the round is screened out
+   without simulating a single input. *)
+let generate_filtered t gen =
+  match t.cfg.static_filter with
+  | Run_spec.Off -> Some (gen ())
+  | Run_spec.Screen ->
+      let flat = gen () in
+      if static_leaky t flat then Some flat
+      else begin
+        Obs.incr t.m_static_screened;
+        None
+      end
+  | Run_spec.Score ->
+      (* never skip a round: redraw a few times looking for a program with
+         transmitter sites, falling back to the last draw *)
+      let max_draws = 4 in
+      let rec draw k =
+        let flat = gen () in
+        if k >= max_draws || static_leaky t flat then flat
+        else begin
+          Obs.incr t.m_static_rescored;
+          draw (k + 1)
+        end
+      in
+      Some (draw 1)
+
+(** Generate a fresh random program and fuzz it.  With
+    [static_filter = Screen] a provably leak-free program ends the round
+    immediately as {!Screened}. *)
 let round t : round_result =
   let gen () =
     Stats.time t.stats Stats.Test_generation (fun () ->
         Generator.generate_flat ~cfg:t.cfg.generator t.rng)
   in
   if t.cfg.isolate_rounds then
-    match gen () with
-    | flat -> test_program t flat
+    match generate_filtered t gen with
+    | Some flat -> test_program t flat
+    | None -> Screened
     | exception exn ->
         (* no program to quarantine: the generator itself misbehaved *)
         let fault = Fault.of_exn exn in
         Stats.count_fault t.stats fault;
         Discarded fault
-  else test_program t (gen ())
+  else
+    match generate_filtered t gen with
+    | Some flat -> test_program t flat
+    | None -> Screened

@@ -4,7 +4,6 @@
 
 open Amulet_isa
 open Amulet_contracts
-open Amulet_defenses
 
 type config = {
   n_base_inputs : int;
@@ -20,17 +19,12 @@ type config = {
   quarantine_dir : string option;  (** corpus dir for discarded rounds *)
   chaos : Fault.injector option;  (** fault injection (self-tests) *)
   isolate_rounds : bool;  (** contain exceptions escaping a round *)
+  static_filter : Run_spec.static_filter;  (** static leakage pre-filter *)
 }
-
-val default_config : config
 
 val config_of_spec : Run_spec.t -> config
 (** Project a {!Run_spec.t} onto the fuzzer's internal knobs (campaign-level
     fields — rounds, budget, stop-after — are not the fuzzer's concern). *)
-
-val spec_of_config : defense:Defense.t -> seed:int -> config -> Run_spec.t
-(** Lift a legacy [config] into a {!Run_spec.t}; campaign-level fields keep
-    {!Run_spec.make} defaults.  Bridge for the deprecated entry points. *)
 
 type t
 
@@ -45,11 +39,6 @@ val create :
     engine across every job of the same defense config; the spec's
     [chaos] is ignored for injected engines (chaos arms at executor
     creation). *)
-
-val create_cfg :
-  ?cfg:config -> ?metrics:Amulet_obs.Obs.t -> seed:int -> Defense.t -> t
-(** @deprecated Legacy entry point; build a {!Run_spec.t} and use
-    {!create} instead. *)
 
 val stats : t -> Stats.t
 val contract : t -> Contract.t
@@ -76,6 +65,9 @@ type round_result =
   | No_violation of { test_cases : int }
   | Found of Violation.t
   | Discarded of Fault.t
+  | Screened
+      (** the static pre-filter proved the generated program leak-free and
+          skipped simulation ([static_filter = Screen] only) *)
 
 val test_program : t -> Program.flat -> round_result
 (** Fuzz one (typically generated) program: build the input population,
@@ -83,4 +75,5 @@ val test_program : t -> Program.flat -> round_result
     shared context. *)
 
 val round : t -> round_result
-(** Generate a fresh random program and fuzz it. *)
+(** Generate a fresh random program and fuzz it, applying the spec's
+    [static_filter] first. *)

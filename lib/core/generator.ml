@@ -18,7 +18,7 @@ type config = {
   unaligned_fraction : float;
       (** fraction of memory offsets NOT aligned to 8 bytes (enables
           line-crossing "split" accesses, the UV4 trigger) *)
-  allow_fences : bool;
+  fence_fraction : float;  (** fraction of instructions that are LFENCEs *)
 }
 
 let default =
@@ -30,7 +30,7 @@ let default =
     store_fraction = 0.3;
     sandbox_pages = 1;
     unaligned_fraction = 0.15;
-    allow_fences = false;
+    fence_fraction = 0.0;
   }
 
 (* Registers the generator may use as operands/destinations: everything but
@@ -154,7 +154,7 @@ let random_block cfg rng =
     if k <= 0 then List.rev acc
     else if Rng.bool rng ~p:cfg.mem_fraction then
       build (k - 1) (List.rev_append (random_mem_insts cfg rng) acc)
-    else if cfg.allow_fences && Rng.bool rng ~p:0.02 then
+    else if cfg.fence_fraction > 0. && Rng.bool rng ~p:cfg.fence_fraction then
       build (k - 1) (Inst.Fence :: acc)
     else build (k - 1) (random_alu_inst rng :: acc)
   in
@@ -184,3 +184,23 @@ let generate ?(cfg = default) rng : Program.t =
 
 (** Generate and flatten in one step. *)
 let generate_flat ?cfg rng = Program.flatten (generate ?cfg rng)
+
+(** Generate with reject-and-regenerate on well-formedness lint {e errors}
+    (warnings are expected of random programs and do not reject).  The
+    generator is designed never to produce a lint error, so a rejection is a
+    generator bug: after [max_attempts] failures the last lint report is
+    raised as a [Failure] naming the diagnostics instead of silently
+    feeding a malformed program downstream. *)
+let generate_lint_free ?(cfg = default) ?(max_attempts = 8) rng : Program.flat =
+  let sandbox_bytes = cfg.sandbox_pages * 4096 in
+  let rec attempt k =
+    let flat = generate_flat ~cfg rng in
+    let report = Amulet_static.Lint.check ~sandbox_bytes flat in
+    if Amulet_static.Lint.ok report then flat
+    else if k + 1 >= max_attempts then
+      failwith
+        (Format.asprintf "Generator.generate_lint_free: %d attempts, still: %a"
+           max_attempts Amulet_static.Lint.pp report)
+    else attempt (k + 1)
+  in
+  attempt 0

@@ -14,7 +14,11 @@ type config = {
   unaligned_fraction : float;
       (** fraction of memory offsets not 8-byte aligned (enables the
           line-crossing accesses that trigger UV4) *)
-  allow_fences : bool;
+  fence_fraction : float;
+      (** fraction of instructions that are LFENCEs; fences drain the
+          speculation window, so raising this makes some generated programs
+          statically leak-free (the population where [static_filter =
+          Screen] pays off) *)
 }
 
 val default : config
@@ -24,3 +28,9 @@ val usable_regs : Reg.t list
 
 val generate : ?cfg:config -> Rng.t -> Program.t
 val generate_flat : ?cfg:config -> Rng.t -> Program.flat
+
+val generate_lint_free : ?cfg:config -> ?max_attempts:int -> Rng.t -> Program.flat
+(** {!generate_flat} with reject-and-regenerate on well-formedness lint
+    {e errors} (warnings do not reject).  The generator should never trip
+    the lint, so exhausting [max_attempts] (default 8) raises [Failure]
+    naming the diagnostics — a generator bug surfaced, not hidden. *)

@@ -20,7 +20,7 @@ open Amulet_contracts
 open Amulet_defenses
 module Config = Amulet_uarch.Config
 
-let version = 1
+let version = 2
 
 (* Refuse absurd lengths before allocating: garbage on the socket must not
    look like a 4 GB frame. *)
@@ -161,7 +161,7 @@ let p_generator b (g : Generator.config) =
   p_float b g.store_fraction;
   p_int b g.sandbox_pages;
   p_float b g.unaligned_fraction;
-  p_bool b g.allow_fences
+  p_float b g.fence_fraction
 
 let g_generator rd =
   let blocks = g_int rd in
@@ -171,7 +171,7 @@ let g_generator rd =
   let store_fraction = g_float rd in
   let sandbox_pages = g_int rd in
   let unaligned_fraction = g_float rd in
-  let allow_fences = g_bool rd in
+  let fence_fraction = g_float rd in
   {
     Generator.blocks;
     min_insts_per_block;
@@ -180,7 +180,7 @@ let g_generator rd =
     store_fraction;
     sandbox_pages;
     unaligned_fraction;
-    allow_fences;
+    fence_fraction;
   }
 
 let p_injector b (i : Fault.injector) =
@@ -316,7 +316,8 @@ let p_spec b (s : Run_spec.t) =
   p_opt p_sim_config b s.Run_spec.sim_config;
   p_opt p_str b s.Run_spec.quarantine_dir;
   p_opt p_injector b s.Run_spec.chaos;
-  p_bool b s.Run_spec.isolate_rounds
+  p_bool b s.Run_spec.isolate_rounds;
+  p_str b (Run_spec.static_filter_name s.Run_spec.static_filter)
 
 let g_spec rd : Run_spec.t =
   let dname = g_str rd in
@@ -351,11 +352,17 @@ let g_spec rd : Run_spec.t =
   let quarantine_dir = g_opt g_str rd in
   let chaos = g_opt g_injector rd in
   let isolate_rounds = g_bool rd in
+  let static_filter =
+    let name = g_str rd in
+    match Run_spec.static_filter_of_name name with
+    | Some f -> f
+    | None -> raise (Protocol_error ("unknown static filter " ^ name))
+  in
   {
     Run_spec.defense; contract; rounds; seed; stop_after_violations; classify;
     deadline_ms; budget_ms; n_base_inputs; boosts_per_input; generator; mode;
     engine; trace_format; boot_insts; sim_config; quarantine_dir; chaos;
-    isolate_rounds;
+    isolate_rounds; static_filter;
   }
 
 let p_fault_class b c = p_str b (Fault.class_name c)

@@ -275,7 +275,8 @@ let hunt ?(seed = 7) ?(n_base_inputs = 10) ?(boosts_per_input = 8) ?sim_config r
       | Fuzzer.Found v ->
           ignore (classify v);
           Some v
-      | Fuzzer.No_violation _ | Fuzzer.Discarded _ -> attempt (tries - 1) (seed + 1)
+      | Fuzzer.No_violation _ | Fuzzer.Discarded _ | Fuzzer.Screened ->
+          attempt (tries - 1) (seed + 1)
   in
   match attempt 5 seed with
   | Some v -> Some v
@@ -290,7 +291,8 @@ let hunt ?(seed = 7) ?(n_base_inputs = 10) ?(boosts_per_input = 8) ?sim_config r
         else
           match Fuzzer.round fz with
           | Fuzzer.Found v when classify v = r.expected_class -> Some v
-          | Fuzzer.Found _ | Fuzzer.No_violation _ | Fuzzer.Discarded _ ->
+          | Fuzzer.Found _ | Fuzzer.No_violation _ | Fuzzer.Discarded _
+          | Fuzzer.Screened ->
               rounds (n - 1)
       in
       rounds 120

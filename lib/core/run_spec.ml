@@ -1,6 +1,24 @@
 open Amulet_contracts
 open Amulet_defenses
 
+(** Static pre-filter policy (see [Amulet_static.Leakcheck]): [Off] runs
+    every generated program; [Screen] skips programs classified statically
+    leak-free (sound: they cannot produce violations); [Score] regenerates a
+    few times per round preferring programs with transmitter sites, without
+    skipping any round. *)
+type static_filter = Off | Screen | Score
+
+let static_filter_name = function
+  | Off -> "off"
+  | Screen -> "screen"
+  | Score -> "score"
+
+let static_filter_of_name = function
+  | "off" -> Some Off
+  | "screen" -> Some Screen
+  | "score" -> Some Score
+  | _ -> None
+
 type t = {
   defense : Defense.t;
   contract : Contract.t option;
@@ -21,6 +39,7 @@ type t = {
   quarantine_dir : string option;
   chaos : Fault.injector option;
   isolate_rounds : bool;
+  static_filter : static_filter;
 }
 
 let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
@@ -28,7 +47,7 @@ let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
     ?(classify = true) ?(generator = Generator.default) ?(mode = Executor.Opt)
     ?(trace_format = Utrace.L1d_tlb)
     ?(boot_insts = Amulet_uarch.Simulator.default_boot_insts) ?sim_config
-    ?quarantine_dir ?chaos ?(isolate_rounds = true) () =
+    ?quarantine_dir ?chaos ?(isolate_rounds = true) ?(static_filter = Off) () =
   let engine =
     match (engine, backend) with
     | Some k, _ -> k
@@ -56,6 +75,7 @@ let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
     quarantine_dir;
     chaos;
     isolate_rounds;
+    static_filter;
   }
 
 let with_seed t seed = { t with seed }

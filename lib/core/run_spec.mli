@@ -15,6 +15,16 @@
 open Amulet_contracts
 open Amulet_defenses
 
+type static_filter = Off | Screen | Score
+(** Static pre-filter policy (see [Amulet_static.Leakcheck]): [Off] runs
+    every generated program; [Screen] skips programs classified statically
+    leak-free (sound — they cannot produce violations, so no violation is
+    lost); [Score] regenerates a few times per round preferring programs
+    with speculative transmitter sites, without skipping any round. *)
+
+val static_filter_name : static_filter -> string
+val static_filter_of_name : string -> static_filter option
+
 type t = {
   (* what to test *)
   defense : Defense.t;
@@ -42,6 +52,7 @@ type t = {
   quarantine_dir : string option;
   chaos : Fault.injector option;  (** fault injection (self-tests) *)
   isolate_rounds : bool;
+  static_filter : static_filter;  (** static leakage pre-filter policy *)
 }
 
 val make :
@@ -65,6 +76,7 @@ val make :
   ?quarantine_dir:string ->
   ?chaos:Fault.injector ->
   ?isolate_rounds:bool ->
+  ?static_filter:static_filter ->
   unit ->
   t
 (** Builder with the defaults the stack has always used: 20 rounds, seed 42,

@@ -49,13 +49,13 @@ let parse_int ~line s =
     else false, s
   in
   let v =
-    try
-      if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
-        Int64.of_string s
-      else if String.length s > 2 && s.[0] = '0' && (s.[1] = 'b' || s.[1] = 'B') then
-        Int64.of_string s
-      else Int64.of_string s
-    with Failure _ -> fail line "invalid integer literal %S" s
+    try Int64.of_string s
+    with Failure _ -> (
+      (* [Int64.of_string] rejects decimal literals above [max_int], but the
+         printer emits e.g. [-9223372036854775808] whose digits alone exceed
+         it; reparse as unsigned so every printed int64 round-trips *)
+      try Int64.of_string ("0u" ^ s)
+      with Failure _ -> fail line "invalid integer literal %S" s)
   in
   if negate then Int64.neg v else v
 

@@ -1,0 +1,139 @@
+(** Control-flow graph over a flattened program.
+
+    Basic blocks are maximal straight-line runs of instructions; block
+    leaders are the entry index, every branch target, and every instruction
+    following a branch or an [Exit].  The graph tolerates arbitrary (even
+    cyclic or malformed) control flow so the lint can diagnose it: an
+    out-of-range or unresolved branch target simply contributes no edge. *)
+
+open Amulet_isa
+
+type block = {
+  id : int;
+  start : int;  (** index of the first instruction *)
+  stop : int;  (** one past the last instruction *)
+  mutable succs : int list;  (** successor block ids *)
+  mutable preds : int list;  (** predecessor block ids *)
+}
+
+type t = {
+  flat : Program.flat;
+  blocks : block array;
+  block_of : int array;  (** instruction index -> owning block id *)
+  rpo : int list;  (** reverse-postorder over blocks reachable from entry *)
+}
+
+let in_range flat i = i >= 0 && i < Program.length flat
+
+(* Resolved successor instruction indices of the instruction at [i]. *)
+let inst_succs flat i =
+  match Program.get flat i with
+  | Inst.Exit -> []
+  | Inst.Jmp (Inst.Abs t) -> if in_range flat t then [ t ] else []
+  | Inst.Jmp (Inst.Label _) -> []
+  | Inst.Jcc (_, t) ->
+      let fall = if in_range flat (i + 1) then [ i + 1 ] else [] in
+      let taken =
+        match t with
+        | Inst.Abs t when in_range flat t -> [ t ]
+        | Inst.Abs _ | Inst.Label _ -> []
+      in
+      fall @ List.filter (fun x -> not (List.mem x fall)) taken
+  | _ -> if in_range flat (i + 1) then [ i + 1 ] else []
+
+let build (flat : Program.flat) : t =
+  let n = Program.length flat in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  for i = 0 to n - 1 do
+    match Program.get flat i with
+    | Inst.Jmp t | Inst.Jcc (_, t) ->
+        (match t with
+        | Inst.Abs x when in_range flat x -> leader.(x) <- true
+        | Inst.Abs _ | Inst.Label _ -> ());
+        if i + 1 < n then leader.(i + 1) <- true
+    | Inst.Exit -> if i + 1 < n then leader.(i + 1) <- true
+    | _ -> ()
+  done;
+  let starts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then starts := i :: !starts
+  done;
+  let starts = Array.of_list !starts in
+  let nblocks = Array.length starts in
+  let blocks =
+    Array.init nblocks (fun b ->
+        let start = starts.(b) in
+        let stop = if b + 1 < nblocks then starts.(b + 1) else n in
+        { id = b; start; stop; succs = []; preds = [] })
+  in
+  let block_of = Array.make (max n 1) 0 in
+  Array.iter
+    (fun b ->
+      for i = b.start to b.stop - 1 do
+        block_of.(i) <- b.id
+      done)
+    blocks;
+  Array.iter
+    (fun b ->
+      if b.stop > b.start then
+        b.succs <- List.map (fun i -> block_of.(i)) (inst_succs flat (b.stop - 1)))
+    blocks;
+  Array.iter
+    (fun b -> List.iter (fun s -> blocks.(s).preds <- b.id :: blocks.(s).preds) b.succs)
+    blocks;
+  Array.iter (fun b -> b.preds <- List.rev b.preds) blocks;
+  (* reverse-postorder via DFS from the entry block *)
+  let rpo =
+    if nblocks = 0 then []
+    else begin
+      let seen = Array.make nblocks false in
+      let order = ref [] in
+      let rec dfs b =
+        if not seen.(b) then begin
+          seen.(b) <- true;
+          List.iter dfs blocks.(b).succs;
+          order := b :: !order
+        end
+      in
+      dfs 0;
+      !order
+    end
+  in
+  { flat; blocks; block_of; rpo }
+
+let num_blocks t = Array.length t.blocks
+let block t id = t.blocks.(id)
+let block_of_inst t i = t.block_of.(i)
+
+let reachable_blocks t =
+  let seen = Array.make (num_blocks t) false in
+  List.iter (fun b -> seen.(b) <- true) t.rpo;
+  seen
+
+(** Blocks never reachable from the entry (dead code). *)
+let unreachable t =
+  let seen = reachable_blocks t in
+  let acc = ref [] in
+  Array.iteri (fun b r -> if not r then acc := b :: !acc) seen;
+  List.rev !acc
+
+(** True when the block graph restricted to reachable blocks is acyclic
+    (every edge goes to a strictly later instruction index). *)
+let is_dag t =
+  let ok = ref true in
+  List.iter
+    (fun bid ->
+      let b = t.blocks.(bid) in
+      List.iter (fun s -> if t.blocks.(s).start <= b.start then ok := false) b.succs)
+    t.rpo;
+  (* self-loops / single-block cycles *)
+  Array.iter (fun b -> if List.mem b.id b.succs then ok := false) t.blocks;
+  !ok
+
+let pp ppf t =
+  Array.iter
+    (fun b ->
+      Format.fprintf ppf "b%d [%d..%d) -> %s@." b.id b.start b.stop
+        (String.concat "," (List.map (fun s -> "b" ^ string_of_int s) b.succs)))
+    t.blocks

@@ -1,0 +1,40 @@
+(** Control-flow graph over a flattened program.
+
+    Tolerates malformed control flow (cycles, dangling targets) so the lint
+    can diagnose it rather than crash. *)
+
+open Amulet_isa
+
+type block = {
+  id : int;
+  start : int;  (** index of the first instruction *)
+  stop : int;  (** one past the last instruction *)
+  mutable succs : int list;  (** successor block ids *)
+  mutable preds : int list;  (** predecessor block ids *)
+}
+
+type t = {
+  flat : Program.flat;
+  blocks : block array;
+  block_of : int array;  (** instruction index -> owning block id *)
+  rpo : int list;  (** reverse-postorder over blocks reachable from entry *)
+}
+
+val build : Program.flat -> t
+
+val inst_succs : Program.flat -> int -> int list
+(** Resolved successor instruction indices of the instruction at the given
+    index (empty for [Exit] and unresolved/out-of-range branch targets). *)
+
+val num_blocks : t -> int
+val block : t -> int -> block
+val block_of_inst : t -> int -> int
+
+val unreachable : t -> int list
+(** Blocks never reachable from the entry (dead code). *)
+
+val is_dag : t -> bool
+(** True when every reachable edge goes strictly forward (acyclic control
+    flow, the shape the generator guarantees). *)
+
+val pp : Format.formatter -> t -> unit

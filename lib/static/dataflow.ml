@@ -1,0 +1,162 @@
+(** Generic monotone-framework dataflow engine.
+
+    Instantiate {!Make} with a join-semilattice and run {!Make.forward} or
+    {!Make.backward} over a {!Cfg.t}.  The engine iterates a block worklist
+    (seeded in reverse-postorder for forward problems, postorder for backward
+    ones) to a fixpoint, then exposes the per-instruction entry state.  With a
+    finite-height lattice and monotone transfer functions termination is
+    guaranteed even on cyclic graphs, so the passes stay total on programs the
+    lint will reject anyway. *)
+
+open Amulet_isa
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of {!join}; the state of unreachable code. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) = struct
+  type result = {
+    before : L.t array;  (** state on entry to instruction [i] *)
+    after : L.t array;  (** state on exit of instruction [i] *)
+  }
+
+  let instr_states cfg ~transfer ~block_in =
+    let n = Program.length cfg.Cfg.flat in
+    let before = Array.make (max n 1) L.bottom in
+    let after = Array.make (max n 1) L.bottom in
+    Array.iter
+      (fun b ->
+        let st = ref (block_in b.Cfg.id) in
+        for i = b.Cfg.start to b.Cfg.stop - 1 do
+          before.(i) <- !st;
+          st := transfer i (Program.get cfg.Cfg.flat i) !st;
+          after.(i) <- !st
+        done)
+      cfg.Cfg.blocks;
+    { before; after }
+
+  (** Forward analysis: [init] is the state at program entry; [transfer i
+      inst st] is the state after executing [inst] (at index [i]) in state
+      [st]. *)
+  let forward (cfg : Cfg.t) ~(init : L.t) ~transfer : result =
+    let nb = Cfg.num_blocks cfg in
+    if nb = 0 then { before = [||]; after = [||] }
+    else begin
+      (* out-state of each block *)
+      let out = Array.make nb L.bottom in
+      let block_out bid st0 =
+        let b = Cfg.block cfg bid in
+        let st = ref st0 in
+        for i = b.Cfg.start to b.Cfg.stop - 1 do
+          st := transfer i (Program.get cfg.Cfg.flat i) !st
+        done;
+        !st
+      in
+      let block_in bid =
+        let b = Cfg.block cfg bid in
+        let st =
+          List.fold_left (fun acc p -> L.join acc out.(p)) L.bottom b.Cfg.preds
+        in
+        if bid = 0 then L.join st init else st
+      in
+      let on_list = Array.make nb false in
+      let work = Queue.create () in
+      List.iter
+        (fun b ->
+          Queue.add b work;
+          on_list.(b) <- true)
+        cfg.Cfg.rpo;
+      while not (Queue.is_empty work) do
+        let bid = Queue.take work in
+        on_list.(bid) <- false;
+        let o = block_out bid (block_in bid) in
+        if not (L.equal o out.(bid)) then begin
+          out.(bid) <- o;
+          List.iter
+            (fun s ->
+              if not on_list.(s) then begin
+                Queue.add s work;
+                on_list.(s) <- true
+              end)
+            (Cfg.block cfg bid).Cfg.succs
+        end
+      done;
+      instr_states cfg ~transfer ~block_in
+    end
+
+  (** Backward analysis: [init] is the state at every program exit; [transfer
+      i inst st] is the state before [inst] given state [st] after it.  In
+      the {!result}, [before.(i)] is still indexed by program order:
+      [before.(i)] is the fact holding just before [i] executes — i.e. the
+      backward-flow output of [i]. *)
+  let backward (cfg : Cfg.t) ~(init : L.t) ~transfer : result =
+    let nb = Cfg.num_blocks cfg in
+    if nb = 0 then { before = [||]; after = [||] }
+    else begin
+      (* in-state (in program order: fact before the first instruction) of
+         each block, computed from the block's out-state *)
+      let inv = Array.make nb L.bottom in
+      let is_exit_block bid =
+        let b = Cfg.block cfg bid in
+        b.Cfg.succs = [] && b.Cfg.stop > b.Cfg.start
+      in
+      let block_out bid =
+        let b = Cfg.block cfg bid in
+        let st =
+          List.fold_left (fun acc s -> L.join acc inv.(s)) L.bottom b.Cfg.succs
+        in
+        if is_exit_block bid || b.Cfg.succs = [] then L.join st init else st
+      in
+      let block_in bid st0 =
+        let b = Cfg.block cfg bid in
+        let st = ref st0 in
+        for i = b.Cfg.stop - 1 downto b.Cfg.start do
+          st := transfer i (Program.get cfg.Cfg.flat i) !st
+        done;
+        !st
+      in
+      let on_list = Array.make nb false in
+      let work = Queue.create () in
+      List.iter
+        (fun b ->
+          Queue.add b work;
+          on_list.(b) <- true)
+        (List.rev cfg.Cfg.rpo);
+      while not (Queue.is_empty work) do
+        let bid = Queue.take work in
+        on_list.(bid) <- false;
+        let i = block_in bid (block_out bid) in
+        if not (L.equal i inv.(bid)) then begin
+          inv.(bid) <- i;
+          List.iter
+            (fun p ->
+              if not on_list.(p) then begin
+                Queue.add p work;
+                on_list.(p) <- true
+              end)
+            (Cfg.block cfg bid).Cfg.preds
+        end
+      done;
+      (* per-instruction states, walking each block backward from its
+         out-state *)
+      let n = Program.length cfg.Cfg.flat in
+      let before = Array.make (max n 1) L.bottom in
+      let after = Array.make (max n 1) L.bottom in
+      Array.iter
+        (fun b ->
+          let st = ref (block_out b.Cfg.id) in
+          for i = b.Cfg.stop - 1 downto b.Cfg.start do
+            after.(i) <- !st;
+            st := transfer i (Program.get cfg.Cfg.flat i) !st;
+            before.(i) <- !st
+          done)
+        cfg.Cfg.blocks;
+      { before; after }
+    end
+end

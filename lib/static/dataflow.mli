@@ -1,0 +1,34 @@
+(** Generic monotone-framework worklist dataflow engine over {!Cfg.t}.
+
+    Guaranteed to terminate on arbitrary (even cyclic) graphs provided the
+    lattice has finite height and the transfer functions are monotone. *)
+
+open Amulet_isa
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of {!join}; the state of unreachable code. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t array;  (** state on entry to instruction [i] *)
+    after : L.t array;  (** state on exit of instruction [i] *)
+  }
+
+  val forward :
+    Cfg.t -> init:L.t -> transfer:(int -> Inst.t -> L.t -> L.t) -> result
+  (** [init] is the state at program entry; [transfer i inst st] the state
+      after executing [inst] (at index [i]) in state [st]. *)
+
+  val backward :
+    Cfg.t -> init:L.t -> transfer:(int -> Inst.t -> L.t -> L.t) -> result
+  (** [init] is the state at every exit; [transfer i inst st] the state
+      before [inst] given state [st] after it.  [before]/[after] stay in
+      program order: [before.(i)] holds just before [i] executes. *)
+end

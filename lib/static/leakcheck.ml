@@ -1,0 +1,131 @@
+(** Combined static leakage report: the speculative-taint transmitter pass.
+
+    A program is {e potentially leaky} when some instruction can transmit an
+    input-dependent value through a μarch side channel {e within a contract
+    trace class}.  Since every bundled contract observes the architectural
+    PC trace and all architectural memory addresses, two inputs in the same
+    class agree on every architecturally executed address — so the only
+    within-class divergence sources are transient:
+
+    - a memory access whose address may be input-tainted, executed under a
+      mispredicted conditional branch (within the speculation window);
+    - a load whose address may be input-tainted, executed while an older
+      store is still in flight (store-bypass / Spectre-v4 exposure);
+    - a conditional branch with input-tainted flags executed transiently
+      (it redirects transient fetch, and hence the μarch access stream).
+
+    A program with none of these is classified leak-free: no defense/contract
+    pair in the repo can produce a violation on it, which is what makes
+    [static_filter=screen] sound (cf. the soundness gate in the test suite —
+    every curated reproducer must classify as potentially leaky).
+
+    Architecturally-reachable tainted-address accesses are reported as
+    {!arch_flows} for human consumption but do not make a program leaky. *)
+
+open Amulet_isa
+
+type site_kind = Load | Store | Rmw | Branch
+
+type site = {
+  index : int;
+  kind : site_kind;
+  transient : bool;  (** inside some conditional-branch speculation window *)
+  bypass : bool;  (** load exposed to store-bypass *)
+}
+
+type t = {
+  lint : Lint.report;
+  window : int;
+  windows : (int * int list) list;
+      (** conditional branch index -> transiently reachable indices *)
+  transmitters : site list;  (** speculative transmitter sites — the leaks *)
+  arch_flows : int list;
+      (** architecturally executed accesses with input-tainted addresses
+          (pinned by the contract's address observations; informational) *)
+  leaky : bool;
+}
+
+let kind_name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Rmw -> "rmw"
+  | Branch -> "branch"
+
+let analyze ?window ?sandbox_bytes (flat : Program.flat) : t =
+  let cfg = Cfg.build flat in
+  let lint = Lint.check ?sandbox_bytes flat in
+  let taint = Taint_flow.analyze cfg in
+  let spec = Spec_reach.analyze ?window cfg in
+  let n = Program.length flat in
+  let transmitters = ref [] and arch_flows = ref [] in
+  for i = n - 1 downto 0 do
+    let inst = Program.get flat i in
+    (match Inst.mem_access inst with
+    | Some (m, _w, dir) ->
+        if Taint_flow.address_tainted taint i m then begin
+          let kind =
+            match dir with `Load -> Load | `Store -> Store | `Rmw -> Rmw
+          in
+          let transient = spec.Spec_reach.transient.(i) in
+          let bypass =
+            Inst.is_load inst && spec.Spec_reach.bypass_exposed.(i)
+          in
+          if transient || bypass then
+            transmitters := { index = i; kind; transient; bypass } :: !transmitters
+          else arch_flows := i :: !arch_flows
+        end
+    | None -> ());
+    if Inst.is_cond_branch inst
+       && spec.Spec_reach.transient.(i)
+       && Taint_flow.flags_tainted_before taint i
+    then
+      transmitters :=
+        { index = i; kind = Branch; transient = true; bypass = false }
+        :: !transmitters
+  done;
+  {
+    lint;
+    window = spec.Spec_reach.window;
+    windows = spec.Spec_reach.windows;
+    transmitters = !transmitters;
+    arch_flows = !arch_flows;
+    leaky = !transmitters <> [];
+  }
+
+(** Priority score for [static_filter=score]: number of distinct speculative
+    transmitter sites.  0 means provably leak-free. *)
+let score t = List.length t.transmitters
+
+let pp_site flat ppf s =
+  Format.fprintf ppf "@%d %s%s%s: %a" s.index (kind_name s.kind)
+    (if s.transient then " [transient]" else "")
+    (if s.bypass then " [store-bypass]" else "")
+    Inst.pp (Program.get flat s.index)
+
+let pp flat ppf t =
+  Format.fprintf ppf "classification: %s@."
+    (if t.leaky then "potentially-leaky" else "leak-free");
+  Format.fprintf ppf "speculation window: %d@." t.window;
+  if t.windows <> [] then begin
+    Format.fprintf ppf "speculation windows:@.";
+    List.iter
+      (fun (b, reach) ->
+        Format.fprintf ppf "  branch @%d covers %d instruction(s)@." b
+          (List.length reach))
+      t.windows
+  end;
+  if t.transmitters <> [] then begin
+    Format.fprintf ppf "transmitter sites:@.";
+    List.iter (fun s -> Format.fprintf ppf "  %a@." (pp_site flat) s) t.transmitters
+  end;
+  if t.arch_flows <> [] then begin
+    Format.fprintf ppf "architectural tainted-address accesses (not leaky per se):@.";
+    List.iter
+      (fun i ->
+        Format.fprintf ppf "  @%d: %a@." i Inst.pp (Program.get flat i))
+      t.arch_flows
+  end;
+  if t.lint.Lint.diags <> [] then begin
+    Format.fprintf ppf "lint:@.";
+    List.iter (fun d -> Format.fprintf ppf "  %a@." Lint.pp_diag d) t.lint.Lint.diags
+  end

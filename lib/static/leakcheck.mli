@@ -1,0 +1,45 @@
+(** Combined static leakage report: the speculative-taint transmitter pass.
+
+    Classifies a program as potentially leaky iff it contains a speculative
+    transmitter — a memory access with an input-tainted address that can
+    execute transiently (under a mispredicted branch or via store-bypass),
+    or a transient conditional branch with input-tainted flags.  Leak-free
+    programs cannot produce a contract violation under any bundled
+    defense/contract pair, which makes screening on this classification
+    sound. *)
+
+open Amulet_isa
+
+type site_kind = Load | Store | Rmw | Branch
+
+type site = {
+  index : int;
+  kind : site_kind;
+  transient : bool;  (** inside some conditional-branch speculation window *)
+  bypass : bool;  (** load exposed to store-bypass *)
+}
+
+type t = {
+  lint : Lint.report;
+  window : int;
+  windows : (int * int list) list;
+      (** conditional branch index -> transiently reachable indices *)
+  transmitters : site list;  (** speculative transmitter sites — the leaks *)
+  arch_flows : int list;
+      (** architecturally executed accesses with input-tainted addresses
+          (pinned by the contract's address observations; informational) *)
+  leaky : bool;
+}
+
+val kind_name : site_kind -> string
+
+val analyze : ?window:int -> ?sandbox_bytes:int -> Program.flat -> t
+(** [window] defaults to [Amulet_contracts.Contract.default_window];
+    [sandbox_bytes] to {!Lint.default_sandbox_bytes}. *)
+
+val score : t -> int
+(** Number of distinct speculative transmitter sites; [0] means provably
+    leak-free.  Used by [static_filter=score] to prioritize programs. *)
+
+val pp_site : Program.flat -> Format.formatter -> site -> unit
+val pp : Program.flat -> Format.formatter -> t -> unit

@@ -1,0 +1,73 @@
+(** Reaching definitions for registers and flags.
+
+    The state maps every register (plus a pseudo-slot for the flags) to the
+    set of instruction indices that may have produced its current value;
+    {!entry_def} stands for the initial program state (registers are
+    populated from the test input, so an entry definition is not an error in
+    itself — the lint layers policy on top, e.g. reads of the scratch
+    register or of never-written flags). *)
+
+open Amulet_isa
+module IntSet = Set.Make (Int)
+
+(** Pseudo definition site for the program-entry state. *)
+let entry_def = -1
+
+let nslots = Reg.count + 1
+let flags_slot = Reg.count
+
+module L = struct
+  type t = IntSet.t array option
+  (* [None] is bottom (unreachable); [Some a] maps slot -> def sites. *)
+
+  let bottom = None
+
+  let join a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b -> Some (Array.init nslots (fun i -> IntSet.union a.(i) b.(i)))
+
+  let equal a b =
+    match a, b with
+    | None, None -> true
+    | Some a, Some b ->
+        let ok = ref true in
+        Array.iteri (fun i s -> if not (IntSet.equal s b.(i)) then ok := false) a;
+        !ok
+    | None, Some _ | Some _, None -> false
+end
+
+module Engine = Dataflow.Make (L)
+
+type t = Engine.result
+
+let transfer i inst st =
+  match st with
+  | None -> None
+  | Some a ->
+      let a = Array.copy a in
+      List.iter (fun r -> a.(Reg.index r) <- IntSet.singleton i) (Inst.dest_regs inst);
+      if Inst.writes_flags inst then a.(flags_slot) <- IntSet.singleton i;
+      Some a
+
+let analyze (cfg : Cfg.t) : t =
+  let init = Some (Array.make nslots (IntSet.singleton entry_def)) in
+  Engine.forward cfg ~init ~transfer
+
+let defs_of st slot =
+  match st with None -> IntSet.empty | Some a -> a.(slot)
+
+(** Definition sites that may reach the read of [r] at instruction [i]. *)
+let reg_defs (t : t) i r = defs_of t.Engine.before.(i) (Reg.index r)
+
+(** Definition sites that may reach a flags read at instruction [i]. *)
+let flag_defs (t : t) i = defs_of t.Engine.before.(i) flags_slot
+
+(** True when the entry (pre-program) value of [r] may reach its read at
+    [i]. *)
+let may_read_entry (t : t) i r = IntSet.mem entry_def (reg_defs t i r)
+
+(** True when a flags read at [i] can only observe the entry flags — no
+    flag-writing instruction reaches it, so the predicate is constant. *)
+let flags_entry_only (t : t) i =
+  IntSet.equal (flag_defs t i) (IntSet.singleton entry_def)

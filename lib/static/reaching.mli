@@ -1,0 +1,26 @@
+(** Reaching definitions for registers and flags. *)
+
+open Amulet_isa
+module IntSet : Set.S with type elt = int
+
+val entry_def : int
+(** Pseudo definition site ([-1]) for the program-entry state. *)
+
+type t
+
+val analyze : Cfg.t -> t
+
+val reg_defs : t -> int -> Reg.t -> IntSet.t
+(** Definition sites that may reach the read of a register at an
+    instruction index. *)
+
+val flag_defs : t -> int -> IntSet.t
+(** Definition sites that may reach a flags read at an instruction index. *)
+
+val may_read_entry : t -> int -> Reg.t -> bool
+(** True when the entry (pre-program) value of the register may reach its
+    read at the given index. *)
+
+val flags_entry_only : t -> int -> bool
+(** True when a flags read at the index can only observe the entry flags —
+    the predicate is constant. *)

@@ -1,0 +1,83 @@
+(** Speculation-window reachability.
+
+    Over-approximates which instructions can execute {e transiently} under a
+    bounded speculation window (the CT-COND exploration model of
+    [Amulet_contracts.Contract]): from every conditional branch, both
+    directions are mispredictable, so every instruction within [window]
+    steps along any CFG path from either successor may execute transiently.
+    [Fence] (LFENCE) and [Exit] terminate a window; further conditional
+    branches inside a window do not reset it (nested mispredictions only
+    explore paths this BFS already covers, since the budget is the total
+    per-window instruction count).
+
+    Also computes {e store-bypass exposure}: a load within [window] steps
+    after a store (along some path) may execute before that store retires
+    (Spectre-v4 style), observing stale data.  This is independent of
+    conditional branches — contracts do not model bypass speculation, but
+    the μarch engines perform it, so the leak check must account for it. *)
+
+open Amulet_isa
+
+type t = {
+  window : int;
+  transient : bool array;
+      (** [transient.(i)]: instruction [i] may execute under a mispredicted
+          conditional branch. *)
+  bypass_exposed : bool array;
+      (** [bypass_exposed.(i)]: instruction [i] is a load that may execute
+          while an older store is still in flight. *)
+  windows : (int * int list) list;
+      (** per conditional branch: [(branch index, sorted indices reachable
+          transiently from it)] *)
+}
+
+(* Breadth-first walk of instruction successors from [starts], visiting at
+   most [budget] instructions deep.  [Fence] is visited but not descended
+   through (speculation drains at a barrier); [Exit] likewise.  Returns the
+   set of visited indices. *)
+let walk flat ~starts ~budget =
+  let n = Program.length flat in
+  (* best.(i) = largest remaining budget seen at i, to allow revisits on
+     shorter paths *)
+  let best = Array.make (max n 1) (-1) in
+  let q = Queue.create () in
+  List.iter
+    (fun s -> if s >= 0 && s < n then Queue.add (s, budget) q)
+    starts;
+  while not (Queue.is_empty q) do
+    let i, b = Queue.take q in
+    if b > 0 && b > best.(i) then begin
+      best.(i) <- b;
+      match Program.get flat i with
+      | Inst.Fence | Inst.Exit -> ()
+      | _ -> List.iter (fun s -> Queue.add (s, b - 1) q) (Cfg.inst_succs flat i)
+    end
+  done;
+  let visited = ref [] in
+  for i = n - 1 downto 0 do
+    if best.(i) >= 0 then visited := i :: !visited
+  done;
+  !visited
+
+let analyze ?(window = Amulet_contracts.Contract.default_window) (cfg : Cfg.t) : t
+    =
+  let flat = cfg.Cfg.flat in
+  let n = Program.length flat in
+  let transient = Array.make (max n 1) false in
+  let bypass_exposed = Array.make (max n 1) false in
+  let windows = ref [] in
+  for i = 0 to n - 1 do
+    let inst = Program.get flat i in
+    if Inst.is_cond_branch inst then begin
+      let starts = Cfg.inst_succs flat i in
+      let reached = walk flat ~starts ~budget:window in
+      List.iter (fun j -> transient.(j) <- true) reached;
+      windows := (i, reached) :: !windows
+    end;
+    if Inst.is_store inst then
+      let reached = walk flat ~starts:(Cfg.inst_succs flat i) ~budget:window in
+      List.iter
+        (fun j -> if Inst.is_load (Program.get flat j) then bypass_exposed.(j) <- true)
+        reached
+  done;
+  { window; transient; bypass_exposed; windows = List.rev !windows }

@@ -1,0 +1,19 @@
+(** Speculation-window reachability: which instructions may execute
+    transiently under a bounded window, and which loads are exposed to
+    store-bypass (Spectre-v4 style). *)
+
+type t = {
+  window : int;
+  transient : bool array;
+      (** [transient.(i)]: instruction [i] may execute under a mispredicted
+          conditional branch. *)
+  bypass_exposed : bool array;
+      (** [bypass_exposed.(i)]: instruction [i] is a load that may execute
+          while an older store is still in flight. *)
+  windows : (int * int list) list;
+      (** per conditional branch: [(branch index, indices reachable
+          transiently from it)] *)
+}
+
+val analyze : ?window:int -> Cfg.t -> t
+(** [window] defaults to [Amulet_contracts.Contract.default_window]. *)

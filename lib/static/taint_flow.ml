@@ -1,0 +1,181 @@
+(** Symbolic input-taint propagation.
+
+    This mirrors the dynamic policy of [Amulet_emu.Taint] — taint flows from
+    every source operand (registers, loaded data, address registers, and
+    flags when the instruction reads them) into every destination and into
+    the flags when the instruction writes them — but abstracts the atom sets
+    to a single bit.  Because every register and every sandbox word is an
+    input atom at entry (cf. [Input.generate] and [Taint.init]), all
+    registers start tainted and all loaded data is tainted; what makes the
+    analysis useful are the {e kill} patterns the generator emits
+    ([MOV r, imm], [XOR r, r], [SUB r, r]) and the {e bound} tracking
+    ([AND r, mask], immediate moves, zero-extending narrow loads), which the
+    sandbox-containment lint consumes.
+
+    Abstract value: [tainted] — may the value depend on the test input —
+    and [max] — an inclusive upper bound on the value as an unsigned
+    integer, when one is known. *)
+
+open Amulet_isa
+
+type value = { tainted : bool; max : int option }
+
+type state = { regs : value array; flags_tainted : bool }
+(** [regs] is indexed by [Reg.index]. *)
+
+let top = { tainted = true; max = None }
+
+let join_value a b =
+  {
+    tainted = a.tainted || b.tainted;
+    max =
+      (match a.max, b.max with
+      | Some x, Some y -> Some (max x y)
+      | _, _ -> None);
+  }
+
+let equal_value a b = a.tainted = b.tainted && a.max = b.max
+
+module L = struct
+  type t = state option
+
+  let bottom = None
+
+  let join a b =
+    match a, b with
+    | None, x | x, None -> x
+    | Some a, Some b ->
+        Some
+          {
+            regs = Array.init Reg.count (fun i -> join_value a.regs.(i) b.regs.(i));
+            flags_tainted = a.flags_tainted || b.flags_tainted;
+          }
+
+  let equal a b =
+    match a, b with
+    | None, None -> true
+    | Some a, Some b ->
+        a.flags_tainted = b.flags_tainted
+        && Array.for_all2 equal_value a.regs b.regs
+    | None, Some _ | Some _, None -> false
+end
+
+module Engine = Dataflow.Make (L)
+
+type t = Engine.result
+
+let reg_value st r = st.regs.(Reg.index r)
+
+(** Bound of a value loaded/zero-extended at width [w]. *)
+let width_bound w =
+  match w with
+  | Width.W64 -> None
+  | w -> Some (Int64.to_int (Width.mask w))
+
+let imm_bound v = if Int64.compare v 0L >= 0 then Some (Int64.to_int v) else None
+
+(* Taint of the generic "data input" of the instruction, mirroring
+   [Taint.step]'s [data_in]. *)
+let data_in st inst =
+  let src_taint =
+    List.exists (fun r -> (reg_value st r).tainted) (Inst.source_regs inst)
+  in
+  let load_taint = Inst.is_load inst in
+  let flag_taint = Inst.reads_flags inst && st.flags_tainted in
+  src_taint || load_taint || flag_taint
+
+let set st r v =
+  let regs = Array.copy st.regs in
+  regs.(Reg.index r) <- v;
+  { st with regs }
+
+let transfer _i inst st =
+  match st with
+  | None -> None
+  | Some st ->
+      let din = data_in st inst in
+      let generic st =
+        let st =
+          List.fold_left
+            (fun st r -> set st r { tainted = din; max = None })
+            st (Inst.dest_regs inst)
+        in
+        if Inst.writes_flags inst then { st with flags_tainted = din } else st
+      in
+      let r =
+        match inst with
+        (* ---- taint kills and bounds ------------------------------- *)
+        | Inst.Mov ((Width.W32 | Width.W64), Operand.Reg r, Operand.Imm v) ->
+            set st r { tainted = false; max = imm_bound v }
+        | Inst.Binop ((Inst.Xor | Inst.Sub), (Width.W32 | Width.W64),
+                      Operand.Reg a, Operand.Reg b)
+          when Reg.equal a b ->
+            { (set st a { tainted = false; max = Some 0 }) with flags_tainted = false }
+        | Inst.Binop (Inst.And, (Width.W32 | Width.W64), Operand.Reg r,
+                      Operand.Imm m)
+          when Int64.compare m 0L >= 0 ->
+            let old = reg_value st r in
+            let st' =
+              set st r { tainted = old.tainted; max = Some (Int64.to_int m) }
+            in
+            { st' with flags_tainted = old.tainted }
+        | Inst.Binop (Inst.And, Width.W64, Operand.Reg r, Operand.Imm _) ->
+            (* negative mask: no unsigned bound, taint preserved *)
+            let old = reg_value st r in
+            let st' = set st r { old with max = None } in
+            { st' with flags_tainted = old.tainted }
+        (* ---- bounded writes --------------------------------------- *)
+        | Inst.Movx (Inst.Zero, w, r, _) ->
+            set st r { tainted = din; max = width_bound w }
+        | Inst.Mov (Width.W32, Operand.Reg r, _) ->
+            set st r { tainted = din; max = width_bound Width.W32 }
+        | Inst.Setcc (_, Operand.Reg r) ->
+            (* byte write merges into the old value *)
+            let old = reg_value st r in
+            set st r { tainted = old.tainted || din; max = None }
+        | Inst.Mov ((Width.W8 | Width.W16), Operand.Reg r, _) ->
+            let old = reg_value st r in
+            set st r { tainted = old.tainted || din; max = None }
+        (* ---- structure-preserving moves --------------------------- *)
+        | Inst.Mov (Width.W64, Operand.Reg r, Operand.Reg s) ->
+            set st r (reg_value st s)
+        | Inst.Xchg (Width.W64, a, b) ->
+            let va = reg_value st a and vb = reg_value st b in
+            set (set st a vb) b va
+        | Inst.Cmovcc (_, Width.W64, r, Operand.Reg s) ->
+            let old = reg_value st r and src = reg_value st s in
+            let v = join_value old src in
+            set st r
+              { v with tainted = v.tainted || st.flags_tainted }
+        (* ---- everything else -------------------------------------- *)
+        | _ -> generic st
+      in
+      Some r
+
+let analyze (cfg : Cfg.t) : t =
+  let init =
+    Some { regs = Array.make Reg.count top; flags_tainted = false }
+  in
+  Engine.forward cfg ~init ~transfer
+
+let state_before (t : t) i =
+  match t.Engine.before.(i) with
+  | Some st -> st
+  | None -> { regs = Array.make Reg.count top; flags_tainted = true }
+
+(** Abstract value of [r] just before instruction [i]. *)
+let value_before t i r = reg_value (state_before t i) r
+
+(** May the address of the memory operand of [i] depend on the input?
+    Excludes the sandbox base register, whose value is pinned by the
+    harness. *)
+let address_tainted t i (m : Operand.mem) =
+  let st = state_before t i in
+  let reg_taint r =
+    (not (Reg.equal r Reg.sandbox_base)) && (reg_value st r).tainted
+  in
+  reg_taint m.Operand.base
+  || match m.Operand.index with Some r -> reg_taint r | None -> false
+
+(** Is the flags state just before [i] input-dependent? *)
+let flags_tainted_before t i = (state_before t i).flags_tainted

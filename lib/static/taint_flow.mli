@@ -1,0 +1,27 @@
+(** Symbolic input-taint propagation, mirroring [Amulet_emu.Taint]'s flow
+    rules with a one-bit taint abstraction plus unsigned upper-bound
+    tracking (from [AND r, mask], immediate moves, and zero-extending
+    loads).  All registers and all loaded data start input-tainted, per the
+    harness's input model. *)
+
+open Amulet_isa
+
+type value = { tainted : bool; max : int option }
+(** [tainted]: may the value depend on the test input.  [max]: inclusive
+    unsigned upper bound, when known. *)
+
+type state = { regs : value array; flags_tainted : bool }
+(** [regs] is indexed by [Reg.index]. *)
+
+type t
+
+val analyze : Cfg.t -> t
+
+val state_before : t -> int -> state
+val value_before : t -> int -> Reg.t -> value
+
+val address_tainted : t -> int -> Operand.mem -> bool
+(** May the address of the memory operand at the index depend on the input?
+    The sandbox base register is excluded (pinned by the harness). *)
+
+val flags_tainted_before : t -> int -> bool

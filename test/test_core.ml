@@ -225,6 +225,7 @@ let test_fuzzer_finds_spectre_in_crafted_program () =
       checkb "traces differ" false (Utrace.equal v.Violation.trace_a v.Violation.trace_b);
       checkb "ctrace hash recorded" true (not (Int64.equal v.Violation.ctrace_hash 0L))
   | Fuzzer.No_violation _ -> Alcotest.fail "expected a violation"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_fuzzer_clean_on_straightline_code () =
@@ -243,6 +244,7 @@ let test_fuzzer_clean_on_straightline_code () =
   match Fuzzer.test_program fz (Program.flatten (Asm.parse src)) with
   | Fuzzer.No_violation _ -> ()
   | Fuzzer.Found _ -> Alcotest.fail "straight-line code cannot violate CT-SEQ"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_campaign_counters () =
@@ -296,6 +298,7 @@ let test_fuzzer_naive_mode_also_finds () =
       (* naive mode starts from clean caches: install-visible leaks only;
          this crafted program leaks via installs, so it must be found *)
       Alcotest.fail "naive executor missed the install-visible leak"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_campaign_stop_after () =

@@ -108,11 +108,13 @@ let test_figure4_uv1_reproducer () =
       checkb "classified UV1" true
         (Analysis.classify_violation ex v = Analysis.Spec_eviction_uv1)
   | Fuzzer.No_violation _ -> Alcotest.fail "figure 4 reproducer found nothing"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r));
   (* the same test on patched InvisiSpec is clean *)
   match fuzz_crafted ~seed:2 Defense.invisispec_patched figure4_src with
   | Fuzzer.Found _ -> Alcotest.fail "patched InvisiSpec still leaks figure 4"
   | Fuzzer.No_violation _ -> ()
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 (* Figure 8: SpecLFB single-speculative-load Spectre (UV6). *)
@@ -138,10 +140,12 @@ let test_figure8_uv6_reproducer () =
       checkb "classified UV6" true
         (Analysis.classify_violation ex v = Analysis.First_load_unprotected_uv6)
   | Fuzzer.No_violation _ -> Alcotest.fail "figure 8 reproducer found nothing"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r));
   match fuzz_crafted ~seed:2 Defense.speclfb_patched figure8_src with
   | Fuzzer.Found _ -> Alcotest.fail "patched SpecLFB still leaks figure 8"
   | Fuzzer.No_violation _ -> ()
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 (* Figure 9: STT tainted speculative store fills the D-TLB (KV3). *)
@@ -168,10 +172,12 @@ let test_figure9_kv3_reproducer () =
       checkb "classified KV3" true
         (Analysis.classify_violation ex v = Analysis.Tainted_store_tlb_kv3)
   | Fuzzer.No_violation _ -> Alcotest.fail "figure 9 reproducer found nothing"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r));
   match fuzz_crafted ~seed:7 Defense.stt_patched figure9_src with
   | Fuzzer.Found _ -> Alcotest.fail "patched STT still leaks figure 9"
   | Fuzzer.No_violation _ -> ()
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 (* UV5 "too much cleaning" reproducer, after the paper's Table 9: an OLDER
@@ -205,6 +211,7 @@ let test_uv5_reproducer () =
       checkb "classified UV5" true
         (Analysis.classify_violation ex v = Analysis.Too_much_cleaning_uv5)
   | Fuzzer.No_violation _ -> Alcotest.fail "uv5 reproducer found nothing"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 (* registry sanity *)
@@ -263,18 +270,21 @@ let test_delay_on_miss_blocks_transient_miss () =
   (match fuzz_crafted ~seed:2 Defense.baseline spectre_gadget_with_tail with
   | Fuzzer.Found _ -> ()
   | Fuzzer.No_violation _ -> Alcotest.fail "baseline should leak this gadget"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r));
   match fuzz_crafted ~seed:2 Defense.delay_on_miss spectre_gadget_with_tail with
   | Fuzzer.Found v ->
       Alcotest.failf "delay-on-miss leaked: %s"
         (Option.value v.Violation.signature ~default:"?")
   | Fuzzer.No_violation _ -> ()
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 let test_ghostminion_blocks_spectre_gadget () =
   match fuzz_crafted ~seed:2 Defense.ghostminion spectre_gadget_with_tail with
   | Fuzzer.Found _ -> Alcotest.fail "ghostminion leaked the spectre gadget"
   | Fuzzer.No_violation _ -> ()
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded r -> Alcotest.failf "discarded: %s" (Fault.to_string r)
 
 (* the headline claim (paper §4.5.1 "Fix"): GhostMinion's strictness

@@ -109,6 +109,7 @@ let test_fuzzer_round_parity () =
           (Input.hash v.Violation.input_a)
           (Input.hash v.Violation.input_b)
     | Fuzzer.Discarded f -> "discarded:" ^ Fault.class_name (Fault.class_of f)
+    | Fuzzer.Screened -> "screened"
   in
   List.iter
     (fun (defense : Defense.t) ->

@@ -313,16 +313,38 @@ let test_asm_errors () =
   bad "JMP RAX"
 
 (* print/parse round trip over generated programs (64-bit reg ops and
-   memory ops keep widths in the canonical syntax) *)
+   memory ops keep widths in the canonical syntax); odd seeds use a
+   fence-rich config so LFENCE goes through the trip too *)
 let asm_roundtrip_prop =
-  QCheck2.Test.make ~name:"asm print/parse roundtrip (generated programs)" ~count:200
+  QCheck2.Test.make ~name:"asm print/parse roundtrip (generated programs)" ~count:500
     QCheck2.Gen.(int_bound 100000)
     (fun seed ->
       let rng = Amulet.Rng.create ~seed in
-      let p = Amulet.Generator.generate rng in
+      let cfg =
+        if seed mod 2 = 1 then
+          { Amulet.Generator.default with Amulet.Generator.fence_fraction = 0.1 }
+        else Amulet.Generator.default
+      in
+      let p = Amulet.Generator.generate ~cfg rng in
       let text = Asm.print p in
       let p' = Asm.parse text in
       Program.flatten p = Program.flatten p')
+
+(* extreme immediates survive the trip: Int64.min_int prints as
+   -9223372036854775808 whose absolute part exceeds Int64.max_int, so the
+   parser needs the unsigned fallback *)
+let test_asm_extreme_imm () =
+  List.iter
+    (fun imm ->
+      let src = Printf.sprintf ".bb0:\n  MOV RAX, %Ld\n  EXIT\n" imm in
+      let p = Asm.parse src in
+      match (Program.flatten p).Program.code.(0) with
+      | Inst.Mov (Width.W64, Operand.Reg Reg.RAX, Operand.Imm i) ->
+          Alcotest.check Alcotest.int64 "imm value" imm i;
+          checkb "reprint stable" true
+            (Program.flatten (Asm.parse (Asm.print p)) = Program.flatten p)
+      | i -> Alcotest.failf "bad parse: %s" (Inst.to_string i))
+    [ Int64.min_int; Int64.max_int; -1L; 0L; 0x7FFFFFFF_FFFFFFFEL ]
 
 (* ------------------------------------------------------------------ *)
 (* Encoder tests                                                       *)
@@ -390,6 +412,7 @@ let () =
           Alcotest.test_case "negative disp" `Quick test_asm_negative_disp;
           Alcotest.test_case "cond mnemonics" `Quick test_asm_cond_mnemonics;
           Alcotest.test_case "parse errors" `Quick test_asm_errors;
+          Alcotest.test_case "extreme immediates" `Quick test_asm_extreme_imm;
           QCheck_alcotest.to_alcotest asm_roundtrip_prop;
         ] );
       ( "encoder",

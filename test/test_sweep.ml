@@ -126,6 +126,7 @@ let test_stt_released_bug () =
   match Fuzzer.test_program fz (Program.flatten (Asm.parse figure9_src)) with
   | Fuzzer.Found _ -> ()
   | Fuzzer.No_violation _ -> Alcotest.fail "STT did not leak the planted program"
+  | Fuzzer.Screened -> Alcotest.fail "unexpectedly screened"
   | Fuzzer.Discarded f -> Alcotest.failf "discarded: %s" (Fault.to_string f)
 
 (* ------------------------------------------------------------------ *)
