@@ -573,6 +573,7 @@ let extension_robustness () =
       test_cases = r.Campaign.test_cases;
       fault_counts = r.Campaign.fault_counts;
       detection_times = r.Campaign.detection_times;
+      corpus = r.Campaign.corpus;
       violations = List.map Violation_io.of_violation r.Campaign.violations;
     }
   in
@@ -925,6 +926,159 @@ let static_bench () =
     exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Guided vs random generation: coverage-feedback effectiveness        *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares violations-per-1k-inputs of coverage-guided generation against
+   blind-random on the released (unpatched) artifact presets, and enforces
+   the guided determinism contract: the same seed yields byte-identical
+   violation identities across engine kinds, and the sweep fingerprint is
+   invariant under the worker-domain count.  Emits BENCH_guided.json (path
+   overridable via AMULET_BENCH_JSON); exits 1 unless guided reaches >= 2x
+   violations-per-1k-inputs on at least one preset and both determinism
+   checks hold. *)
+let guided_bench () =
+  section "Guided vs random generation (released artifacts)";
+  let rounds = scale 60 in
+  let seed = 7 in
+  let corpus =
+    {
+      Amulet_corpus.Corpus.default_params with
+      Amulet_corpus.Corpus.mutate_fraction = 0.8;
+      energy = 2;
+    }
+  in
+  let spec ?(engine = Engine.Pooled) ~generation defense =
+    Run_spec.make ~defense ~engine ~rounds ~seed ~classify:false ~inputs:8
+      ~boosts:4 ~boot_insts:200 ~generation ()
+  in
+  let vp1k (r : Campaign.result) =
+    if r.Campaign.test_cases = 0 then 0.
+    else
+      1000.
+      *. float_of_int (List.length r.Campaign.violations)
+      /. float_of_int r.Campaign.test_cases
+  in
+  let preset name =
+    match Defense.find name with
+    | Some d -> d
+    | None -> failwith ("unknown preset " ^ name)
+  in
+  let names = [ "invisispec"; "cleanupspec"; "speclfb" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let d = preset name in
+        let random = Campaign.run (spec ~generation:(Run_spec.random ()) d) in
+        let guided =
+          Campaign.run (spec ~generation:(Run_spec.guided ~corpus ()) d)
+        in
+        let rv = vp1k random and gv = vp1k guided in
+        let ratio =
+          if rv > 0. then gv /. rv else if gv > 0. then Float.infinity else 1.
+        in
+        Format.printf
+          "%-14s random %3d/%5d (%5.1f vp1k) | guided %3d/%5d (%5.1f vp1k)  \
+           %.1fx@."
+          name
+          (List.length random.Campaign.violations)
+          random.Campaign.test_cases rv
+          (List.length guided.Campaign.violations)
+          guided.Campaign.test_cases gv ratio;
+        (name, random, guided, ratio))
+      names
+  in
+  let best_ratio =
+    List.fold_left (fun acc (_, _, _, r) -> Float.max acc r) 0. rows
+  in
+  let speedup_ok = best_ratio >= 2.0 in
+  (* determinism 1: violation identities invariant under the engine kind
+     (the coverage feedback must come from per-run pipeline counters, which
+     both engines reproduce exactly) *)
+  let ident (v : Violation.t) =
+    Printf.sprintf "%Lx/%Lx/%Lx %s" v.Violation.ctrace_hash
+      v.Violation.trace_a_hash v.Violation.trace_b_hash v.Violation.program_text
+  in
+  let idents r = List.sort compare (List.map ident r.Campaign.violations) in
+  let det_name, det_guided =
+    match
+      List.find_opt (fun (_, _, g, _) -> g.Campaign.violations <> []) rows
+    with
+    | Some (n, _, g, _) -> (n, g)
+    | None -> ( match rows with (n, _, g, _) :: _ -> (n, g) | [] -> assert false)
+  in
+  let naive =
+    Campaign.run
+      (spec ~engine:Engine.Naive
+         ~generation:(Run_spec.guided ~corpus ())
+         (preset det_name))
+  in
+  let engine_invariant = idents naive = idents det_guided in
+  (* determinism 2: the sweep fingerprint over guided shards is invariant
+     under the worker-domain count *)
+  let make_spec d =
+    Run_spec.make ~defense:d ~classify:false ~inputs:8 ~boosts:4
+      ~boot_insts:200
+      ~generation:(Run_spec.guided ~corpus ())
+      ()
+  in
+  let js () =
+    match Sweep.select names with
+    | Ok selected ->
+        Sweep.jobs ~presets:selected ~shards_per_preset:2 ~rounds:(scale 15)
+          ~seed ~make_spec ()
+    | Error msg -> failwith msg
+  in
+  let fp1 = Sweep.fingerprint (Sweep.run ~domains:1 (js ())) in
+  let fp4 = Sweep.fingerprint (Sweep.run ~domains:4 (js ())) in
+  let domain_invariant = fp1 = fp4 in
+  Format.printf
+    "determinism: engine-invariant %b (%s), fingerprint %s (1 domain) %s (4 \
+     domains)@."
+    engine_invariant det_name fp1 fp4;
+  if not speedup_ok then
+    Format.printf "ERROR: guided best ratio %.2fx < 2x on every preset@."
+      best_ratio
+  else Format.printf "guided best ratio: %.1fx (>= 2x gate passed)@." best_ratio;
+  if not engine_invariant then
+    Format.printf "ERROR: guided findings differ across engine kinds@.";
+  if not domain_invariant then
+    Format.printf "ERROR: guided sweep fingerprint depends on domain count@.";
+  let json_path =
+    Option.value (Sys.getenv_opt "AMULET_BENCH_JSON") ~default:"BENCH_guided.json"
+  in
+  let oc = open_out json_path in
+  Printf.fprintf oc
+    "{\"bench\":\"guided\",\"rounds\":%d,\"seed\":%d,\"presets\":[%s],\
+     \"best_ratio\":%s,\"speedup_ok\":%b,\
+     \"engine_invariant\":%b,\"domain_invariant\":%b,\
+     \"fingerprint_1_domain\":\"%s\",\"fingerprint_4_domains\":\"%s\"}\n"
+    rounds seed
+    (String.concat ","
+       (List.map
+          (fun (name, random, guided, ratio) ->
+            Printf.sprintf
+              "{\"preset\":\"%s\",\
+               \"random\":{\"violations\":%d,\"test_cases\":%d,\"vp1k\":%.3f},\
+               \"guided\":{\"violations\":%d,\"test_cases\":%d,\"vp1k\":%.3f},\
+               \"ratio\":%s}"
+              name
+              (List.length random.Campaign.violations)
+              random.Campaign.test_cases (vp1k random)
+              (List.length guided.Campaign.violations)
+              guided.Campaign.test_cases (vp1k guided)
+              (if Float.is_integer ratio || Float.is_nan ratio
+                 || ratio = Float.infinity
+               then Printf.sprintf "%.1f" (Float.min ratio 9999.)
+               else Printf.sprintf "%.3f" ratio))
+          rows))
+    (Printf.sprintf "%.3f" (Float.min best_ratio 9999.))
+    speedup_ok engine_invariant domain_invariant fp1 fp4;
+  close_out oc;
+  Format.printf "wrote %s@." json_path;
+  if not (speedup_ok && engine_invariant && domain_invariant) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -933,10 +1087,11 @@ let () =
   | Some "throughput" -> throughput ()
   | Some "sweep" -> sweep_bench ()
   | Some "static" -> static_bench ()
+  | Some "guided" -> guided_bench ()
   | Some s ->
       Format.eprintf
         "unknown AMULET_BENCH_ONLY section %S (try: throughput, sweep, \
-         static)@."
+         static, guided)@."
         s;
       exit 2
   | None ->
@@ -956,6 +1111,7 @@ let () =
       throughput ();
       sweep_bench ();
       static_bench ();
+      guided_bench ();
       extension_ghostminion ();
       extension_prefetcher ();
       extension_parallel ();

@@ -10,6 +10,7 @@
      analyze    - revalidate/classify/minimize a saved violation
      explain    - violation forensics: trace + counter delta of the two runs
      lint       - static leakage pre-analysis of a program (no simulation)
+     corpus     - inspect a guided-fuzzing corpus checkpoint
      list       - show available defenses, contracts, trace formats
 
    All subcommands share the Output conventions: --json for machine-readable
@@ -109,6 +110,78 @@ let static_filter_t =
            static analysis proves leak-free (sound — a screened program \
            cannot violate any bundled contract); $(b,score) redraws \
            transmitter-free programs a few times but never skips a round.")
+
+(* --guided and its corpus knobs, shared by fuzz/sweep/serve.  The term
+   evaluates to a closure over the base generator config, so each
+   subcommand applies its own generator tweaks (e.g. fuzz --unaligned)
+   before choosing the strategy. *)
+let generation_t =
+  let dp = Amulet_corpus.Corpus.default_params in
+  let guided =
+    Arg.(
+      value & flag
+      & info [ "guided" ]
+          ~doc:
+            "Coverage-guided generation: keep a seed corpus scored by \
+             microarchitectural coverage feedback and mutate scheduled \
+             seeds instead of always drawing fresh random programs.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int dp.Amulet_corpus.Corpus.capacity
+      & info [ "corpus-capacity" ] ~docv:"N"
+          ~doc:"Guided: max live corpus entries (lowest score evicted first).")
+  in
+  let max_age =
+    Arg.(
+      value & opt int dp.Amulet_corpus.Corpus.max_age
+      & info [ "corpus-max-age" ] ~docv:"N"
+          ~doc:"Guided: retire a seed after N rounds without novel coverage.")
+  in
+  let mutate_fraction =
+    Arg.(
+      value & opt float dp.Amulet_corpus.Corpus.mutate_fraction
+      & info [ "mutate-fraction" ] ~docv:"P"
+          ~doc:
+            "Guided: probability a round mutates a scheduled seed instead \
+             of generating a fresh random program.")
+  in
+  let energy =
+    Arg.(
+      value & opt int dp.Amulet_corpus.Corpus.energy
+      & info [ "mutation-energy" ] ~docv:"N"
+          ~doc:"Guided: max stacked mutation operators per mutant.")
+  in
+  let seeds =
+    Arg.(
+      value & opt_all file []
+      & info [ "corpus-seed" ] ~docv:"FILE"
+          ~doc:
+            "Guided: seed the corpus with this program (repeatable; flat \
+             or block assembly syntax; lint-invalid seeds are rejected, \
+             not admitted).")
+  in
+  let make guided capacity max_age mutate_fraction energy seed_files base =
+    if not guided then Run_spec.random ~config:base ()
+    else
+      let seed_programs =
+        List.map
+          (fun f -> In_channel.with_open_text f In_channel.input_all)
+          seed_files
+      in
+      Run_spec.guided ~base
+        ~corpus:
+          {
+            Amulet_corpus.Corpus.capacity;
+            max_age;
+            mutate_fraction;
+            energy;
+            seed_programs;
+          }
+        ()
+  in
+  Term.(
+    const make $ guided $ capacity $ max_age $ mutate_fraction $ energy $ seeds)
 
 let metrics_t =
   Arg.(
@@ -261,10 +334,18 @@ let fuzz_cmd =
              test case with probability P each (so ~3P of rounds misbehave); \
              the campaign must classify and survive all of them.")
   in
+  let corpus_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "corpus-out" ] ~docv:"FILE"
+          ~doc:
+            "Guided: write the final corpus checkpoint to FILE (inspect \
+             with $(b,amulet corpus)).")
+  in
   let run defense programs inputs boosts mode engine fmt_ contract ways mshrs stop
       seed unaligned parallel prefetcher save_dir deadline_ms budget_ms
       quarantine_dir journal resume checkpoint_every chaos static_filter
-      metrics_out json =
+      generation_of corpus_out metrics_out json =
    Output.guarded @@ fun () ->
     let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     let sim_config =
@@ -323,16 +404,19 @@ let fuzz_cmd =
     let spec =
       Run_spec.make ~defense ~engine ~seed ~rounds:programs ?deadline_ms
         ?budget_ms ~inputs ~boosts ?contract ?stop_after:stop
-        ~generator:
-          { Generator.default with Generator.unaligned_fraction = unaligned }
+        ~generation:
+          (generation_of
+             { Generator.default with Generator.unaligned_fraction = unaligned })
         ~mode ~trace_format:fmt_ ?sim_config ?quarantine_dir
         ?chaos:chaos_injector ~static_filter ()
     in
     say
-      "fuzzing %s (%s contract, %s traces, %s executor, %s engine, seed %d)...@."
+      "fuzzing %s (%s contract, %s traces, %s executor, %s engine, %s \
+       generation, seed %d)...@."
       defense.Defense.name
       (Run_spec.contract_name spec)
       (Utrace.format_name fmt_) (Executor.mode_name mode) (Engine.kind_name engine)
+      (Run_spec.generation_name spec.Run_spec.generation)
       seed;
     (match resume_journal with
     | Some j ->
@@ -372,6 +456,16 @@ let fuzz_cmd =
       List.iteri
         (fun i v -> Format.printf "@.--- violation %d ---@.%a@." (i + 1) Violation.pp v)
         r.Campaign.violations;
+    (match corpus_out with
+    | None -> ()
+    | Some path -> (
+        match r.Campaign.corpus with
+        | Some c ->
+            Output.write_file path c;
+            say "corpus written to %s@." path
+        | None ->
+            Format.eprintf
+              "note: --corpus-out ignored (no corpus; pass --guided)@."));
     (match save_dir with
     | None -> ()
     | Some dir ->
@@ -392,7 +486,7 @@ let fuzz_cmd =
       $ fmt_ $ contract $ ways $ mshrs $ stop $ seed_t $ unaligned $ parallel
       $ prefetcher $ save_dir $ deadline_ms $ budget_ms $ quarantine_dir
       $ journal $ resume $ checkpoint_every $ chaos $ static_filter_t
-      $ metrics_t $ json_t)
+      $ generation_t $ corpus_out $ metrics_t $ json_t)
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a testing campaign against a secure-speculation defense.")
@@ -455,7 +549,7 @@ let sweep_cmd =
           ~doc:"Checkpoint every shard into DIR (shard_<id>_<defense>.json).")
   in
   let run presets domains rounds shards inputs boosts deadline_ms budget_ms seed
-      mode engine static_filter out journal_dir metrics_out json =
+      mode engine static_filter generation_of out journal_dir metrics_out json =
    Output.guarded @@ fun () ->
     let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     match Sweep.select presets with
@@ -465,7 +559,8 @@ let sweep_cmd =
     | Ok selected ->
         let make_spec d =
           Run_spec.make ~defense:d ~engine ~mode ~inputs ~boosts ?deadline_ms
-            ?budget_ms ~static_filter ()
+            ?budget_ms ~static_filter
+            ~generation:(generation_of Generator.default) ()
         in
         let js =
           Sweep.jobs ~presets:selected ~shards_per_preset:shards ~rounds ~seed
@@ -504,7 +599,7 @@ let sweep_cmd =
     Term.(
       const run $ presets $ domains $ rounds $ shards $ inputs $ boosts
       $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ static_filter_t
-      $ out $ journal_dir $ metrics_t $ json_t)
+      $ generation_t $ out $ journal_dir $ metrics_t $ json_t)
   in
   Cmd.v
     (Cmd.info "sweep"
@@ -615,9 +710,9 @@ let serve_cmd =
       & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Where to write the serve report JSON.")
   in
   let run presets workers rounds shards inputs boosts deadline_ms budget_ms
-      seed mode engine static_filter socket journal_dir heartbeat_s
-      lease_timeout_s max_attempts idle_timeout_s worker_chaos out metrics_out
-      json =
+      seed mode engine static_filter generation_of socket journal_dir
+      heartbeat_s lease_timeout_s max_attempts idle_timeout_s worker_chaos out
+      metrics_out json =
    Output.guarded @@ fun () ->
     let say fmt = (if json then Format.eprintf else Format.printf) fmt in
     match Sweep.select presets with
@@ -629,7 +724,8 @@ let serve_cmd =
            two paths fingerprint-compare for the same flags *)
         let make_spec d =
           Run_spec.make ~defense:d ~engine ~mode ~inputs ~boosts ?deadline_ms
-            ?budget_ms ~static_filter ()
+            ?budget_ms ~static_filter
+            ~generation:(generation_of Generator.default) ()
         in
         let js =
           Sweep.jobs ~presets:selected ~shards_per_preset:shards ~rounds ~seed
@@ -704,8 +800,9 @@ let serve_cmd =
     Term.(
       const run $ presets $ workers $ rounds $ shards $ inputs $ boosts
       $ deadline_ms $ budget_ms $ seed_t $ mode_t $ engine_t $ static_filter_t
-      $ socket $ journal_dir $ heartbeat_s $ lease_timeout_s $ max_attempts
-      $ idle_timeout_s $ worker_chaos $ out $ metrics_t $ json_t)
+      $ generation_t $ socket $ journal_dir $ heartbeat_s $ lease_timeout_s
+      $ max_attempts $ idle_timeout_s $ worker_chaos $ out $ metrics_t
+      $ json_t)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1176,6 +1273,112 @@ let lint_cmd =
     term
 
 (* ------------------------------------------------------------------ *)
+(* corpus — inspect a guided-fuzzing corpus checkpoint                 *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "A corpus checkpoint ($(b,fuzz --corpus-out)) or a campaign \
+             journal ($(b,fuzz --journal)) with an embedded corpus.")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Highest-score seeds to show.")
+  in
+  let programs =
+    Arg.(
+      value & flag
+      & info [ "programs" ] ~doc:"Also print each shown seed's program text.")
+  in
+  let run file top programs json =
+   Output.guarded @@ fun () ->
+    let module C = Amulet_corpus.Corpus in
+    let module Cov = Amulet_corpus.Coverage in
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let c =
+      try C.of_string text
+      with Failure _ -> (
+        (* not a bare checkpoint: maybe a campaign journal carrying one *)
+        match Journal.load file with
+        | { Journal.corpus = Some s; _ } -> C.of_string s
+        | { Journal.corpus = None; _ } ->
+            failwith
+              (file
+             ^ ": journal has no embedded corpus (not a --guided campaign?)")
+        | exception Journal.Format_error _ ->
+            failwith
+              (file ^ ": neither a corpus checkpoint nor a campaign journal"))
+    in
+    let p = C.params c in
+    let cov = C.coverage c in
+    let tops = C.top c top in
+    let entry_json (e : C.entry) =
+      Json.Obj
+        ([
+           ("score", Json.Int e.C.score);
+           ("age", Json.Int e.C.age);
+           ("trials", Json.Int e.C.trials);
+           ("insts", Json.Int (Array.length e.C.program.Amulet_isa.Program.code));
+         ]
+        @ if programs then [ ("program", Json.Str e.C.text) ] else [])
+    in
+    if json then
+      Output.emit
+        (Json.Obj
+           [
+             ("round", Json.Int (C.round c));
+             ("seeds", Json.Int (C.size c));
+             ("capacity", Json.Int p.C.capacity);
+             ("max_age", Json.Int p.C.max_age);
+             ("mutate_fraction", Json.Float p.C.mutate_fraction);
+             ("energy", Json.Int p.C.energy);
+             ("evictions", Json.Int (C.evictions c));
+             ("rejected_seeds", Json.Int (C.rejected_seeds c));
+             ( "coverage",
+               Json.Obj
+                 [
+                   ("features", Json.Int (Cov.size cov));
+                   ("observations", Json.Int (Cov.observations cov));
+                 ] );
+             ("top", Json.List (List.map entry_json tops));
+           ])
+    else begin
+      Format.printf
+        "corpus: %d seed(s) (capacity %d), round %d, %d eviction(s), %d \
+         rejected seed(s)@."
+        (C.size c) p.C.capacity (C.round c) (C.evictions c)
+        (C.rejected_seeds c);
+      Format.printf
+        "schedule: mutate-fraction %.2f, energy %d, max-age %d@."
+        p.C.mutate_fraction p.C.energy p.C.max_age;
+      Format.printf "coverage: %d distinct feature(s) over %d observation(s)@."
+        (Cov.size cov) (Cov.observations cov);
+      List.iteri
+        (fun i (e : C.entry) ->
+          Format.printf "#%d score %d, age %d, trials %d, %d inst(s)@." (i + 1)
+            e.C.score e.C.age e.C.trials
+            (Array.length e.C.program.Amulet_isa.Program.code);
+          if programs then Format.printf "%s@." e.C.text)
+        tops
+    end;
+    Output.exit_clean
+  in
+  let term = Term.(const run $ file $ top $ programs $ json_t) in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:
+         "Inspect a guided-fuzzing corpus checkpoint: scheduler parameters, \
+          coverage-map statistics and the top-scored seeds.  Exits 0 on a \
+          readable corpus, 2 on unreadable input.")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* list                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1262,7 +1465,7 @@ let main =
   Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
     [
       fuzz_cmd; sweep_cmd; serve_cmd; worker_cmd; reproduce_cmd; run_cmd;
-      analyze_cmd; explain_cmd; lint_cmd; list_cmd;
+      analyze_cmd; explain_cmd; lint_cmd; corpus_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

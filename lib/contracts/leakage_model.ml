@@ -12,6 +12,7 @@ open Amulet_emu
 type result = {
   ctrace : Observation.trace;
   ctrace_hash : int64;
+  shape_hash : int64;  (** digest of observation kinds only, for coverage *)
   taint : Taint.t option;
   arch_steps : int;  (** instructions retired on the architectural path *)
   spec_steps : int;  (** instructions explored on mispredicted paths *)
@@ -118,6 +119,7 @@ let collect ?(collect_taint = false) ?(max_steps = 10_000) (c : Contract.t)
   {
     ctrace;
     ctrace_hash = Observation.hash_trace ctrace;
+    shape_hash = Observation.shape_hash ctrace;
     taint;
     arch_steps = !total - !spec_steps;
     spec_steps = !spec_steps;

@@ -8,6 +8,7 @@ open Amulet_emu
 type result = {
   ctrace : Observation.trace;
   ctrace_hash : int64;
+  shape_hash : int64;  (** {!Observation.shape_hash} of [ctrace] *)
   taint : Taint.t option;
   arch_steps : int;
   spec_steps : int;  (** instructions explored on mispredicted paths *)

@@ -51,4 +51,21 @@ let hash_one h = function
 (** Order-sensitive digest of a trace. *)
 let hash_trace (tr : trace) : int64 = List.fold_left hash_one fnv_offset tr
 
+(* Constructor tags only, payloads ignored: two traces share a shape hash
+   iff they make the same kinds of observations in the same order.  This is
+   the coverage-map feature guided generation keys on — it classifies what
+   a program's control/dataflow *does* (loads, stores, speculative windows)
+   independent of the concrete addresses an input happens to produce. *)
+let shape_one h = function
+  | Pc _ -> mix h 1L
+  | Load_addr _ -> mix h 2L
+  | Store_addr _ -> mix h 3L
+  | Load_value _ -> mix h 4L
+  | Reg_value _ -> mix h 5L
+  | Spec_enter _ -> mix h 6L
+  | Spec_exit -> mix h 7L
+
+(** Order-sensitive digest of the observation {e kinds} only. *)
+let shape_hash (tr : trace) : int64 = List.fold_left shape_one fnv_offset tr
+
 let equal_trace a b = List.equal equal a b

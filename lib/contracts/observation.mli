@@ -18,4 +18,9 @@ val pp_trace : Format.formatter -> trace -> unit
 val hash_trace : trace -> int64
 (** Order-sensitive FNV digest, stable across runs. *)
 
+val shape_hash : trace -> int64
+(** Order-sensitive digest of the observation {e kinds} only (payloads
+    ignored): the "trace shape" feature of the guided-fuzzing coverage
+    map.  Stable across runs. *)
+
 val equal_trace : trace -> trace -> bool

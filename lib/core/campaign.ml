@@ -30,6 +30,8 @@ type result = {
   budget_exhausted : bool;
       (** the run stopped because [budget_ms] ran out, not because it
           finished its rounds or hit [stop_after_violations] *)
+  corpus : string option;
+      (** final guided-fuzzing corpus checkpoint ([None] for random specs) *)
   metrics : Obs.Snapshot.t;
       (** telemetry delta accumulated over the campaign (empty unless a
           live registry was passed in) *)
@@ -89,6 +91,13 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
           j.Journal.detection_times,
           vs )
   in
+  (* resume the guided corpus from the checkpoint; a malformed snapshot
+     degrades to a fresh corpus rather than killing the campaign (the
+     journal itself loaded fine — only the embedded corpus is suspect) *)
+  (match resume with
+  | Some { Journal.corpus = Some c; _ } -> (
+      try Fuzzer.restore_corpus fuzzer c with Failure _ -> ())
+  | _ -> ());
   let violations = ref (List.rev base_violations) in
   let classes =
     ref
@@ -131,6 +140,7 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
             test_cases = !test_cases;
             fault_counts = merged_faults ();
             detection_times = List.rev !detection_times;
+            corpus = Fuzzer.corpus_snapshot fuzzer;
             violations = List.rev_map Violation_io.of_violation !violations;
           }
           path
@@ -190,6 +200,7 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
     throughput = (if duration > 0. then float_of_int !test_cases /. duration else 0.);
     detection_times = List.rev !detection_times;
     budget_exhausted = !budget_exhausted;
+    corpus = Fuzzer.corpus_snapshot fuzzer;
     metrics =
       Obs.Snapshot.diff ~older:metrics_before
         ~newer:(Obs.Snapshot.of_registry metrics);
@@ -245,6 +256,7 @@ let merge_results (defense : Defense.t) ~fallback_contract ~elapsed crash_counts
     throughput = (if duration > 0. then float_of_int test_cases /. duration else 0.);
     detection_times = List.concat_map (fun r -> r.detection_times) results;
     budget_exhausted = List.exists (fun r -> r.budget_exhausted) results;
+    corpus = List.find_map (fun r -> r.corpus) results;
     metrics =
       List.fold_left
         (fun acc r -> Obs.Snapshot.merge acc r.metrics)

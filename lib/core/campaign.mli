@@ -21,6 +21,10 @@ type result = {
   budget_exhausted : bool;
       (** the run stopped on [Run_spec.budget_ms], not by finishing its
           rounds or hitting [stop_after_violations] *)
+  corpus : string option;
+      (** final guided-fuzzing corpus checkpoint
+          ({!Amulet_corpus.Corpus.to_string}); [None] for [Random] specs.
+          Parallel runs keep the first surviving instance's corpus. *)
   metrics : Amulet_obs.Obs.Snapshot.t;
       (** telemetry delta accumulated over the campaign (empty unless a
           live registry was passed in) *)

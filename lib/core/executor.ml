@@ -62,6 +62,9 @@ type outcome = {
   context : Simulator.context;  (** predictor state before the run *)
   run_fault : Fault.t option;
   cycles : int;
+  sim_stats : Simulator.run_stats;
+      (** per-run pipeline totals (squashes, speculative issues,
+          mispredicts): deterministic feedback for guided generation *)
   events : Event.t list;  (** debug log of the run; [[]] unless [?log] *)
 }
 
@@ -204,7 +207,14 @@ let run_loaded t sim flat (input : Input.t) =
     | Some _ as injected -> injected
     | None -> Option.map Fault.of_run_fault stats_run.Simulator.fault
   in
-  { trace; context; run_fault; cycles = stats_run.cycles; events = [] }
+  {
+    trace;
+    context;
+    run_fault;
+    cycles = stats_run.cycles;
+    sim_stats = stats_run;
+    events = [];
+  }
 
 (* As [run_loaded], with the debug event log enabled for the run. *)
 let run_logged t sim flat input =

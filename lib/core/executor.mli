@@ -32,6 +32,11 @@ type outcome = {
           just before the run — the handle violation validation uses *)
   run_fault : Fault.t option;
   cycles : int;
+  sim_stats : Simulator.run_stats;
+      (** per-run pipeline totals (squashes, speculative issues,
+          mispredicts): the deterministic μarch feedback signal guided
+          generation keys on; derived from the pipeline's own counters, so
+          present even when telemetry is detached *)
   events : Event.t list;
       (** debug log of the run; [[]] unless [?log] was set *)
 }

@@ -16,7 +16,12 @@ type config = {
   n_base_inputs : int;
   boosts_per_input : int;  (** mutants per base input *)
   contract : Contract.t option;  (** override the defense's default contract *)
+  generation : Run_spec.generation;
+      (** generation strategy; [Guided] activates the corpus/scheduler/
+          mutation loop *)
   generator : Generator.config;
+      (** effective base generator config (= base of [generation], with the
+          defense's sandbox capacity applied) *)
   executor_mode : Executor.mode;
   engine : Engine.kind;
       (** execution backend: [Pooled] (checkpoint rewind, default) or
@@ -46,7 +51,8 @@ let config_of_spec (s : Run_spec.t) =
     n_base_inputs = s.Run_spec.n_base_inputs;
     boosts_per_input = s.Run_spec.boosts_per_input;
     contract = s.Run_spec.contract;
-    generator = s.Run_spec.generator;
+    generation = s.Run_spec.generation;
+    generator = Run_spec.generator_config s;
     executor_mode = s.Run_spec.mode;
     engine = s.Run_spec.engine;
     trace_format = s.Run_spec.trace_format;
@@ -68,6 +74,12 @@ type t = {
   mutable rng : Rng.t;
   started_at : float;
   mutable quarantined : int;
+  mutable corpus : Amulet_corpus.Corpus.t option;
+      (* present iff the generation strategy is [Guided]; replaced
+         wholesale by journal resume *)
+  mutable last_feedback : Amulet_corpus.Coverage.feedback option;
+      (* coverage feedback of the last completed simulation batch, consumed
+         by the guided round right after [test_program] returns *)
   mutable budget_check : (unit -> bool) option;
       (* campaign-level wall-clock budget, polled at the same points as the
          per-round deadline so a blown budget surfaces mid-round *)
@@ -87,6 +99,12 @@ type t = {
   m_static_screened : Obs.counter;
   m_static_rescored : Obs.counter;
       (* score mode: extra generator draws taken to find a leaky candidate *)
+  (* guided-generation telemetry *)
+  m_corpus_fresh : Obs.counter;  (* rounds that generated a fresh program *)
+  m_corpus_mutants : Obs.counter;  (* rounds that tested a corpus mutant *)
+  m_corpus_novel : Obs.counter;  (* novel coverage features discovered *)
+  m_corpus_seeds : Obs.gauge;  (* live corpus entries *)
+  m_corpus_coverage : Obs.gauge;  (* distinct coverage features *)
 }
 
 (* Speculation window the static pre-filter assumes.  The μarch engines
@@ -103,10 +121,26 @@ let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
   let defense = spec.Run_spec.defense in
   let cfg = config_of_spec spec in
   let contract = Option.value cfg.contract ~default:defense.Defense.contract in
-  let generator =
-    { cfg.generator with Generator.sandbox_pages = defense.Defense.sandbox_pages }
+  (* the defense dictates the sandbox capacity; apply it to the strategy's
+     base config (and the effective alias) so generation, mutation and
+     input synthesis all agree *)
+  let generation =
+    Run_spec.map_generation_base
+      (fun g -> { g with Generator.sandbox_pages = defense.Defense.sandbox_pages })
+      cfg.generation
   in
-  let cfg = { cfg with generator } in
+  let cfg =
+    { cfg with generation; generator = Run_spec.generation_base generation }
+  in
+  let corpus =
+    match Run_spec.generation_corpus generation with
+    | None -> None
+    | Some params ->
+        let sandbox_bytes =
+          defense.Defense.sandbox_pages * Amulet_emu.Memory.page_size
+        in
+        Some (Amulet_corpus.Corpus.create ~params ~sandbox_bytes ())
+  in
   let engine, stats =
     match engine with
     | Some (engine, stats) ->
@@ -132,6 +166,8 @@ let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
     rng = Rng.create ~seed:spec.Run_spec.seed;
     started_at = Obs.Clock.now_s ();
     quarantined = 0;
+    corpus;
+    last_feedback = None;
     budget_check = None;
     m_rounds = Obs.counter metrics "fuzzer.rounds";
     m_base_inputs = Obs.counter metrics "fuzzer.base_inputs";
@@ -143,11 +179,29 @@ let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
     m_static_leaky = Obs.counter metrics "static.leaky";
     m_static_screened = Obs.counter metrics "static.screened";
     m_static_rescored = Obs.counter metrics "static.rescored";
+    m_corpus_fresh = Obs.counter metrics "corpus.fresh";
+    m_corpus_mutants = Obs.counter metrics "corpus.mutants";
+    m_corpus_novel = Obs.counter metrics "corpus.novel_features";
+    m_corpus_seeds = Obs.gauge metrics "corpus.seeds";
+    m_corpus_coverage = Obs.gauge metrics "corpus.coverage_features";
   }
 
 let stats t = t.stats
 let contract t = t.contract
 let quarantined t = t.quarantined
+let corpus t = t.corpus
+
+(** Text checkpoint of the guided corpus ([None] for random specs);
+    embedded in campaign journals so resumed shards continue from the
+    corpus they left, not an empty one. *)
+let corpus_snapshot t = Option.map Amulet_corpus.Corpus.to_string t.corpus
+
+(** Restore a corpus checkpoint (journal resume).  No-op on random specs;
+    raises [Failure] on a malformed snapshot. *)
+let restore_corpus t s =
+  match t.corpus with
+  | None -> ()
+  | Some _ -> t.corpus <- Some (Amulet_corpus.Corpus.of_string s)
 
 (* Campaign-level wall-clock budget exhausted.  Deliberately NOT contained
    by [isolate_rounds]: the round's work is abandoned, and the campaign is
@@ -168,6 +222,8 @@ let reseed t ~seed = t.rng <- Rng.create ~seed
 type test_case = {
   input : Input.t;
   ctrace_hash : int64;
+  shape_hash : int64;  (** contract-trace shape digest (coverage feature) *)
+  spec_steps : int;  (** model instructions on mispredicted paths *)
   mutable outcome : Executor.outcome option;
 }
 
@@ -228,7 +284,15 @@ let build_test_cases t flat dl =
       | Some f -> fault := Some (Fault.of_run_fault f, base)
       | None ->
           Obs.incr t.m_base_inputs;
-          cases := { input = base; ctrace_hash = result.ctrace_hash; outcome = None } :: !cases;
+          cases :=
+            {
+              input = base;
+              ctrace_hash = result.ctrace_hash;
+              shape_hash = result.Leakage_model.shape_hash;
+              spec_steps = result.Leakage_model.spec_steps;
+              outcome = None;
+            }
+            :: !cases;
           (match result.Leakage_model.taint with
           | None -> ()
           | Some taint ->
@@ -243,7 +307,13 @@ let build_test_cases t flat dl =
                   if mr.Leakage_model.ctrace_hash = result.Leakage_model.ctrace_hash
                   then Obs.incr t.m_mutants_same_class;
                   cases :=
-                    { input = mutant; ctrace_hash = mr.ctrace_hash; outcome = None }
+                    {
+                      input = mutant;
+                      ctrace_hash = mr.ctrace_hash;
+                      shape_hash = mr.Leakage_model.shape_hash;
+                      spec_steps = mr.Leakage_model.spec_steps;
+                      outcome = None;
+                    }
                     :: !cases
                 end
               done)
@@ -307,6 +377,41 @@ let validate t flat (a : test_case) (b : test_case) =
     (fun acc ctx -> match acc with Some _ -> acc | None -> try_ctx ctx)
     None ctxs
 
+(* Aggregate one round's deterministic coverage feedback: contract-trace
+   shape/class structure from the model, per-run pipeline totals from the
+   executor outcomes.  Case order is fixed (base inputs then their
+   mutants), so the fold is reproducible across engines and worker
+   fleets. *)
+let feedback_of (arr : test_case array) : Amulet_corpus.Coverage.feedback =
+  let fnv_prime = 0x100000001b3L in
+  let shape_hash =
+    Array.fold_left
+      (fun h c -> Int64.mul (Int64.logxor h c.shape_hash) fnv_prime)
+      0xcbf29ce484222325L arr
+  in
+  let classes = Hashtbl.create 16 in
+  Array.iter (fun c -> Hashtbl.replace classes c.ctrace_hash ()) arr;
+  let spec_steps = Array.fold_left (fun a c -> a + c.spec_steps) 0 arr in
+  let sum f =
+    Array.fold_left
+      (fun a c ->
+        match c.outcome with
+        | Some o -> a + f o.Executor.sim_stats
+        | None -> a)
+      0 arr
+  in
+  {
+    Amulet_corpus.Coverage.shape_hash;
+    ctrace_classes = Hashtbl.length classes;
+    spec_steps;
+    cycles = sum (fun s -> s.Amulet_uarch.Simulator.cycles);
+    committed_insts = sum (fun s -> s.Amulet_uarch.Simulator.committed_insts);
+    squashes = sum (fun s -> s.Amulet_uarch.Simulator.squashes);
+    squashed_insts = sum (fun s -> s.Amulet_uarch.Simulator.squashed_insts);
+    spec_issued = sum (fun s -> s.Amulet_uarch.Simulator.spec_issued);
+    mispredicts = sum (fun s -> s.Amulet_uarch.Simulator.mispredicts);
+  }
+
 (* The round body; may raise ({!Deadline}, decoder errors, injected
    crashes) — {!test_program} contains whatever escapes. *)
 let test_program_exn t (flat : Program.flat) dl : round_result =
@@ -327,6 +432,7 @@ let test_program_exn t (flat : Program.flat) dl : round_result =
       match batch.Engine.batch_fault with
       | Some (f, input) -> discard t flat ~input f
       | None -> (
+          t.last_feedback <- Some (feedback_of arr);
           let candidate = ref None in
           List.iter
             (fun (_hash, members) ->
@@ -392,7 +498,7 @@ let test_program t (flat : Program.flat) : round_result =
 
 (* Static classification of a candidate program under this fuzzer's
    defense (sandbox capacity) and contract (speculation window). *)
-let static_leaky t flat =
+let static_report t flat =
   let sandbox_bytes =
     t.defense.Defense.sandbox_pages * Amulet_emu.Memory.page_size
   in
@@ -402,7 +508,9 @@ let static_leaky t flat =
       ~sandbox_bytes flat
   in
   if report.Amulet_static.Leakcheck.leaky then Obs.incr t.m_static_leaky;
-  report.Amulet_static.Leakcheck.leaky
+  report
+
+let static_leaky t flat = (static_report t flat).Amulet_static.Leakcheck.leaky
 
 (* Apply the static pre-filter: [None] means the round is screened out
    without simulating a single input. *)
@@ -430,24 +538,96 @@ let generate_filtered t gen =
       in
       Some (draw 1)
 
-(** Generate a fresh random program and fuzz it.  With
+let gen_fresh t () =
+  Stats.time t.stats Stats.Test_generation (fun () ->
+      Generator.generate_flat ~cfg:t.cfg.generator t.rng)
+
+(* One blind-random round (the classic [Random] strategy). *)
+let random_round t : round_result =
+  match generate_filtered t (gen_fresh t) with
+  | Some flat -> test_program t flat
+  | None -> Screened
+
+(* One guided round: the corpus scheduler decides generate-vs-mutate, the
+   mutation engine produces a lint-valid mutant (falling back to fresh
+   generation when it can't), and after simulation the coverage feedback
+   decides corpus admission.  All corpus state changes happen at round
+   granularity, after [test_program] returns, so campaign checkpoints
+   (taken at round boundaries) always capture a consistent corpus. *)
+let guided_round t c : round_result =
+  let open Amulet_corpus in
+  let params = Corpus.params c in
+  let parent, flat =
+    match Corpus.next c t.rng with
+    | Corpus.Fresh ->
+        Obs.incr t.m_corpus_fresh;
+        (None, gen_fresh t ())
+    | Corpus.Mutate e -> (
+        match
+          Stats.time t.stats Stats.Test_generation (fun () ->
+              Mutate.mutate ~cfg:t.cfg.generator
+                ~energy:params.Corpus.energy t.rng e.Corpus.program)
+        with
+        | Some (m, _ops) ->
+            Obs.incr t.m_corpus_mutants;
+            (Some e, m)
+        | None ->
+            (* no applicable operator produced a valid mutant *)
+            Obs.incr t.m_corpus_fresh;
+            (None, gen_fresh t ()))
+  in
+  (* static pre-filter: [Screen] skips provably leak-free candidates
+     before simulation; [Score] feeds the transmitter count in as
+     mutation energy (corpus admission bonus) instead of redrawing *)
+  let screened, bonus =
+    match t.cfg.static_filter with
+    | Run_spec.Off -> (false, 0)
+    | Run_spec.Screen ->
+        if static_leaky t flat then (false, 0)
+        else begin
+          Obs.incr t.m_static_screened;
+          (true, 0)
+        end
+    | Run_spec.Score ->
+        (false, Amulet_static.Leakcheck.score (static_report t flat))
+  in
+  t.last_feedback <- None;
+  let result = if screened then Screened else test_program t flat in
+  (match result with
+  | No_violation _ | Found _ ->
+      let novel =
+        match t.last_feedback with
+        | Some fb -> Corpus.observe c fb
+        | None -> 0
+      in
+      if novel > 0 then Obs.add t.m_corpus_novel novel;
+      let violation = match result with Found _ -> true | _ -> false in
+      Corpus.record c ?parent ~program:flat ~novel ~violation ~bonus ()
+  | Discarded _ | Screened -> ());
+  Corpus.tick c;
+  Obs.set_gauge t.m_corpus_seeds (float_of_int (Corpus.size c));
+  Obs.set_gauge t.m_corpus_coverage
+    (float_of_int (Coverage.size (Corpus.coverage c)));
+  result
+
+(** Run one fuzzing round: produce a test program per the spec's generation
+    strategy ([Random]: fresh draw; [Guided]: scheduler-driven generate-or-
+    mutate with coverage-feedback corpus admission) and fuzz it.  With
     [static_filter = Screen] a provably leak-free program ends the round
     immediately as {!Screened}. *)
 let round t : round_result =
-  let gen () =
-    Stats.time t.stats Stats.Test_generation (fun () ->
-        Generator.generate_flat ~cfg:t.cfg.generator t.rng)
+  let body () =
+    match t.corpus with
+    | Some c -> guided_round t c
+    | None -> random_round t
   in
   if t.cfg.isolate_rounds then
-    match generate_filtered t gen with
-    | Some flat -> test_program t flat
-    | None -> Screened
-    | exception exn ->
-        (* no program to quarantine: the generator itself misbehaved *)
+    try body () with
+    | Budget as e -> raise e
+    | exn ->
+        (* no program to quarantine: generation/mutation itself misbehaved
+           (test_program contains its own failures) *)
         let fault = Fault.of_exn exn in
         Stats.count_fault t.stats fault;
         Discarded fault
-  else
-    match generate_filtered t gen with
-    | Some flat -> test_program t flat
-    | None -> Screened
+  else body ()

@@ -9,7 +9,10 @@ type config = {
   n_base_inputs : int;
   boosts_per_input : int;
   contract : Contract.t option;  (** override the defense's default *)
+  generation : Run_spec.generation;  (** how test programs are produced *)
   generator : Generator.config;
+      (** effective base generator config (= [generation]'s base with the
+          defense's sandbox-pages override applied after {!create}) *)
   executor_mode : Executor.mode;
   engine : Engine.kind;  (** execution backend (trace-invisible) *)
   trace_format : Utrace.format;
@@ -57,6 +60,19 @@ val set_budget_check : t -> (unit -> bool) -> unit
 val quarantined : t -> int
 (** Test cases written to the quarantine corpus so far. *)
 
+val corpus : t -> Amulet_corpus.Corpus.t option
+(** The live seed corpus ([Some] iff the spec's generation strategy is
+    [Guided]). *)
+
+val corpus_snapshot : t -> string option
+(** Serialised corpus checkpoint ({!Amulet_corpus.Corpus.to_string});
+    [None] for [Random] specs.  Campaigns embed this in journal
+    checkpoints so resume continues with the same corpus. *)
+
+val restore_corpus : t -> string -> unit
+(** Replace the live corpus with a deserialised checkpoint (no-op for
+    [Random] specs).  Raises [Failure] on malformed input. *)
+
 val reseed : t -> seed:int -> unit
 (** Replace the PRNG stream; campaigns reseed per round so every round is
     reproducible in isolation (the property journal resume relies on). *)
@@ -75,5 +91,7 @@ val test_program : t -> Program.flat -> round_result
     shared context. *)
 
 val round : t -> round_result
-(** Generate a fresh random program and fuzz it, applying the spec's
-    [static_filter] first. *)
+(** Run one fuzzing round per the spec's generation strategy ([Random]:
+    fresh draw; [Guided]: corpus-scheduled generate-or-mutate with
+    coverage-feedback admission), applying the spec's [static_filter]
+    first. *)

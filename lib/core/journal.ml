@@ -13,6 +13,8 @@ type t = {
   test_cases : int;
   fault_counts : (Fault.cls * int) list;
   detection_times : float list;
+  corpus : string option;
+      (** serialised guided-fuzzing corpus checkpoint, if any *)
   violations : Violation_io.stored list;
 }
 
@@ -40,6 +42,12 @@ let output out (j : t) =
           j.fault_counts));
   Printf.fprintf out "detection_times=%s\n"
     (String.concat "," (List.map (Printf.sprintf "%.6f") j.detection_times));
+  (* the corpus checkpoint is multi-line text: store it OCaml-escaped on a
+     single key=value line so pre-corpus readers (tolerant of unknown keys)
+     and this parser both stay line-oriented *)
+  (match j.corpus with
+  | None -> ()
+  | Some c -> Printf.fprintf out "corpus=%s\n" (String.escaped c));
   (* integrity: a truncation that happens to land on a violation-block
      boundary would otherwise parse cleanly with silently fewer
      violations — the count makes any such tear detectable *)
@@ -168,6 +176,13 @@ let load path : t =
     test_cases = int_of "test_cases";
     fault_counts = parse_faults (find "faults");
     detection_times = parse_times (find "detection_times");
+    corpus =
+      (match Hashtbl.find_opt meta "corpus" with
+      | None -> None
+      | Some s -> (
+          try Some (Scanf.unescaped s)
+          with Scanf.Scan_failure _ | Failure _ ->
+            raise (Format_error "bad corpus escape")));
     violations;
   }
 

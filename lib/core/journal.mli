@@ -22,6 +22,12 @@ type t = {
   test_cases : int;
   fault_counts : (Fault.cls * int) list;
   detection_times : float list;
+  corpus : string option;
+      (** serialised guided-fuzzing corpus ({!Amulet_corpus.Corpus.to_string})
+          captured at checkpoint time; [None] for random-generation
+          campaigns.  Stored escaped on one [corpus=] line, so journals
+          written by older builds (no key) and read by older builds
+          (unknown keys ignored) stay compatible. *)
   violations : Violation_io.stored list;
 }
 

@@ -20,7 +20,7 @@ open Amulet_contracts
 open Amulet_defenses
 module Config = Amulet_uarch.Config
 
-let version = 2
+let version = 3
 
 (* Refuse absurd lengths before allocating: garbage on the socket must not
    look like a 4 GB frame. *)
@@ -183,6 +183,43 @@ let g_generator rd =
     fence_fraction;
   }
 
+(* v3: the full generation strategy travels on the wire, so guided
+   campaigns run identically on worker fleets and in process. *)
+let p_corpus_params b (p : Amulet_corpus.Corpus.params) =
+  p_int b p.Amulet_corpus.Corpus.capacity;
+  p_int b p.max_age;
+  p_float b p.mutate_fraction;
+  p_int b p.energy;
+  p_list p_str b p.seed_programs
+
+let g_corpus_params rd =
+  let capacity = g_int rd in
+  let max_age = g_int rd in
+  let mutate_fraction = g_float rd in
+  let energy = g_int rd in
+  let seed_programs = g_list g_str rd in
+  { Amulet_corpus.Corpus.capacity; max_age; mutate_fraction; energy;
+    seed_programs }
+
+let p_generation b (g : Run_spec.generation) =
+  match g with
+  | Run_spec.Random cfg ->
+      p_u8 b 0;
+      p_generator b cfg
+  | Run_spec.Guided { base; corpus } ->
+      p_u8 b 1;
+      p_generator b base;
+      p_corpus_params b corpus
+
+let g_generation rd : Run_spec.generation =
+  match g_u8 rd with
+  | 0 -> Run_spec.Random (g_generator rd)
+  | 1 ->
+      let base = g_generator rd in
+      let corpus = g_corpus_params rd in
+      Run_spec.Guided { base; corpus }
+  | n -> raise (Protocol_error (Printf.sprintf "bad generation strategy %d" n))
+
 let p_injector b (i : Fault.injector) =
   p_float b i.Fault.p_crash;
   p_float b i.p_timeout;
@@ -308,7 +345,7 @@ let p_spec b (s : Run_spec.t) =
   p_opt p_float b s.Run_spec.budget_ms;
   p_int b s.Run_spec.n_base_inputs;
   p_int b s.Run_spec.boosts_per_input;
-  p_generator b s.Run_spec.generator;
+  p_generation b s.Run_spec.generation;
   p_mode b s.Run_spec.mode;
   p_kind b s.Run_spec.engine;
   p_format b s.Run_spec.trace_format;
@@ -343,7 +380,7 @@ let g_spec rd : Run_spec.t =
   let budget_ms = g_opt g_float rd in
   let n_base_inputs = g_int rd in
   let boosts_per_input = g_int rd in
-  let generator = g_generator rd in
+  let generation = g_generation rd in
   let mode = g_mode rd in
   let engine = g_kind rd in
   let trace_format = g_format rd in
@@ -360,7 +397,8 @@ let g_spec rd : Run_spec.t =
   in
   {
     Run_spec.defense; contract; rounds; seed; stop_after_violations; classify;
-    deadline_ms; budget_ms; n_base_inputs; boosts_per_input; generator; mode;
+    deadline_ms; budget_ms; n_base_inputs; boosts_per_input; generation;
+    generator = Run_spec.generation_base generation; mode;
     engine; trace_format; boot_insts; sim_config; quarantine_dir; chaos;
     isolate_rounds; static_filter;
   }

@@ -1,42 +1,1 @@
-(** Deterministic pseudo-random number generator (splitmix64).
-
-    Every random decision in AMuLeT — program shapes, input values, boosting
-    mutations — flows through a seeded instance, so campaigns are exactly
-    reproducible from their seed (Revizor's inputs are likewise
-    "generated with a seeded PRNG"). *)
-
-type t = { mutable state : int64 }
-
-let create ~seed = { state = Int64.of_int seed }
-
-let split t = { state = Int64.add t.state 0x9E3779B97F4A7C15L }
-
-(** Next raw 64-bit value. *)
-let next64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-  Int64.logxor z (Int64.shift_right_logical z 31)
-
-(** Uniform integer in [0, bound). *)
-let int t bound =
-  assert (bound > 0);
-  let v = Int64.to_int (Int64.shift_right_logical (next64 t) 2) in
-  v mod bound
-
-(** Uniform boolean with probability [p] of [true]. *)
-let bool t ~p = float_of_int (int t 1_000_000) /. 1_000_000. < p
-
-(** Uniform choice from a non-empty list. *)
-let choose t xs = List.nth xs (int t (List.length xs))
-
-(** Weighted choice: [(weight, value)] pairs, weights positive. *)
-let weighted t pairs =
-  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 pairs in
-  let pick = int t total in
-  let rec go acc = function
-    | [] -> invalid_arg "Rng.weighted: empty"
-    | (w, v) :: rest -> if pick < acc + w then v else go (acc + w) rest
-  in
-  go 0 pairs
+include Amulet_corpus.Rng

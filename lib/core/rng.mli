@@ -1,16 +1,8 @@
-(** Deterministic seeded PRNG (splitmix64); every random decision in AMuLeT
-    flows through an instance, so campaigns replay exactly from their
-    seed. *)
+(** Deprecated alias for {!Amulet_corpus.Rng}, kept so existing
+    [Amulet.Rng] callers keep compiling.  The PRNG moved into the
+    [amulet_corpus] library so the corpus/mutation layer (which sits below
+    [amulet]) can share the deterministic stream. *)
 
-type t
-
-val create : seed:int -> t
-val split : t -> t
-val next64 : t -> int64
-
-val int : t -> int -> int
-(** Uniform in [\[0, bound)]; [bound > 0]. *)
-
-val bool : t -> p:float -> bool
-val choose : t -> 'a list -> 'a
-val weighted : t -> (int * 'a) list -> 'a
+include module type of struct
+  include Amulet_corpus.Rng
+end

@@ -19,6 +19,32 @@ let static_filter_of_name = function
   | "score" -> Some Score
   | _ -> None
 
+(** The generation strategy: how each round's test program is produced.
+    [Random] is the classic blind-random Revizor front end; [Guided] layers
+    the coverage-feedback corpus, seed scheduler and mutation engine of
+    [Amulet_corpus] on top of the same base generator. *)
+type generation =
+  | Random of Generator.config
+  | Guided of { base : Generator.config; corpus : Amulet_corpus.Corpus.params }
+
+let random ?(config = Generator.default) () = Random config
+
+let guided ?(base = Generator.default)
+    ?(corpus = Amulet_corpus.Corpus.default_params) () =
+  Guided { base; corpus }
+
+let generation_name = function Random _ -> "random" | Guided _ -> "guided"
+
+let generation_base = function Random g -> g | Guided { base; _ } -> base
+
+let generation_corpus = function
+  | Random _ -> None
+  | Guided { corpus; _ } -> Some corpus
+
+let map_generation_base f = function
+  | Random g -> Random (f g)
+  | Guided g -> Guided { g with base = f g.base }
+
 type t = {
   defense : Defense.t;
   contract : Contract.t option;
@@ -30,7 +56,9 @@ type t = {
   budget_ms : float option;
   n_base_inputs : int;
   boosts_per_input : int;
+  generation : generation;
   generator : Generator.config;
+      (** deprecated alias: always the base config of [generation] *)
   mode : Executor.mode;
   engine : Engine.kind;
   trace_format : Utrace.format;
@@ -44,7 +72,7 @@ type t = {
 
 let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
     ?budget_ms ?(inputs = 10) ?(boosts = 4) ?contract ?stop_after
-    ?(classify = true) ?(generator = Generator.default) ?(mode = Executor.Opt)
+    ?(classify = true) ?generation ?generator ?(mode = Executor.Opt)
     ?(trace_format = Utrace.L1d_tlb)
     ?(boot_insts = Amulet_uarch.Simulator.default_boot_insts) ?sim_config
     ?quarantine_dir ?chaos ?(isolate_rounds = true) ?(static_filter = Off) () =
@@ -54,6 +82,15 @@ let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
     | None, Some Executor.Pool -> Engine.Pooled
     | None, Some Executor.Rebuild -> Engine.Naive
     | None, None -> Engine.Pooled
+  in
+  (* [generation] is the API; [generator] survives as the deprecated
+     random-only spelling.  An explicit strategy wins; the alias field is
+     kept coherent with the strategy's base config either way. *)
+  let generation =
+    match (generation, generator) with
+    | Some g, _ -> g
+    | None, Some cfg -> Random cfg
+    | None, None -> Random Generator.default
   in
   {
     defense;
@@ -66,7 +103,8 @@ let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
     budget_ms;
     n_base_inputs = inputs;
     boosts_per_input = boosts;
-    generator;
+    generation;
+    generator = generation_base generation;
     mode;
     engine;
     trace_format;
@@ -81,13 +119,27 @@ let make ~defense ?engine ?backend ?(seed = 42) ?(rounds = 20) ?deadline_ms
 let with_seed t seed = { t with seed }
 let with_defense t defense = { t with defense }
 
+let generator_config t = generation_base t.generation
+
+let corpus_params t = generation_corpus t.generation
+
+(* Update the strategy's base generator config (and the alias field with
+   it) — e.g. the defense-driven sandbox-pages override in [Fuzzer]. *)
+let map_generator f t =
+  let generation = map_generation_base f t.generation in
+  { t with generation; generator = generation_base generation }
+
+let with_generation t generation =
+  { t with generation; generator = generation_base generation }
+
 let contract_name t =
   match t.contract with
   | Some c -> c.Contract.name
   | None -> t.defense.Defense.contract.Contract.name
 
 let pp ppf t =
-  Format.fprintf ppf "%s vs %s: %d rounds, seed %d, %s engine, %s mode"
+  Format.fprintf ppf "%s vs %s: %d rounds, seed %d, %s engine, %s mode, %s gen"
     t.defense.Defense.name (contract_name t) t.rounds t.seed
     (match t.engine with Engine.Pooled -> "pooled" | Engine.Naive -> "naive")
     (match t.mode with Executor.Opt -> "opt" | Executor.Naive -> "naive")
+    (generation_name t.generation)

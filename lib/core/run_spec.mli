@@ -25,6 +25,28 @@ type static_filter = Off | Screen | Score
 val static_filter_name : static_filter -> string
 val static_filter_of_name : string -> static_filter option
 
+type generation =
+  | Random of Generator.config
+  | Guided of { base : Generator.config; corpus : Amulet_corpus.Corpus.params }
+      (** [Random] is the classic blind-random front end; [Guided] layers
+          the coverage-feedback corpus, power-schedule seed scheduler and
+          mutation engine of [Amulet_corpus] on the same base generator. *)
+
+val random : ?config:Generator.config -> unit -> generation
+val guided :
+  ?base:Generator.config -> ?corpus:Amulet_corpus.Corpus.params -> unit ->
+  generation
+
+val generation_name : generation -> string
+(** ["random"] or ["guided"]. *)
+
+val generation_base : generation -> Generator.config
+val generation_corpus : generation -> Amulet_corpus.Corpus.params option
+
+val map_generation_base :
+  (Generator.config -> Generator.config) -> generation -> generation
+(** Update the base generator config inside either strategy. *)
+
 type t = {
   (* what to test *)
   defense : Defense.t;
@@ -41,7 +63,13 @@ type t = {
   (* input population *)
   n_base_inputs : int;
   boosts_per_input : int;
+  generation : generation;  (** how each round's test program is produced *)
   generator : Generator.config;
+      (** @deprecated alias: always equal to [generation_base generation];
+          kept so pre-strategy callers that read the flat field keep
+          working.  Write through {!make} [?generator], {!with_generation}
+          or {!map_generator}, never by functional update of this field
+          alone. *)
   (* execution *)
   mode : Executor.mode;
   engine : Engine.kind;  (** execution backend (trace-invisible) *)
@@ -68,6 +96,7 @@ val make :
   ?contract:Contract.t ->
   ?stop_after:int ->
   ?classify:bool ->
+  ?generation:generation ->
   ?generator:Generator.config ->
   ?mode:Executor.mode ->
   ?trace_format:Utrace.format ->
@@ -84,10 +113,27 @@ val make :
     L1D+TLB traces, the defense's own contract, classification on.
     [backend] is accepted as the executor-level spelling of the engine
     choice ([Pool] -> [Pooled], [Rebuild] -> [Naive]); an explicit [engine]
-    wins when both are given. *)
+    wins when both are given.  [generation] (default [Random]) is the
+    generation strategy; [generator] is its deprecated random-only
+    spelling, and an explicit [generation] wins when both are given. *)
 
 val with_seed : t -> int -> t
 val with_defense : t -> Defense.t -> t
+
+val with_generation : t -> generation -> t
+(** Replace the generation strategy (keeps the deprecated [generator]
+    alias coherent). *)
+
+val generator_config : t -> Generator.config
+(** Base generator config of the strategy (= the deprecated [generator]
+    field). *)
+
+val corpus_params : t -> Amulet_corpus.Corpus.params option
+(** [Some] iff the spec is [Guided]. *)
+
+val map_generator : (Generator.config -> Generator.config) -> t -> t
+(** Update the strategy's base generator config in place (and the alias
+    with it) — e.g. the defense-driven sandbox-pages override. *)
 
 val contract_name : t -> string
 (** The contract this spec tests — knowable without running anything. *)

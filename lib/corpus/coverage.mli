@@ -1,0 +1,43 @@
+(** Coverage map for feedback-guided generation: counts qualitative
+    per-run features (contract-trace shape, log₂-bucketed pipeline
+    counters).  Deterministic: features derive from the pipeline's own
+    per-run totals and the contract trace, never from wall clock or the
+    detachable telemetry registry. *)
+
+type feedback = {
+  shape_hash : int64;  (** contract-trace shape digest (observation kinds) *)
+  ctrace_classes : int;  (** distinct contract-trace hashes over the inputs *)
+  spec_steps : int;  (** emulator instructions on mispredicted paths *)
+  cycles : int;
+  committed_insts : int;
+  squashes : int;
+  squashed_insts : int;
+  spec_issued : int;
+  mispredicts : int;
+}
+
+val bucket : int -> int
+(** log₂ count-classing: 0→0, 1→1, 2-3→2, 4-7→3, … *)
+
+val features_of : feedback -> int64 list
+
+type t
+
+val create : unit -> t
+
+val observe : t -> feedback -> int
+(** Record one run's features; returns the number never seen before (> 0
+    means the run was novel). *)
+
+val size : t -> int
+(** Distinct features seen. *)
+
+val observations : t -> int
+(** Total {!observe} calls. *)
+
+val sorted_hits : t -> (int64 * int) list
+(** (feature, hits), sorted by feature — iteration-order independent. *)
+
+val to_lines : t -> string list
+val of_lines : string list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,206 @@
+(** Random test-program generator (the Revizor-style front end).
+
+    Programs are up to [blocks] basic blocks of randomly selected
+    instructions, linked by forward conditional jumps into a directed acyclic
+    control-flow graph (paper §3.1).  Every memory access is forced into the
+    sandbox by an AND-mask instrumentation instruction on the offset
+    register, exactly as Revizor instruments x86 tests. *)
+
+open Amulet_isa
+
+type config = {
+  blocks : int;  (** number of basic blocks, at most 5 in the paper *)
+  min_insts_per_block : int;
+  max_insts_per_block : int;
+  mem_fraction : float;  (** fraction of instructions that access memory *)
+  store_fraction : float;  (** of memory accesses, fraction that are stores *)
+  sandbox_pages : int;
+  unaligned_fraction : float;
+      (** fraction of memory offsets NOT aligned to 8 bytes (enables
+          line-crossing "split" accesses, the UV4 trigger) *)
+  fence_fraction : float;  (** fraction of instructions that are LFENCEs *)
+}
+
+let default =
+  {
+    blocks = 5;
+    min_insts_per_block = 4;
+    max_insts_per_block = 10;
+    mem_fraction = 0.35;
+    store_fraction = 0.3;
+    sandbox_pages = 1;
+    unaligned_fraction = 0.15;
+    fence_fraction = 0.0;
+  }
+
+(* Registers the generator may use as operands/destinations: everything but
+   the sandbox base (R14) and the harness scratch register (R15). *)
+let usable_regs =
+  List.filter
+    (fun r -> not (Reg.equal r Reg.sandbox_base) && not (Reg.equal r Reg.R15))
+    Reg.all
+
+let random_reg rng = Rng.choose rng usable_regs
+
+let random_width rng =
+  Rng.weighted rng [ (6, Width.W64); (2, Width.W32); (1, Width.W16); (1, Width.W8) ]
+
+let random_cond rng = Rng.choose rng Cond.all
+
+let small_imm rng = Int64.of_int (Rng.int rng 256)
+
+(* The sandbox mask: wraps an arbitrary register value into a sandbox
+   offset. [align] clears low bits so most accesses stay within a line. *)
+let sandbox_mask cfg ~align =
+  let size = cfg.sandbox_pages * 4096 in
+  Int64.of_int ((size - 1) land lnot (align - 1))
+
+(* Instrumentation + memory operand: AND the offset register with the
+   sandbox mask, then access [R14 + reg]. *)
+let masked_mem_operand cfg rng =
+  let reg = random_reg rng in
+  let align =
+    if Rng.bool rng ~p:cfg.unaligned_fraction then 1
+    else if Rng.bool rng ~p:0.5 then 64
+    else 8
+  in
+  let mask = sandbox_mask cfg ~align in
+  let instrument = Inst.Binop (Inst.And, Width.W64, Operand.Reg reg, Operand.Imm mask) in
+  let operand = Operand.mem ~index:(Some reg) Reg.sandbox_base in
+  instrument, operand
+
+(* One random non-memory instruction. *)
+let random_alu_inst rng =
+  let r1 = random_reg rng and r2 = random_reg rng in
+  let binop () =
+    let op =
+      Rng.choose rng
+        [ Inst.Add; Inst.Adc; Inst.Sub; Inst.Sbb; Inst.And; Inst.Or; Inst.Xor ]
+    in
+    let src =
+      if Rng.bool rng ~p:0.4 then Operand.Imm (small_imm rng) else Operand.Reg r2
+    in
+    Inst.Binop (op, Width.W64, Operand.Reg r1, src)
+  in
+  Rng.weighted rng
+    [
+      (8, `Binop);
+      (3, `Mov);
+      (3, `Cmp);
+      (2, `Test);
+      (2, `Shift);
+      (2, `Setcc);
+      (2, `Cmov);
+      (1, `Unop);
+      (1, `Imul);
+      (1, `Lea);
+      (1, `Xchg);
+      (1, `Nop);
+    ]
+  |> function
+  | `Binop -> binop ()
+  | `Mov ->
+      let src =
+        if Rng.bool rng ~p:0.3 then Operand.Imm (Rng.next64 rng) else Operand.Reg r2
+      in
+      Inst.Mov (Width.W64, Operand.Reg r1, src)
+  | `Cmp ->
+      let src =
+        if Rng.bool rng ~p:0.5 then Operand.Imm (small_imm rng) else Operand.Reg r2
+      in
+      Inst.Cmp (Width.W64, Operand.Reg r1, src)
+  | `Test -> Inst.Test (Width.W64, Operand.Reg r1, Operand.Reg r2)
+  | `Shift ->
+      let k = Rng.choose rng [ Inst.Shl; Inst.Shr; Inst.Sar; Inst.Rol; Inst.Ror ] in
+      Inst.Shift (k, Width.W64, Operand.Reg r1, 1 + Rng.int rng 8)
+  | `Setcc -> Inst.Setcc (random_cond rng, Operand.Reg r1)
+  | `Cmov -> Inst.Cmovcc (random_cond rng, Width.W64, r1, Operand.Reg r2)
+  | `Unop ->
+      let u = Rng.choose rng [ Inst.Not; Inst.Neg; Inst.Inc; Inst.Dec; Inst.Bswap ] in
+      Inst.Unop (u, Width.W64, Operand.Reg r1)
+  | `Xchg -> Inst.Xchg (Width.W64, r1, r2)
+  | `Imul -> Inst.Imul (Width.W64, r1, Operand.Reg r2)
+  | `Lea ->
+      Inst.Lea (r1, { Operand.base = Reg.sandbox_base; index = Some r2; scale = 1; disp = Rng.int rng 64 })
+  | `Nop -> Inst.Nop
+
+(* One random memory instruction (with its mask instrumentation). *)
+let random_mem_insts cfg rng =
+  let instrument, mem_op = masked_mem_operand cfg rng in
+  let w = random_width rng in
+  let data_reg = random_reg rng in
+  let inst =
+    if Rng.bool rng ~p:cfg.store_fraction then
+      (* store forms: plain store, or read-modify-write *)
+      if Rng.bool rng ~p:0.3 then
+        Inst.Binop
+          (Rng.choose rng [ Inst.Add; Inst.Sub; Inst.Xor ], w, mem_op, Operand.Reg data_reg)
+      else Inst.Mov (w, mem_op, Operand.Reg data_reg)
+    else if Rng.bool rng ~p:0.15 then
+      Inst.Cmovcc (random_cond rng, w, data_reg, mem_op)
+    else if w <> Width.W64 && Rng.bool rng ~p:0.3 then
+      Inst.Movx
+        ((if Rng.bool rng ~p:0.5 then Inst.Zero else Inst.Sign), w, data_reg, mem_op)
+    else Inst.Mov (w, Operand.Reg data_reg, mem_op)
+  in
+  [ instrument; inst ]
+
+let random_block cfg rng =
+  let n =
+    cfg.min_insts_per_block
+    + Rng.int rng (cfg.max_insts_per_block - cfg.min_insts_per_block + 1)
+  in
+  let rec build k acc =
+    if k <= 0 then List.rev acc
+    else if Rng.bool rng ~p:cfg.mem_fraction then
+      build (k - 1) (List.rev_append (random_mem_insts cfg rng) acc)
+    else if cfg.fence_fraction > 0. && Rng.bool rng ~p:cfg.fence_fraction then
+      build (k - 1) (Inst.Fence :: acc)
+    else build (k - 1) (random_alu_inst rng :: acc)
+  in
+  build n []
+
+let block_label i = Printf.sprintf "bb%d" i
+
+(** Generate a random program: a DAG of [cfg.blocks] basic blocks where each
+    block (except the last) ends with a conditional jump to a strictly later
+    block, falling through otherwise. *)
+let generate ?(cfg = default) rng : Program.t =
+  let nblocks = max 1 cfg.blocks in
+  let blocks =
+    List.init nblocks (fun i ->
+        let body = random_block cfg rng in
+        let body =
+          if i < nblocks - 1 && Rng.bool rng ~p:0.8 then begin
+            (* jump forward to a random later block *)
+            let target = i + 1 + Rng.int rng (nblocks - 1 - i) in
+            body @ [ Inst.Jcc (random_cond rng, Inst.Label (block_label target)) ]
+          end
+          else body
+        in
+        { Program.label = block_label i; body })
+  in
+  Program.make blocks
+
+(** Generate and flatten in one step. *)
+let generate_flat ?cfg rng = Program.flatten (generate ?cfg rng)
+
+(** Generate with reject-and-regenerate on well-formedness lint {e errors}
+    (warnings are expected of random programs and do not reject).  The
+    generator is designed never to produce a lint error, so a rejection is a
+    generator bug: after [max_attempts] failures the last lint report is
+    raised as a [Failure] naming the diagnostics instead of silently
+    feeding a malformed program downstream. *)
+let generate_lint_free ?(cfg = default) ?(max_attempts = 8) rng : Program.flat =
+  let sandbox_bytes = cfg.sandbox_pages * 4096 in
+  let rec attempt k =
+    let flat = generate_flat ~cfg rng in
+    let report = Amulet_static.Lint.check ~sandbox_bytes flat in
+    if Amulet_static.Lint.ok report then flat
+    else if k + 1 >= max_attempts then
+      failwith
+        (Format.asprintf "Generator.generate_lint_free: %d attempts, still: %a"
+           max_attempts Amulet_static.Lint.pp report)
+    else attempt (k + 1)
+  in
+  attempt 0

@@ -1,0 +1,36 @@
+(** Random test-program generator (the Revizor-style front end): up to
+    [blocks] basic blocks in a forward DAG, with AND-mask instrumentation
+    forcing every memory access into the sandbox. *)
+
+open Amulet_isa
+
+type config = {
+  blocks : int;
+  min_insts_per_block : int;
+  max_insts_per_block : int;
+  mem_fraction : float;
+  store_fraction : float;
+  sandbox_pages : int;
+  unaligned_fraction : float;
+      (** fraction of memory offsets not 8-byte aligned (enables the
+          line-crossing accesses that trigger UV4) *)
+  fence_fraction : float;
+      (** fraction of instructions that are LFENCEs; fences drain the
+          speculation window, so raising this makes some generated programs
+          statically leak-free (the population where [static_filter =
+          Screen] pays off) *)
+}
+
+val default : config
+
+val usable_regs : Reg.t list
+(** Everything but the sandbox base (R14) and harness scratch (R15). *)
+
+val generate : ?cfg:config -> Rng.t -> Program.t
+val generate_flat : ?cfg:config -> Rng.t -> Program.flat
+
+val generate_lint_free : ?cfg:config -> ?max_attempts:int -> Rng.t -> Program.flat
+(** {!generate_flat} with reject-and-regenerate on well-formedness lint
+    {e errors} (warnings do not reject).  The generator should never trip
+    the lint, so exhausting [max_attempts] (default 8) raises [Failure]
+    naming the diagnostics — a generator bug surfaced, not hidden. *)

@@ -1,0 +1,358 @@
+(** Program-level mutation engine for feedback-guided generation.
+
+    Mutants are derived from corpus seeds by small semantic edits —
+    operand/opcode/immediate tweaks, branch-condition flips, fence
+    insertion/removal, and splicing in freshly generated donor code — and
+    every mutant is validated by the {!Amulet_static.Lint} well-formedness
+    check before it is allowed near a simulator, so malformed programs
+    never waste simulation time.
+
+    Two invariants every operator preserves:
+    - the forward-DAG control flow {!Amulet_isa.Program.is_dag} requires
+      (index edits on insert/remove/splice shift branch targets in lock
+      step with the instructions);
+    - the sandbox-masking discipline: the AND-mask instrument that guards
+      each memory access is never separated from its access (instrument
+      immediates and instrument/access pairs are off-limits to the
+      immediate tweak and to splice windows), so mutants keep their memory
+      traffic inside the sandbox instead of faulting. *)
+
+open Amulet_isa
+
+type op =
+  | Tweak_imm
+  | Tweak_reg
+  | Flip_cond
+  | Swap_opcode
+  | Fence_insert
+  | Fence_remove
+  | Splice
+
+let op_name = function
+  | Tweak_imm -> "tweak-imm"
+  | Tweak_reg -> "tweak-reg"
+  | Flip_cond -> "flip-cond"
+  | Swap_opcode -> "swap-opcode"
+  | Fence_insert -> "fence-insert"
+  | Fence_remove -> "fence-remove"
+  | Splice -> "splice"
+
+let all_ops =
+  [ Tweak_imm; Tweak_reg; Flip_cond; Swap_opcode; Fence_insert; Fence_remove;
+    Splice ]
+
+(* ------------------------------------------------------------------ *)
+(* Structural helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let operands = function
+  | Inst.Binop (_, _, a, b)
+  | Inst.Mov (_, a, b)
+  | Inst.Cmp (_, a, b)
+  | Inst.Test (_, a, b) ->
+      [ a; b ]
+  | Inst.Unop (_, _, a) | Inst.Setcc (_, a) | Inst.Shift (_, _, a, _) -> [ a ]
+  | Inst.Imul (_, r, b) | Inst.Movx (_, _, r, b) | Inst.Cmovcc (_, _, r, b) ->
+      [ Operand.Reg r; b ]
+  | Inst.Xchg (_, a, b) -> [ Operand.Reg a; Operand.Reg b ]
+  | Inst.Lea (r, m) -> [ Operand.Reg r; Operand.Mem m ]
+  | _ -> []
+
+(* Is [code.(j)] the AND-mask instrument guarding an access at [j+1]?
+   (The generator always emits the pair adjacently.) *)
+let pair_at code j =
+  j >= 0
+  && j + 1 < Array.length code
+  &&
+  match code.(j) with
+  | Inst.Binop (Inst.And, Width.W64, Operand.Reg r, Operand.Imm _) ->
+      List.exists
+        (function
+          | Operand.Mem { Operand.index = Some r'; _ } -> Reg.equal r r'
+          | _ -> false)
+        (operands code.(j + 1))
+  | _ -> false
+
+(* A sandbox-mask instrument's immediate must never be tweaked (that is the
+   containment guarantee); conservatively, any AND-with-immediate. *)
+let is_mask_instrument = function
+  | Inst.Binop (Inst.And, _, _, Operand.Imm _) -> true
+  | _ -> false
+
+let remap_targets code f =
+  Array.map
+    (function
+      | Inst.Jmp (Inst.Abs t) -> Inst.Jmp (Inst.Abs (f t))
+      | Inst.Jcc (c, Inst.Abs t) -> Inst.Jcc (c, Inst.Abs (f t))
+      | i -> i)
+    code
+
+(* Pick a random element of the sites selected by [select]; [None] when the
+   program has no such site. *)
+let pick_site rng code select =
+  let sites = ref [] in
+  Array.iteri (fun i inst -> if select i inst then sites := i :: !sites) code;
+  match !sites with
+  | [] -> None
+  | sites -> Some (Rng.choose rng (List.rev sites))
+
+(* ------------------------------------------------------------------ *)
+(* Operators (each returns [None] when it has no applicable site)      *)
+(* ------------------------------------------------------------------ *)
+
+let tweak_imm rng code =
+  let site _ inst =
+    (not (is_mask_instrument inst))
+    &&
+    match inst with
+    | Inst.Binop (_, _, _, Operand.Imm _)
+    | Inst.Mov (_, _, Operand.Imm _)
+    | Inst.Cmp (_, _, Operand.Imm _)
+    | Inst.Shift _ ->
+        true
+    | _ -> false
+  in
+  match pick_site rng code site with
+  | None -> None
+  | Some i ->
+      let tweak v =
+        match Rng.int rng 4 with
+        | 0 -> Int64.add v 1L
+        | 1 -> Int64.sub v 1L
+        | 2 -> Int64.logxor v (Int64.shift_left 1L (Rng.int rng 8))
+        | _ -> Int64.of_int (Rng.int rng 256)
+      in
+      let code = Array.copy code in
+      (code.(i) <-
+         (match code.(i) with
+         | Inst.Binop (op, w, d, Operand.Imm v) ->
+             Inst.Binop (op, w, d, Operand.Imm (tweak v))
+         | Inst.Mov (w, d, Operand.Imm v) -> Inst.Mov (w, d, Operand.Imm (tweak v))
+         | Inst.Cmp (w, d, Operand.Imm v) -> Inst.Cmp (w, d, Operand.Imm (tweak v))
+         | Inst.Shift (k, w, a, _) -> Inst.Shift (k, w, a, 1 + Rng.int rng 8)
+         | i -> i));
+      Some code
+
+(* Source-register replacement only: dests are left alone (so the sandbox
+   base can never be overwritten and mask/access pairings stay in sync);
+   value changes upstream of an access are harmless because the AND mask
+   re-contains whatever reaches the index register. *)
+let tweak_reg rng code =
+  let site _ = function
+    | Inst.Binop (_, _, _, Operand.Reg _)
+    | Inst.Mov (_, _, Operand.Reg _)
+    | Inst.Cmp (_, _, Operand.Reg _)
+    | Inst.Test (_, _, Operand.Reg _)
+    | Inst.Imul (_, _, Operand.Reg _)
+    | Inst.Cmovcc (_, _, _, Operand.Reg _) ->
+        true
+    | _ -> false
+  in
+  match pick_site rng code site with
+  | None -> None
+  | Some i ->
+      let r' = Rng.choose rng Generator.usable_regs in
+      let code = Array.copy code in
+      (code.(i) <-
+         (match code.(i) with
+         | Inst.Binop (op, w, d, Operand.Reg _) ->
+             Inst.Binop (op, w, d, Operand.Reg r')
+         | Inst.Mov (w, d, Operand.Reg _) -> Inst.Mov (w, d, Operand.Reg r')
+         | Inst.Cmp (w, d, Operand.Reg _) -> Inst.Cmp (w, d, Operand.Reg r')
+         | Inst.Test (w, d, Operand.Reg _) -> Inst.Test (w, d, Operand.Reg r')
+         | Inst.Imul (w, d, Operand.Reg _) -> Inst.Imul (w, d, Operand.Reg r')
+         | Inst.Cmovcc (c, w, d, Operand.Reg _) ->
+             Inst.Cmovcc (c, w, d, Operand.Reg r')
+         | i -> i));
+      Some code
+
+let flip_cond rng code =
+  let site _ = function
+    | Inst.Jcc _ | Inst.Setcc _ | Inst.Cmovcc _ -> true
+    | _ -> false
+  in
+  match pick_site rng code site with
+  | None -> None
+  | Some i ->
+      let c' = Rng.choose rng Cond.all in
+      let code = Array.copy code in
+      (code.(i) <-
+         (match code.(i) with
+         | Inst.Jcc (_, t) -> Inst.Jcc (c', t)
+         | Inst.Setcc (_, o) -> Inst.Setcc (c', o)
+         | Inst.Cmovcc (_, w, r, o) -> Inst.Cmovcc (c', w, r, o)
+         | i -> i));
+      Some code
+
+let swap_opcode rng code =
+  let site _ inst =
+    (not (is_mask_instrument inst))
+    &&
+    match inst with
+    | Inst.Binop _ | Inst.Shift _ | Inst.Unop _ -> true
+    | _ -> false
+  in
+  match pick_site rng code site with
+  | None -> None
+  | Some i ->
+      let code = Array.copy code in
+      (code.(i) <-
+         (match code.(i) with
+         | Inst.Binop (_, w, a, b) ->
+             let op' =
+               Rng.choose rng
+                 [ Inst.Add; Inst.Adc; Inst.Sub; Inst.Sbb; Inst.And; Inst.Or;
+                   Inst.Xor ]
+             in
+             Inst.Binop (op', w, a, b)
+         | Inst.Shift (_, w, a, n) ->
+             let k' =
+               Rng.choose rng [ Inst.Shl; Inst.Shr; Inst.Sar; Inst.Rol; Inst.Ror ]
+             in
+             Inst.Shift (k', w, a, n)
+         | Inst.Unop (_, w, a) ->
+             let u' =
+               Rng.choose rng [ Inst.Not; Inst.Neg; Inst.Inc; Inst.Dec; Inst.Bswap ]
+             in
+             Inst.Unop (u', w, a)
+         | i -> i));
+      Some code
+
+(* Insert a fence at position [p]; all branch targets >= p shift with the
+   instructions, preserving forwardness. *)
+let fence_insert rng code =
+  let len = Array.length code in
+  if len < 2 then None
+  else begin
+    let p = Rng.int rng (len - 1) (* keep the final Exit last *) in
+    let out = Array.make (len + 1) Inst.Fence in
+    Array.blit code 0 out 0 p;
+    Array.blit code p out (p + 1) (len - p);
+    Some (remap_targets out (fun t -> if t >= p then t + 1 else t))
+  end
+
+let fence_remove rng code =
+  let site _ = function Inst.Fence -> true | _ -> false in
+  match pick_site rng code site with
+  | None -> None
+  | Some p ->
+      let len = Array.length code in
+      let out = Array.make (len - 1) Inst.Nop in
+      Array.blit code 0 out 0 p;
+      Array.blit code (p + 1) out p (len - p - 1);
+      Some (remap_targets out (fun t -> if t > p then t - 1 else t))
+
+(* Replace a branch-free window of the program with a branch-free window
+   from a freshly generated donor.  Windows never split an instrument/
+   access pair in a way that leaves an access unguarded: the window must
+   not start on the access of a pair (its instrument would be left out in
+   the donor, dropped from the host) and the host window must not end on
+   an instrument (its access would survive unguarded). *)
+let splice ~cfg rng code =
+  let len = Array.length code in
+  let plain c j =
+    match c.(j) with
+    | Inst.Jmp _ | Inst.Jcc _ | Inst.Exit -> false
+    | _ -> true
+  in
+  let window c ~avoid_trailing_instrument rng =
+    let n = Array.length c in
+    let try_once () =
+      let k = 1 + Rng.int rng 4 in
+      let p = Rng.int rng (max 1 (n - k)) in
+      let ok = ref (p + k <= n) in
+      for j = p to p + k - 1 do
+        if !ok && not (plain c j) then ok := false
+      done;
+      (* starting on the access of a pair orphans the access *)
+      if !ok && pair_at c (p - 1) then ok := false;
+      (* ending on an instrument orphans the following access *)
+      if !ok && avoid_trailing_instrument && pair_at c (p + k - 1) then
+        ok := false;
+      if !ok then Some (p, k) else None
+    in
+    let rec go i = if i >= 8 then None else
+      match try_once () with Some w -> Some w | None -> go (i + 1)
+    in
+    go 0
+  in
+  if len < 3 then None
+  else
+    match window code ~avoid_trailing_instrument:true rng with
+    | None -> None
+    | Some (p, k) -> (
+        let donor = (Generator.generate_flat ~cfg rng).Program.code in
+        match window donor ~avoid_trailing_instrument:false rng with
+        | None -> None
+        | Some (q, m) ->
+            let out = Array.make (len - k + m) Inst.Nop in
+            Array.blit code 0 out 0 p;
+            Array.blit donor q out p m;
+            Array.blit code (p + k) out (p + m) (len - p - k);
+            let d = m - k in
+            Some
+              (remap_targets out (fun t ->
+                   if t <= p then t
+                   else if t >= p + k then t + d
+                   else p + min (t - p) m)))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let apply_one ~cfg rng code =
+  let op =
+    Rng.weighted rng
+      [
+        (4, Tweak_imm);
+        (4, Tweak_reg);
+        (3, Flip_cond);
+        (3, Swap_opcode);
+        (2, Fence_insert);
+        (2, Fence_remove);
+        (2, Splice);
+      ]
+  in
+  let result =
+    match op with
+    | Tweak_imm -> tweak_imm rng code
+    | Tweak_reg -> tweak_reg rng code
+    | Flip_cond -> flip_cond rng code
+    | Swap_opcode -> swap_opcode rng code
+    | Fence_insert -> fence_insert rng code
+    | Fence_remove -> fence_remove rng code
+    | Splice -> splice ~cfg rng code
+  in
+  Option.map (fun code -> (code, op)) result
+
+(** Mutate [flat]: apply a stack of 1..[energy] random operators, then
+    lint-validate.  Retries (fresh operator draws) up to [max_attempts]
+    times before giving up with [None]; a [Some] mutant always passes the
+    well-formedness lint and differs from its parent. *)
+let mutate ?(cfg = Generator.default) ?(energy = 1) ?(max_attempts = 8) rng
+    (flat : Program.flat) : (Program.flat * op list) option =
+  let sandbox_bytes = cfg.Generator.sandbox_pages * 4096 in
+  let rec attempt a =
+    if a >= max_attempts then None
+    else begin
+      let stack = 1 + if energy <= 1 then 0 else Rng.int rng energy in
+      let code = ref flat.Program.code in
+      let applied = ref [] in
+      for _ = 1 to stack do
+        match apply_one ~cfg rng !code with
+        | Some (code', op) ->
+            code := code';
+            applied := op :: !applied
+        | None -> ()
+      done;
+      if !applied = [] || !code == flat.Program.code then attempt (a + 1)
+      else
+        let flat' = { flat with Program.code = !code } in
+        if flat'.Program.code = flat.Program.code then attempt (a + 1)
+        else
+          let report = Amulet_static.Lint.check ~sandbox_bytes flat' in
+          if Amulet_static.Lint.ok report then Some (flat', List.rev !applied)
+          else attempt (a + 1)
+    end
+  in
+  attempt 0

@@ -1,0 +1,31 @@
+(** Program-level mutation engine: small semantic edits on flattened
+    programs, preserving the forward-DAG and sandbox-masking invariants and
+    validated by the {!Amulet_static.Lint} well-formedness check so mutants
+    never waste simulation. *)
+
+open Amulet_isa
+
+type op =
+  | Tweak_imm  (** perturb a non-mask immediate or shift count *)
+  | Tweak_reg  (** replace a source register (dests are off-limits) *)
+  | Flip_cond  (** re-draw the condition of a Jcc/SETcc/CMOVcc *)
+  | Swap_opcode  (** swap an ALU opcode within its class *)
+  | Fence_insert
+  | Fence_remove
+  | Splice  (** replace a branch-free window with freshly generated code *)
+
+val op_name : op -> string
+val all_ops : op list
+
+val mutate :
+  ?cfg:Generator.config ->
+  ?energy:int ->
+  ?max_attempts:int ->
+  Rng.t ->
+  Program.flat ->
+  (Program.flat * op list) option
+(** Apply a stack of 1..[energy] random operators (default energy 1) and
+    lint-validate the result, retrying with fresh draws up to
+    [max_attempts] (default 8) times.  [Some (mutant, ops)] always passes
+    the well-formedness lint and differs from the parent; [None] means no
+    applicable operator produced a valid mutant. *)

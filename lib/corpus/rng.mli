@@ -1,0 +1,16 @@
+(** Deterministic seeded PRNG (splitmix64); every random decision in AMuLeT
+    flows through an instance, so campaigns replay exactly from their
+    seed. *)
+
+type t
+
+val create : seed:int -> t
+val split : t -> t
+val next64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]; [bound > 0]. *)
+
+val bool : t -> p:float -> bool
+val choose : t -> 'a list -> 'a
+val weighted : t -> (int * 'a) list -> 'a

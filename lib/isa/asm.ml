@@ -332,3 +332,60 @@ let parse (source : string) : Program.t =
 
 (** Round-trip helper: print a program to its canonical textual form. *)
 let print (p : Program.t) = Program.to_string p
+
+(* ------------------------------------------------------------------ *)
+(* Flat (label-free) programs                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Flattened programs print branch targets as absolute instruction indices
+   ("JNZ @5"); that form is what the corpus persists, so it needs an exact
+   inverse here. *)
+
+let parse_flat_line ~line text =
+  match String.index_opt text '@' with
+  | Some at ->
+      let mnemonic = String.trim (String.sub text 0 at) in
+      let target_text =
+        String.trim (String.sub text (at + 1) (String.length text - at - 1))
+      in
+      let target =
+        match int_of_string_opt target_text with
+        | Some n -> n
+        | None -> fail line "invalid flat branch target %S" target_text
+      in
+      let m = String.uppercase_ascii mnemonic in
+      if m = "JMP" then Inst.Jmp (Inst.Abs target)
+      else if String.length m > 1 && m.[0] = 'J' then
+        match Cond.of_suffix (String.sub m 1 (String.length m - 1)) with
+        | Some c -> Inst.Jcc (c, Inst.Abs target)
+        | None -> fail line "unknown branch mnemonic %S" mnemonic
+      else fail line "unexpected '@' in %S" text
+  | None -> (
+      match tokenize ~line text with
+      | Tword mnemonic :: rest -> parse_inst ~line mnemonic rest
+      | _ -> fail line "expected a mnemonic")
+
+(** Parse a flattened program: one instruction per line, branch targets as
+    [@index].  The base address and instruction size are the defaults used
+    by {!Program.flatten}. *)
+let parse_flat (source : string) : Program.flat =
+  let lines = String.split_on_char '\n' source in
+  let insts = ref [] in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let text = String.trim (strip_comment raw) in
+      if String.length text = 0 then ()
+      else insts := parse_flat_line ~line text :: !insts)
+    lines;
+  {
+    Program.code = Array.of_list (List.rev !insts);
+    code_base = Program.code_base_default;
+    inst_size = Program.inst_size_default;
+  }
+
+(** Print a flattened program, one instruction per line ([@index] branch
+    targets); exact inverse of {!parse_flat} for default base/size. *)
+let print_flat (flat : Program.flat) =
+  flat.Program.code |> Array.to_list |> List.map Inst.to_string
+  |> String.concat "\n"

@@ -18,3 +18,13 @@ val parse : string -> Program.t
 val print : Program.t -> string
 (** Canonical textual form (round-trips through {!parse} for programs whose
     non-64-bit widths appear only on memory operands). *)
+
+val parse_flat : string -> Program.flat
+(** Parse a flattened (label-free) program: one instruction per line, branch
+    targets as absolute instruction indices ([JNZ @5]).  Base address and
+    instruction size are the {!Program.flatten} defaults.  Raises
+    {!Parse_error}. *)
+
+val print_flat : Program.flat -> string
+(** One instruction per line with [@index] branch targets; exact inverse of
+    {!parse_flat} for programs at the default base/size. *)

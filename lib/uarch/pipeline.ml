@@ -57,6 +57,9 @@ type run_result = {
   cycles : int;
   committed_insts : int;
   squashes : int;
+  squashed_insts : int;
+  spec_issued : int;
+  mispredicts : int;
   fault : string option;
 }
 
@@ -82,6 +85,9 @@ type t = {
   mutable fault : string option;
   mutable committed_insts : int;
   mutable squashes : int;
+  mutable squashed_insts : int;
+  mutable spec_issued : int;
+  mutable mispredicts : int;
   mutable last_commit_cycle : int;
   mutable bpred_order : (int * bool * int) list;  (** newest first *)
   mutable exec_order : int list;
@@ -116,6 +122,9 @@ let create ?(perf = Perf.noop) (cfg : Config.t) (ms : Memsys.t)
     fault = None;
     committed_insts = 0;
     squashes = 0;
+    squashed_insts = 0;
+    spec_issued = 0;
+    mispredicts = 0;
     last_commit_cycle = 0;
     bpred_order = [];
     exec_order = [];
@@ -425,6 +434,7 @@ let squash_from t ~bound ~reason =
   let keep, gone = List.partition (fun (e : entry) -> e.id < bound) t.rob in
   if gone <> [] then begin
     t.squashes <- t.squashes + 1;
+    t.squashed_insts <- t.squashed_insts + List.length gone;
     Amulet_obs.Obs.incr t.perf.Perf.squashes;
     Amulet_obs.Obs.add t.perf.Perf.squashed_insts (List.length gone);
     let newest_first = List.rev gone in
@@ -545,7 +555,10 @@ let try_issue t (e : entry) =
                   e.bypassed <- bypassed;
                   let spec = is_speculative t e || bypassed in
                   e.was_spec <- spec;
-                  if spec then Amulet_obs.Obs.incr t.perf.Perf.spec_issued;
+                  if spec then begin
+                    t.spec_issued <- t.spec_issued + 1;
+                    Amulet_obs.Obs.incr t.perf.Perf.spec_issued
+                  end;
                   Memsys.tlb_access t.ms ~now:t.cycle ~addr ~tainted:false
                     ~by_store:false;
                   e.load_value <- Some (overlay_read t e addr width);
@@ -593,8 +606,10 @@ let try_issue t (e : entry) =
             | _ ->
                 e.maddr <- Some addr;
                 e.was_spec <- is_speculative t e;
-                if e.was_spec then
-                  Amulet_obs.Obs.incr t.perf.Perf.spec_issued;
+                if e.was_spec then begin
+                  t.spec_issued <- t.spec_issued + 1;
+                  Amulet_obs.Obs.incr t.perf.Perf.spec_issued
+                end;
                 Memsys.tlb_access t.ms ~now:t.cycle ~addr ~tainted:a_tainted
                   ~by_store:true;
                 (* CleanupSpec lets speculative stores modify the cache at
@@ -666,6 +681,7 @@ let resolve_branch t (e : entry) =
     ~target:(Program.pc_of_index t.flat actual_next);
   e.resolved <- true;
   if actual_next <> predicted_next then begin
+    t.mispredicts <- t.mispredicts + 1;
     Amulet_obs.Obs.incr t.perf.Perf.mispredicts;
     squash_from t ~bound:(e.id + 1) ~reason:Event.Branch_mispredict;
     (* repair history: the branch's own bit was wrong *)
@@ -852,6 +868,9 @@ let run t : run_result =
     cycles = t.cycle;
     committed_insts = t.committed_insts;
     squashes = t.squashes;
+    squashed_insts = t.squashed_insts;
+    spec_issued = t.spec_issued;
+    mispredicts = t.mispredicts;
     fault = t.fault;
   }
 

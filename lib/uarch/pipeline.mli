@@ -12,6 +12,9 @@ type run_result = {
   cycles : int;
   committed_insts : int;
   squashes : int;
+  squashed_insts : int;  (** entries thrown away across all squashes *)
+  spec_issued : int;  (** loads/stores issued while speculative *)
+  mispredicts : int;
   fault : string option;
 }
 

@@ -33,6 +33,9 @@ type run_stats = {
   cycles : int;
   committed_insts : int;
   squashes : int;
+  squashed_insts : int;
+  spec_issued : int;
+  mispredicts : int;
   fault : string option;
 }
 
@@ -82,6 +85,9 @@ let run_flat t flat : run_stats =
     cycles = r.Pipeline.cycles;
     committed_insts = r.Pipeline.committed_insts;
     squashes = r.Pipeline.squashes;
+    squashed_insts = r.Pipeline.squashed_insts;
+    spec_issued = r.Pipeline.spec_issued;
+    mispredicts = r.Pipeline.mispredicts;
     fault = r.Pipeline.fault;
   }
 

@@ -18,8 +18,14 @@ type run_stats = {
   cycles : int;
   committed_insts : int;
   squashes : int;
+  squashed_insts : int;  (** entries thrown away across all squashes *)
+  spec_issued : int;  (** loads/stores issued while speculative *)
+  mispredicts : int;
   fault : string option;
 }
+(** Per-run totals, derived from the pipeline's own deterministic counters
+    (not the {!Amulet_obs} registry, which may be detached): the feedback
+    signal coverage-guided generation keys on. *)
 
 val default_boot_insts : int
 

@@ -194,6 +194,7 @@ let test_journal_roundtrip () =
       test_cases = 421;
       fault_counts = [ (Fault.C_emu_fault, 1); (Fault.C_deadline_exceeded, 1) ];
       detection_times = [ 0.5; 1.25 ];
+      corpus = None;
       violations = [ Violation_io.of_violation v ];
     }
   in

@@ -84,6 +84,32 @@ let sample_msgs () =
         checkpoint_every = 1;
         spec = Run_spec.make ~defense:Defense.baseline ();
       };
+    (* v3: the full generation strategy crosses the wire, including corpus
+       params and multi-line planted seeds *)
+    Proto.Lease
+      {
+        Proto.lease_id = 5;
+        job_id = 3;
+        shard = 0;
+        journal_path = None;
+        checkpoint_every = 4;
+        spec =
+          Run_spec.make ~defense:Defense.stt
+            ~generation:
+              (Run_spec.guided
+                 ~base:{ Generator.default with unaligned_fraction = 0.5 }
+                 ~corpus:
+                   {
+                     Amulet_corpus.Corpus.capacity = 16;
+                     max_age = 12;
+                     mutate_fraction = 0.9;
+                     energy = 3;
+                     seed_programs =
+                       [ "ld r1, [r2]\nand r2, r2, 4095\nst [r2], r1" ];
+                   }
+                 ())
+            ();
+      };
     Proto.Heartbeat { lease_id = 3; rounds_done = 5 };
     Proto.Result
       {
