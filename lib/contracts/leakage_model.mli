@@ -19,9 +19,14 @@ type result = {
 val collect :
   ?collect_taint:bool ->
   ?max_steps:int ->
+  ?decoded:Amulet_isa.Decoded.t ->
   Contract.t ->
   Amulet_isa.Program.flat ->
   State.t ->
   result
 (** Collect the contract trace starting from [state] (which the caller has
-    initialized with the test input; it is mutated). *)
+    initialized with the test input; it is mutated).  [decoded] — when it is
+    a decode of the same program (compared with [==]; mismatches are ignored)
+    — enables the straight-line fast path: branch-free runs execute as one
+    fused {!Emulator.run_straight} call.  Hooks fire per instruction either
+    way, so the trace is byte-identical with and without it. *)

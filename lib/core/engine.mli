@@ -17,6 +17,9 @@ type stats = {
   snapshot_restores : int;  (** checkpoint rewinds performed instead *)
   batches : int;
   inputs_run : int;  (** inputs executed through {!run_batch} *)
+  programs_decoded : int;
+      (** pre-decode cache fills; with amortization working this tracks
+          distinct programs, not [inputs_run] *)
 }
 
 (** Result of one batched pass: per-input outcomes in input order.  A

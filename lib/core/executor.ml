@@ -48,6 +48,9 @@ type t = {
   mutable boot_snapshot : Simulator.snapshot option;
   mutable sims_created : int;
   mutable restores : int;
+  mutable decode_base : int;
+      (* decodes performed by simulators already discarded, so {!decodes}
+         stays monotonic across [Rebuild] replacements *)
   (* engine metrics, resolved once against the stats registry *)
   m_rebuilds : Obs.counter;
   m_restores : Obs.counter;
@@ -89,6 +92,7 @@ let create ?(boot_insts = Simulator.default_boot_insts) ?(format = Utrace.L1d_tl
     boot_snapshot = None;
     sims_created = 0;
     restores = 0;
+    decode_base = 0;
     m_rebuilds = Obs.counter metrics "engine.sim.rebuilds";
     m_restores = Obs.counter metrics "engine.sim.restores";
     m_rebuild_time = Obs.timer metrics "engine.time.rebuild";
@@ -101,7 +105,20 @@ let backend t = t.backend
 let sims_created t = t.sims_created
 let restores t = t.restores
 
+let decodes t =
+  t.decode_base
+  + match t.sim with Some s -> Simulator.decodes s | None -> 0
+
+(* Bank the decode count of the simulator about to be replaced/dropped. *)
+let retire_sim t =
+  match t.sim with
+  | Some s ->
+      t.decode_base <- t.decode_base + Simulator.decodes s;
+      t.sim <- None
+  | None -> ()
+
 let fresh_simulator t =
+  retire_sim t;
   t.sims_created <- t.sims_created + 1;
   Obs.incr t.m_rebuilds;
   Stats.time t.stats Stats.Sim_startup (fun () ->
@@ -135,7 +152,7 @@ let start_program t =
   match t.mode, t.backend with
   | Opt, Rebuild -> t.sim <- Some (fresh_simulator t)
   | Opt, Pool -> ignore (pooled_sim t)
-  | Naive, Rebuild -> t.sim <- None
+  | Naive, Rebuild -> retire_sim t
   | Naive, Pool -> ()
 
 (* Current simulator without rewinding it (context reruns restore their own

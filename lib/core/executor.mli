@@ -80,3 +80,9 @@ val sims_created : t -> int
 
 val restores : t -> int
 (** Checkpoint rewinds performed instead of rebuilds ([Pool] backend). *)
+
+val decodes : t -> int
+(** Programs decoded into the shared {!Amulet_isa.Decoded} cache across
+    every simulator this executor has owned (monotonic over [Rebuild]
+    replacements).  With decode amortization working this tracks distinct
+    programs, not inputs. *)

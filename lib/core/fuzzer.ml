@@ -83,6 +83,10 @@ type t = {
   mutable budget_check : (unit -> bool) option;
       (* campaign-level wall-clock budget, polled at the same points as the
          per-round deadline so a blown budget surfaces mid-round *)
+  mutable last_decoded : Decoded.t option;
+      (* pre-decode of the round's program, shared by every ctrace
+         collection (base inputs and all their mutants); keyed on the flat
+         program by physical equality *)
   (* fuzzer-level telemetry, resolved once against the stats registry *)
   m_rounds : Obs.counter;
   m_base_inputs : Obs.counter;
@@ -169,6 +173,7 @@ let create ?(metrics = Obs.noop) ?engine (spec : Run_spec.t) =
     corpus;
     last_feedback = None;
     budget_check = None;
+    last_decoded = None;
     m_rounds = Obs.counter metrics "fuzzer.rounds";
     m_base_inputs = Obs.counter metrics "fuzzer.base_inputs";
     m_mutants = Obs.counter metrics "fuzzer.boost.mutants";
@@ -262,12 +267,23 @@ let check_deadline t d =
         raise
           (Deadline (Fault.Deadline_exceeded { elapsed_ms; deadline_ms = budget }))
 
+(* Pre-decode of the round's program: decoded once, then shared by the
+   ctrace collection of every input in the population. *)
+let decoded_of t flat =
+  match t.last_decoded with
+  | Some d when Decoded.flat d == flat -> d
+  | Some _ | None ->
+      let d = Decoded.decode flat in
+      t.last_decoded <- Some d;
+      d
+
 (* Contract trace of one input; [collect_taint] additionally runs the taint
    tracker for boosting. *)
 let ctrace_of t flat input ~collect_taint =
+  let decoded = decoded_of t flat in
   Stats.time t.stats Stats.Ctrace_extraction (fun () ->
       let state = Input.to_state input in
-      Leakage_model.collect ~collect_taint t.contract flat state)
+      Leakage_model.collect ~collect_taint ~decoded t.contract flat state)
 
 (* Build the input population: base inputs plus taint-directed mutants.
    A model fault aborts the population and names the offending input. *)

@@ -292,6 +292,7 @@ let p_sim_config b (c : Config.t) =
       c.deadlock_cycles;
     ];
   p_bool b c.Config.nl_prefetcher;
+  p_bool b c.Config.legacy_hot_loop;
   p_uarch_defense b c.Config.defense
 
 let g_sim_config rd : Config.t =
@@ -324,6 +325,7 @@ let g_sim_config rd : Config.t =
   let max_cycles = g_int rd in
   let deadlock_cycles = g_int rd in
   let nl_prefetcher = g_bool rd in
+  let legacy_hot_loop = g_bool rd in
   let defense = g_uarch_defense rd in
   {
     Config.fetch_width; issue_width; commit_width; rob_size; redirect_penalty;
@@ -331,7 +333,7 @@ let g_sim_config rd : Config.t =
     l1i_ways; l2_sets; l2_ways; mshrs; l1_latency; l2_latency; mem_latency;
     queue_bandwidth; nl_prefetcher; tlb_entries; bp_history_bits;
     bp_table_bits; btb_bits; mdp_bits; cleanup_latency; drain_cycles;
-    max_cycles; deadlock_cycles; defense;
+    max_cycles; deadlock_cycles; defense; legacy_hot_loop;
   }
 
 let p_spec b (s : Run_spec.t) =

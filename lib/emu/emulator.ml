@@ -28,9 +28,25 @@ type t = {
   mutable exited : bool;
   mutable fault : string option;
       (** set when execution escapes the code region *)
+  mutable cur_hooks : hooks;  (** hooks of the step in progress *)
+  mutable cur_pc : int;  (** pc of the step in progress *)
+  mutable mc : Exec.machine option;
+      (** machine view built once per emulator; its closures read
+          [cur_hooks]/[cur_pc], so stepping allocates nothing *)
 }
 
-let create flat state = { flat; state; index = 0; steps = 0; exited = false; fault = None }
+let create flat state =
+  {
+    flat;
+    state;
+    index = 0;
+    steps = 0;
+    exited = false;
+    fault = None;
+    cur_hooks = no_hooks;
+    cur_pc = 0;
+    mc = None;
+  }
 
 let pc t = Program.pc_of_index t.flat t.index
 let state t = t.state
@@ -44,29 +60,38 @@ let reset t =
   t.exited <- false;
   t.fault <- None
 
-(* Build the Exec.machine view over architectural state, with hooks. *)
-let machine t (hooks : hooks) ~pc : Exec.machine =
-  let mem = t.state.State.mem in
-  let fire kind addr width value =
-    match hooks.on_mem with
-    | None -> ()
-    | Some h -> h ~kind ~pc ~addr ~width ~value
-  in
-  {
-    Exec.read_reg = State.read_reg t.state;
-    write_reg = (fun w r v -> State.write_reg_width t.state w r v);
-    read_flags = (fun () -> t.state.State.flags);
-    write_flags = (fun f -> t.state.State.flags <- f);
-    load =
-      (fun w addr ->
-        let v = Memory.read mem w addr in
-        fire `Load addr w v;
-        v);
-    store =
-      (fun w addr v ->
-        fire `Store addr w v;
-        Memory.write mem w addr v);
-  }
+(* The Exec.machine view over architectural state, built once per emulator:
+   its closures read the current hooks and pc from [t] instead of being
+   rebuilt for each step. *)
+let machine t : Exec.machine =
+  match t.mc with
+  | Some m -> m
+  | None ->
+      let mem = t.state.State.mem in
+      let fire kind addr width value =
+        match t.cur_hooks.on_mem with
+        | None -> ()
+        | Some h -> h ~kind ~pc:t.cur_pc ~addr ~width ~value
+      in
+      let m =
+        {
+          Exec.read_reg = State.read_reg t.state;
+          write_reg = (fun w r v -> State.write_reg_width t.state w r v);
+          read_flags = (fun () -> t.state.State.flags);
+          write_flags = (fun f -> t.state.State.flags <- f);
+          load =
+            (fun w addr ->
+              let v = Memory.read mem w addr in
+              fire `Load addr w v;
+              v);
+          store =
+            (fun w addr v ->
+              fire `Store addr w v;
+              Memory.write mem w addr v);
+        }
+      in
+      t.mc <- Some m;
+      m
 
 (** Execute the instruction at the current index.  Returns [`Exit] when the
     program has terminated (or faulted), [`Continue] otherwise. *)
@@ -81,7 +106,9 @@ let step ?(hooks = no_hooks) t =
     let inst = Program.get t.flat t.index in
     let pc = Program.pc_of_index t.flat t.index in
     (match hooks.on_inst with None -> () | Some h -> h ~pc ~index:t.index inst);
-    let mc = machine t hooks ~pc in
+    t.cur_hooks <- hooks;
+    t.cur_pc <- pc;
+    let mc = machine t in
     t.steps <- t.steps + 1;
     match Exec.step mc inst with
     | Exec.Next ->
@@ -93,6 +120,41 @@ let step ?(hooks = no_hooks) t =
     | Exec.Exited ->
         t.exited <- true;
         `Exit
+  end
+
+(** Execute instructions from the current index up to (excluding) [stop],
+    which the caller guarantees form a straight-line run — every instruction
+    steps to its successor (no branch, no [Exit]; see
+    {!Amulet_isa.Decoded.dinfo.fuse_stop}).  At most [fuel] instructions
+    execute; hooks fire per instruction exactly as {!step} fires them.
+    Returns the number of instructions executed.  Control transfers are
+    tolerated defensively (the run simply ends early), so a wrong
+    [stop] degrades to the slow path rather than diverging. *)
+let run_straight ?(hooks = no_hooks) t ~stop ~fuel =
+  if t.exited || fuel <= 0 then 0
+  else begin
+    t.cur_hooks <- hooks;
+    let mc = machine t in
+    let code = t.flat.Program.code in
+    let executed = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && t.index < stop && !executed < fuel do
+      let inst = code.(t.index) in
+      let pc = Program.pc_of_index t.flat t.index in
+      t.cur_pc <- pc;
+      (match hooks.on_inst with None -> () | Some h -> h ~pc ~index:t.index inst);
+      t.steps <- t.steps + 1;
+      incr executed;
+      match Exec.step mc inst with
+      | Exec.Next -> t.index <- t.index + 1
+      | Exec.Jump target ->
+          t.index <- target;
+          continue_ := false
+      | Exec.Exited ->
+          t.exited <- true;
+          continue_ := false
+    done;
+    !executed
   end
 
 (** Run to completion (or until [max_steps], guarding against ill-formed

@@ -36,6 +36,15 @@ val reset : t -> unit
 val step : ?hooks:hooks -> t -> [ `Continue | `Exit ]
 (** Execute the instruction at the current index. *)
 
+val run_straight : ?hooks:hooks -> t -> stop:int -> fuel:int -> int
+(** Fused basic-block execution: run instructions from the current index up
+    to (excluding) [stop], which the caller promises is straight-line code
+    (see {!Amulet_isa.Decoded.info}), executing at most [fuel] instructions.
+    Hooks fire per instruction exactly as under {!step}; returns the number
+    of instructions executed.  A control transfer inside the range ends the
+    run early rather than faulting, so a stale [stop] degrades to the
+    per-instruction path. *)
+
 val run : ?hooks:hooks -> ?max_steps:int -> t -> int
 (** Run to completion; returns the number of instructions executed. *)
 

@@ -1,0 +1,166 @@
+(** Pre-decoded programs: the per-instruction facts the hot loops need,
+    computed once per test program instead of once per dispatch.
+
+    The out-of-order pipeline used to re-derive source/destination register
+    sets, flag effects and memory-access shape from the raw {!Inst.t} on
+    {e every} dispatch of every input.  A [Decoded.t] resolves all of that
+    into one flat immutable array, shared across all inputs of a program and
+    across all engine pool slots.  It also precomputes the basic-block
+    structure (the same leader rule the static CFG uses) so the sequential
+    emulator can fuse guaranteed straight-line runs between control-flow
+    edges. *)
+
+type kind =
+  | Plain  (** goes through issue/execute *)
+  | Dnext  (** no execution stage; next instruction is [index + 1] *)
+  | Dexit  (** [Exit]: terminates the program at commit *)
+  | Djump of int  (** resolved unconditional jump: completes at dispatch *)
+
+type dinfo = {
+  inst : Inst.t;
+  index : int;
+  pc : int;
+  kind : kind;
+  is_load : bool;
+  is_store : bool;
+  is_cond_branch : bool;
+  is_fence : bool;
+  reads_flags : bool;
+  writes_flags : bool;
+  mem : (Width.t * [ `Load | `Store | `Rmw ]) option;
+  src_regs : Reg.t array;  (** deduplicated source registers *)
+  dst_regs : Reg.t array;  (** destination registers, duplicates kept *)
+  addr_regs : Reg.t array;  (** memory-operand address registers *)
+  has_abs_target : bool;  (** branch target resolved to an absolute index *)
+  branch_abs : int;  (** the absolute target; meaningless unless resolved *)
+  fuse_stop : int;
+      (** exclusive end of the guaranteed straight-line run starting here:
+          every instruction in [index, fuse_stop) steps to [index + 1]
+          (no branch, no [Exit]).  [fuse_stop = index] at block edges. *)
+}
+
+type t = { flat : Program.flat; code : dinfo array; leaders : bool array }
+
+(* Largest register-set sizes in the ISA (checked at decode time so the
+   pipeline can preallocate fixed-capacity scratch arrays). *)
+let max_srcs = 4
+let max_dsts = 2
+
+(* Matches the historical dispatch-time dedup: keep the first occurrence,
+   accumulate in reverse. *)
+let dedup_regs regs =
+  List.fold_left (fun acc r -> if List.memq r acc then acc else r :: acc) [] regs
+
+(** Block leaders of [flat], per the CFG rule: the entry index, every
+    resolved branch target, and every instruction following a branch or an
+    [Exit].  {!Amulet_static} builds its basic blocks from the same array. *)
+let leaders (flat : Program.flat) =
+  let n = Program.length flat in
+  let in_range i = i >= 0 && i < n in
+  let leader = Array.make (max n 1) false in
+  if n > 0 then leader.(0) <- true;
+  for i = 0 to n - 1 do
+    match Program.get flat i with
+    | Inst.Jmp t | Inst.Jcc (_, t) ->
+        (match t with
+        | Inst.Abs x when in_range x -> leader.(x) <- true
+        | Inst.Abs _ | Inst.Label _ -> ());
+        if i + 1 < n then leader.(i + 1) <- true
+    | Inst.Exit -> if i + 1 < n then leader.(i + 1) <- true
+    | _ -> ()
+  done;
+  leader
+
+let terminates = function
+  | Inst.Jmp _ | Inst.Jcc _ | Inst.Exit -> true
+  | _ -> false
+
+let decode_inst flat ~fuse_stop index =
+  let inst = Program.get flat index in
+  let src_regs = Array.of_list (dedup_regs (Inst.source_regs inst)) in
+  let dst_regs = Array.of_list (Inst.dest_regs inst) in
+  if Array.length src_regs > max_srcs || Array.length dst_regs > max_dsts then
+    invalid_arg "Decoded: register set exceeds ISA bound";
+  let mem, addr_regs =
+    match Inst.mem_access inst with
+    | Some (m, w, d) ->
+        (Some (w, d), Array.of_list (Operand.address_regs (Operand.Mem m)))
+    | None -> (None, [||])
+  in
+  let kind =
+    match inst with
+    | Inst.Nop | Inst.Fence -> Dnext
+    | Inst.Exit -> Dexit
+    | Inst.Jmp (Inst.Abs target) -> Djump target
+    | _ -> Plain
+  in
+  let has_abs_target, branch_abs =
+    match Inst.branch_target inst with
+    | Some (Inst.Abs i) -> (true, i)
+    | Some (Inst.Label _) | None -> (false, 0)
+  in
+  {
+    inst;
+    index;
+    pc = Program.pc_of_index flat index;
+    kind;
+    is_load = Inst.is_load inst;
+    is_store = Inst.is_store inst;
+    is_cond_branch = Inst.is_cond_branch inst;
+    is_fence = (inst = Inst.Fence);
+    reads_flags = Inst.reads_flags inst;
+    writes_flags = Inst.writes_flags inst;
+    mem;
+    src_regs;
+    dst_regs;
+    addr_regs;
+    has_abs_target;
+    branch_abs;
+    fuse_stop;
+  }
+
+let decode (flat : Program.flat) : t =
+  let n = Program.length flat in
+  let leader = leaders flat in
+  (* stop.(i): first leader index after i (the owning block's end) *)
+  let stop = Array.make (max n 1) n in
+  for i = n - 2 downto 0 do
+    stop.(i) <- (if leader.(i + 1) then i + 1 else stop.(i + 1))
+  done;
+  let fuse_stop_of i =
+    let s = stop.(i) in
+    (* only a block's last instruction can be a branch or Exit (anything
+       after one is a leader); exclude it from the fused run *)
+    let bound = if s > 0 && terminates (Program.get flat (s - 1)) then s - 1 else s in
+    max bound i
+  in
+  let code = Array.init n (fun i -> decode_inst flat ~fuse_stop:(fuse_stop_of i) i) in
+  { flat; code; leaders = leader }
+
+let flat t = t.flat
+let code t = t.code
+let length t = Array.length t.code
+let info t i = t.code.(i)
+
+(* Placeholder for preallocated slots (ring buffers, arenas) before their
+   first real dispatch. *)
+let dummy =
+  {
+    inst = Inst.Nop;
+    index = -1;
+    pc = -1;
+    kind = Plain;
+    is_load = false;
+    is_store = false;
+    is_cond_branch = false;
+    is_fence = false;
+    reads_flags = false;
+    writes_flags = false;
+    mem = None;
+    src_regs = [||];
+    dst_regs = [||];
+    addr_regs = [||];
+    has_abs_target = false;
+    branch_abs = 0;
+    fuse_stop = -1;
+  }

@@ -1,0 +1,61 @@
+(** Pre-decoded programs: per-instruction classification (register sets,
+    flag effects, memory-access shape, resolved control flow) computed once
+    per test program and shared by every input, every engine pool slot and
+    the contract emulator's straight-line fast path. *)
+
+type kind =
+  | Plain  (** goes through issue/execute *)
+  | Dnext  (** no execution stage; next instruction is [index + 1] *)
+  | Dexit  (** [Exit]: terminates the program at commit *)
+  | Djump of int  (** resolved unconditional jump: completes at dispatch *)
+
+type dinfo = {
+  inst : Inst.t;
+  index : int;
+  pc : int;
+  kind : kind;
+  is_load : bool;
+  is_store : bool;
+  is_cond_branch : bool;
+  is_fence : bool;
+  reads_flags : bool;
+  writes_flags : bool;
+  mem : (Width.t * [ `Load | `Store | `Rmw ]) option;
+  src_regs : Reg.t array;  (** deduplicated source registers *)
+  dst_regs : Reg.t array;  (** destination registers, duplicates kept *)
+  addr_regs : Reg.t array;  (** memory-operand address registers *)
+  has_abs_target : bool;  (** branch target resolved to an absolute index *)
+  branch_abs : int;  (** the absolute target; meaningless unless resolved *)
+  fuse_stop : int;
+      (** exclusive end of the guaranteed straight-line run starting here:
+          every instruction in [index, fuse_stop) steps to [index + 1]
+          (no branch, no [Exit]).  [fuse_stop = index] at block edges. *)
+}
+
+type t
+
+val max_srcs : int
+(** Upper bound on [Array.length src_regs] over the whole ISA. *)
+
+val max_dsts : int
+(** Upper bound on [Array.length dst_regs] over the whole ISA. *)
+
+val decode : Program.flat -> t
+(** Decode every instruction of [flat].  O(program length); intended to run
+    once per test program, not per input. *)
+
+val flat : t -> Program.flat
+(** The program this decode belongs to (compare with [==] for caching). *)
+
+val code : t -> dinfo array
+val length : t -> int
+val info : t -> int -> dinfo
+
+val leaders : Program.flat -> bool array
+(** Basic-block leaders per the CFG rule: entry, every resolved branch
+    target, every instruction following a branch or [Exit].  The array has
+    [max (length flat) 1] elements; {!Amulet_static.Cfg.build} derives its
+    blocks from exactly this array. *)
+
+val dummy : dinfo
+(** Placeholder for preallocated slots before their first real dispatch. *)

@@ -43,18 +43,9 @@ let inst_succs flat i =
 
 let build (flat : Program.flat) : t =
   let n = Program.length flat in
-  let leader = Array.make (max n 1) false in
-  if n > 0 then leader.(0) <- true;
-  for i = 0 to n - 1 do
-    match Program.get flat i with
-    | Inst.Jmp t | Inst.Jcc (_, t) ->
-        (match t with
-        | Inst.Abs x when in_range flat x -> leader.(x) <- true
-        | Inst.Abs _ | Inst.Label _ -> ());
-        if i + 1 < n then leader.(i + 1) <- true
-    | Inst.Exit -> if i + 1 < n then leader.(i + 1) <- true
-    | _ -> ()
-  done;
+  (* the leader rule is shared with the pre-decoded program representation,
+     so the pipeline's block fast path and this CFG agree by construction *)
+  let leader = Decoded.leaders flat in
   let starts = ref [] in
   for i = n - 1 downto 0 do
     if leader.(i) then starts := i :: !starts

@@ -7,9 +7,10 @@
     address.
 
     The representation is structure-of-arrays (flat [tags]/[valid]/[lru]
-    arrays indexed by [set * ways + way]) so that snapshots are three
-    [Array.copy] calls and restores are three [Array.blit]s — the cheap
-    copy-on-restore the pooled execution engine depends on. *)
+    arrays indexed by [set * ways + way]) plus an incrementally-maintained
+    list of the valid way indices, so snapshot and restore both run in
+    O(occupancy) rather than O(capacity) — the pooled execution engine
+    snapshots the cache context once per input. *)
 
 type t = {
   name : string;
@@ -19,6 +20,11 @@ type t = {
   tags_a : int array;  (** [tags_a.(set * ways + way)] *)
   valid_a : bool array;
   lru_a : int array;
+  valid_list : int array;
+      (** the first [n_valid] slots hold the flat indices of the valid ways,
+          in no particular order — lets snapshots run in O(occupancy) *)
+  pos_a : int array;  (** way index -> its slot in [valid_list] (when valid) *)
+  mutable n_valid : int;
   mutable tick : int;  (** LRU clock *)
   m_hits : Amulet_obs.Obs.counter;
   m_misses : Amulet_obs.Obs.counter;
@@ -37,6 +43,9 @@ let create ?(metrics = Amulet_obs.Obs.noop) ~name ~sets ~ways ~line_bytes () =
     tags_a = Array.make (sets * ways) 0;
     valid_a = Array.make (sets * ways) false;
     lru_a = Array.make (sets * ways) 0;
+    valid_list = Array.make (sets * ways) 0;
+    pos_a = Array.make (sets * ways) 0;
+    n_valid = 0;
     tick = 0;
     m_hits = Amulet_obs.Obs.counter metrics (prefix ^ ".hits");
     m_misses = Amulet_obs.Obs.counter metrics (prefix ^ ".misses");
@@ -51,6 +60,20 @@ let set_of t line = line / t.line_bytes mod t.sets
 let next_tick t =
   t.tick <- t.tick + 1;
   t.tick
+
+(* valid-way index maintenance: every [valid_a] transition goes through
+   these so [n_valid]/[valid_list] always mirror the valid bits *)
+let idx_add t i =
+  t.valid_list.(t.n_valid) <- i;
+  t.pos_a.(i) <- t.n_valid;
+  t.n_valid <- t.n_valid + 1
+
+let idx_remove t i =
+  let p = t.pos_a.(i) in
+  let last = t.valid_list.(t.n_valid - 1) in
+  t.valid_list.(p) <- last;
+  t.pos_a.(last) <- p;
+  t.n_valid <- t.n_valid - 1
 
 (* index of [line]'s way within its set, or -1 *)
 let find_idx t line =
@@ -124,6 +147,7 @@ let install t line =
         let v = victim_idx t line in
         v, Some t.tags_a.(v)
     in
+    if free >= 0 then idx_add t target;
     t.tags_a.(target) <- line;
     t.valid_a.(target) <- true;
     t.lru_a.(target) <- next_tick t;
@@ -136,6 +160,7 @@ let invalidate t line =
   let i = find_idx t line in
   if i >= 0 then begin
     t.valid_a.(i) <- false;
+    idx_remove t i;
     true
   end
   else false
@@ -149,6 +174,7 @@ let force_replacement t line =
   else begin
     let v = victim_idx t line in
     t.valid_a.(v) <- false;
+    idx_remove t v;
     Amulet_obs.Obs.incr t.m_evictions;
     Some t.tags_a.(v)
   end
@@ -163,6 +189,7 @@ let tags t =
 
 let reset t =
   Array.fill t.valid_a 0 (Array.length t.valid_a) false;
+  t.n_valid <- 0;
   t.tick <- 0
 
 let occupancy t = List.length (tags t)
@@ -171,25 +198,41 @@ let occupancy t = List.length (tags t)
 (* Snapshots (validation reruns restore the exact cache context)       *)
 (* ------------------------------------------------------------------ *)
 
+(* Sparse: only the valid ways are captured, so the cost is proportional to
+   occupancy, not capacity (the pooled engine snapshots every input; a
+   mostly-empty L2 would otherwise dominate the per-input overhead). *)
 type snapshot = {
-  snap_tags : int array;
-  snap_valid : bool array;
-  snap_lru : int array;
+  snap_idx : int array;  (** flat indices of the valid ways *)
+  snap_tags : int array;  (** parallel to [snap_idx] *)
+  snap_lru : int array;  (** parallel to [snap_idx] *)
   snap_tick : int;
 }
 
 let snapshot t : snapshot =
-  {
-    snap_tags = Array.copy t.tags_a;
-    snap_valid = Array.copy t.valid_a;
-    snap_lru = Array.copy t.lru_a;
-    snap_tick = t.tick;
-  }
+  let n = t.n_valid in
+  let snap_idx = Array.make n 0 in
+  let snap_tags = Array.make n 0 in
+  let snap_lru = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let i = t.valid_list.(k) in
+    snap_idx.(k) <- i;
+    snap_tags.(k) <- t.tags_a.(i);
+    snap_lru.(k) <- t.lru_a.(i)
+  done;
+  { snap_idx; snap_tags; snap_lru; snap_tick = t.tick }
 
 let restore t (s : snapshot) =
-  Array.blit s.snap_tags 0 t.tags_a 0 (Array.length s.snap_tags);
-  Array.blit s.snap_valid 0 t.valid_a 0 (Array.length s.snap_valid);
-  Array.blit s.snap_lru 0 t.lru_a 0 (Array.length s.snap_lru);
+  for k = 0 to t.n_valid - 1 do
+    t.valid_a.(t.valid_list.(k)) <- false
+  done;
+  t.n_valid <- 0;
+  for k = 0 to Array.length s.snap_idx - 1 do
+    let i = s.snap_idx.(k) in
+    t.valid_a.(i) <- true;
+    t.tags_a.(i) <- s.snap_tags.(k);
+    t.lru_a.(i) <- s.snap_lru.(k);
+    idx_add t i
+  done;
   t.tick <- s.snap_tick
 
 let pp fmt t =

@@ -63,7 +63,11 @@ type t = {
   mutable mshrs : mshr list;
   mutable ghost_mshrs : mshr list;
       (** GhostMinion: dedicated MSHRs for speculative fills *)
+  mutable next_mshr_ready : int;
+      (** min [m_ready_at] over both MSHR pools ([max_int] when empty), so
+          an idle tick is a single comparison instead of two list walks *)
   mutable responses : (int * int * int) list;  (** (due, rob_id, line) *)
+  mutable next_resp_due : int;  (** min due cycle ([max_int] when empty) *)
   mutable spec_buffer : (int * int * bool ref) list;  (** (rob, line, ready) *)
   mutable lfb : (int * int * bool ref) list;
   cleanup_meta : (int, cleanup_meta list ref) Hashtbl.t;  (** by rob id *)
@@ -93,7 +97,9 @@ let create ?(metrics = Amulet_obs.Obs.noop) (cfg : Config.t) (log : Event.log)
     busy_until = 0;
     mshrs = [];
     ghost_mshrs = [];
+    next_mshr_ready = max_int;
     responses = [];
+    next_resp_due = max_int;
     spec_buffer = [];
     lfb = [];
     cleanup_meta = Hashtbl.create 64;
@@ -127,26 +133,36 @@ let enqueue t req =
 (** Submit the cache request(s) for a data access.  Returns the number of
     line requests issued (responses to wait for). *)
 let request_access t ~now ~rob_id ~pc ~addr ~width ~kind ~spec =
-  let lines = lines_of_access t ~addr ~width in
-  (match lines with
-  | [ l1; l2 ] ->
-      Event.record t.log (Event.Split_access { cycle = now; pc; line1 = l1; line2 = l2 })
-  | _ -> ());
+  let first = line_of t addr in
+  let last = line_of t (addr + Width.bytes width - 1) in
   (match kind with
   | Demand_load | Spec_load | Store_install -> record_access t ~pc ~addr
   | Expose | Prime | Prefetch -> ());
-  List.iteri
-    (fun i line ->
+  let submit line split_second =
+    if t.log.Event.enabled then
       Event.record t.log
         (Event.Mem_access
            { cycle = now; pc; kind = kind_to_event kind; addr; line; spec });
-      enqueue t { rob_id; pc; kind; line; spec; split_second = i > 0; cancelled = false })
-    lines;
-  List.length lines
+    enqueue t { rob_id; pc; kind; line; spec; split_second; cancelled = false }
+  in
+  if first = last then begin
+    (* the common case: no intermediate line list *)
+    submit first false;
+    1
+  end
+  else begin
+    if t.log.Event.enabled then
+      Event.record t.log
+        (Event.Split_access { cycle = now; pc; line1 = first; line2 = last });
+    submit first false;
+    submit last true;
+    2
+  end
 
 (** Submit an expose / LFB-promote request for one line. *)
 let request_expose t ~now ~rob_id ~line =
-  Event.record t.log (Event.Expose_issued { cycle = now; line });
+  if t.log.Event.enabled then
+    Event.record t.log (Event.Expose_issued { cycle = now; line });
   enqueue t
     { rob_id; pc = 0; kind = Expose; line; spec = false; split_second = false; cancelled = false }
 
@@ -208,9 +224,12 @@ let squash_cleanup t ~now ~rob_id =
   | Some cell ->
       List.iter
         (fun m ->
-          if not m.mc_cleanable then
-            Event.record t.log
-              (Event.Cleanup_missing { cycle = now; line = m.mc_line; reason = m.mc_reason })
+          if not m.mc_cleanable then begin
+            if t.log.Event.enabled then
+              Event.record t.log
+                (Event.Cleanup_missing
+                   { cycle = now; line = m.mc_line; reason = m.mc_reason })
+          end
           else if m.mc_installed then
             enqueue_cleanup t ~line:m.mc_line ~restore:m.mc_victim
           else m.mc_squashed <- true)
@@ -252,8 +271,11 @@ let install_l1d t ~now line =
   (match Cache.install t.l1d line with
   | None -> ()
   | Some victim ->
-      Event.record t.log (Event.Cache_evict { cycle = now; cache = "L1D"; line = victim }));
-  Event.record t.log (Event.Cache_install { cycle = now; cache = "L1D"; line })
+      if t.log.Event.enabled then
+        Event.record t.log
+          (Event.Cache_evict { cycle = now; cache = "L1D"; line = victim }));
+  if t.log.Event.enabled then
+    Event.record t.log (Event.Cache_install { cycle = now; cache = "L1D"; line })
 
 (* Complete one MSHR: install (per waiter kinds) and schedule responses. *)
 let complete_mshr t ~now (m : mshr) =
@@ -298,7 +320,8 @@ let complete_mshr t ~now (m : mshr) =
                 (fun (rob, line, ready) ->
                   if rob = r.rob_id && line = m.m_line && not !ready then begin
                     ready := true;
-                    Event.record t.log (Event.Spec_buffer_fill { cycle = now; line })
+                    if t.log.Event.enabled then
+                      Event.record t.log (Event.Spec_buffer_fill { cycle = now; line })
                   end)
                 t.spec_buffer
           | Config.Speclfb _ ->
@@ -310,12 +333,17 @@ let complete_mshr t ~now (m : mshr) =
           | Config.Delay_on_miss ->
               ())
       | Demand_load | Store_install | Expose | Prime | Prefetch -> ());
-      if not r.cancelled && r.rob_id >= 0 then
-        t.responses <- (now, r.rob_id, m.m_line) :: t.responses)
+      if not r.cancelled && r.rob_id >= 0 then begin
+        t.responses <- (now, r.rob_id, m.m_line) :: t.responses;
+        if now < t.next_resp_due then t.next_resp_due <- now
+      end)
     m.m_waiters
 
 let respond_at t ~due ~rob_id ~line =
-  if rob_id >= 0 then t.responses <- (due, rob_id, line) :: t.responses
+  if rob_id >= 0 then begin
+    t.responses <- (due, rob_id, line) :: t.responses;
+    if due < t.next_resp_due then t.next_resp_due <- due
+  end
 
 (* InvisiSpec spec-buffer lookup: a ready entry for this line (any owner). *)
 let spec_buffer_hit t line =
@@ -349,8 +377,10 @@ let allocate_mshr t ~now (req : request) =
   let m = { m_line = req.line; m_ready_at = now + latency; m_waiters = [ req ] } in
   if uses_ghost_pool t req then t.ghost_mshrs <- m :: t.ghost_mshrs
   else t.mshrs <- m :: t.mshrs;
+  if m.m_ready_at < t.next_mshr_ready then t.next_mshr_ready <- m.m_ready_at;
   Amulet_obs.Obs.incr t.m_mshr_allocs;
-  Event.record t.log (Event.Mshr_alloc { cycle = now; line = req.line })
+  if t.log.Event.enabled then
+    Event.record t.log (Event.Mshr_alloc { cycle = now; line = req.line })
 
 (* Process one queue head item.  Returns [`Done] if it was consumed,
    [`Blocked] if the queue must stall (head-of-line blocking). *)
@@ -359,7 +389,8 @@ let process_head t ~now (item : queue_item) =
   | Cleanup_op { line; restore } ->
       t.busy_until <- now + t.cfg.cleanup_latency;
       ignore (Cache.invalidate t.l1d line);
-      Event.record t.log (Event.Cleanup { cycle = now; line; restored = restore });
+      if t.log.Event.enabled then
+        Event.record t.log (Event.Cleanup { cycle = now; line; restored = restore });
       (match restore with
       | None -> ()
       | Some victim -> ignore (Cache.install t.l1d victim));
@@ -428,8 +459,9 @@ let process_head t ~now (item : queue_item) =
             if not (Cache.has_free_way t.l1d r.line) then (
               match Cache.force_replacement t.l1d r.line with
               | Some victim ->
-                  Event.record t.log
-                    (Event.Spec_eviction { cycle = now; line = r.line; victim })
+                  if t.log.Event.enabled then
+                    Event.record t.log
+                      (Event.Spec_eviction { cycle = now; line = r.line; victim })
               | None -> ())
         | _ -> ());
         match mshr_for t r with
@@ -454,8 +486,10 @@ let process_head t ~now (item : queue_item) =
             else begin
               Amulet_obs.Obs.incr t.m_mshr_full_stalls;
               if t.last_stalled_line <> r.line then begin
-                Event.record t.log
-                  (Event.Mshr_stall { cycle = now; kind = kind_to_event r.kind; line = r.line });
+                if t.log.Event.enabled then
+                  Event.record t.log
+                    (Event.Mshr_stall
+                       { cycle = now; kind = kind_to_event r.kind; line = r.line });
                 t.last_stalled_line <- r.line
               end;
               `Blocked
@@ -478,16 +512,27 @@ let drain_queue t ~now q =
     | `Blocked -> blocked := true
   done
 
-let any_ready now mshrs = List.exists (fun m -> m.m_ready_at <= now) mshrs
+(* closure-free min scans: these run only when something completes, but the
+   cached minimum they maintain is what makes the every-cycle checks in
+   [tick]/[take_responses] a single integer comparison *)
+let rec min_ready acc = function
+  | [] -> acc
+  | m :: rest ->
+      min_ready (if m.m_ready_at < acc then m.m_ready_at else acc) rest
+
+let rec min_due acc = function
+  | [] -> acc
+  | (d, _, _) :: rest -> min_due (if d < acc then d else acc) rest
 
 let tick t ~now =
-  (* MSHR completions, both pools.  The existence checks keep the common
-     nothing-completes cycle allocation-free (no partition/sort/append). *)
-  if any_ready now t.mshrs || any_ready now t.ghost_mshrs then begin
+  (* MSHR completions, both pools.  The cached next-ready cycle keeps the
+     common nothing-completes cycle allocation-free and list-walk-free. *)
+  if t.next_mshr_ready <= now then begin
     let ready, pending = List.partition (fun m -> m.m_ready_at <= now) t.mshrs in
     t.mshrs <- pending;
     let gready, gpending = List.partition (fun m -> m.m_ready_at <= now) t.ghost_mshrs in
     t.ghost_mshrs <- gpending;
+    t.next_mshr_ready <- min_ready (min_ready max_int pending) gpending;
     List.iter (fun m -> complete_mshr t ~now m)
       (List.sort (fun a b -> compare a.m_ready_at b.m_ready_at) (ready @ gready));
     t.last_stalled_line <- -1
@@ -501,13 +546,13 @@ let tick t ~now =
 
 (** Responses due at or before [now]: list of (rob_id, line). *)
 let take_responses t ~now =
-  match t.responses with
-  | [] -> []
-  | rs when not (List.exists (fun (d, _, _) -> d <= now) rs) -> []
-  | rs ->
-      let due, later = List.partition (fun (d, _, _) -> d <= now) rs in
-      t.responses <- later;
-      List.rev_map (fun (_, rob, line) -> (rob, line)) due
+  if t.next_resp_due > now then []
+  else begin
+    let due, later = List.partition (fun (d, _, _) -> d <= now) t.responses in
+    t.responses <- later;
+    t.next_resp_due <- min_due max_int later;
+    List.rev_map (fun (_, rob, line) -> (rob, line)) due
+  end
 
 (* ------------------------------------------------------------------ *)
 (* TLB and instruction fetch                                           *)
@@ -517,7 +562,9 @@ let tlb_access t ~now ~addr ~tainted ~by_store =
   let page = Tlb.page_of_addr addr in
   match Tlb.access t.tlb page with
   | `Hit -> ()
-  | `Miss -> Event.record t.log (Event.Tlb_fill { cycle = now; page; tainted; by_store })
+  | `Miss ->
+      if t.log.Event.enabled then
+        Event.record t.log (Event.Tlb_fill { cycle = now; page; tainted; by_store })
 
 (** Presence probe without replacement-state update (Delay-on-Miss's
     hit/miss decision). *)
@@ -527,7 +574,8 @@ let fetch_touch t ~now ~pc =
   let line = Cache.line_of t.l1i pc in
   if not (Cache.touch t.l1i line) then begin
     ignore (Cache.install t.l1i line);
-    Event.record t.log (Event.Cache_install { cycle = now; cache = "L1I"; line })
+    if t.log.Event.enabled then
+      Event.record t.log (Event.Cache_install { cycle = now; cache = "L1I"; line })
   end
 
 (* ------------------------------------------------------------------ *)
@@ -552,7 +600,9 @@ let reset_transient t =
   Queue.clear t.ghost_queue;
   t.mshrs <- [];
   t.ghost_mshrs <- [];
+  t.next_mshr_ready <- max_int;
   t.responses <- [];
+  t.next_resp_due <- max_int;
   t.spec_buffer <- [];
   t.lfb <- [];
   Hashtbl.reset t.cleanup_meta;

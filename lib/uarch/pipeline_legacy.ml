@@ -1,0 +1,888 @@
+(** The out-of-order core, pre-optimization snapshot.
+
+    This is the hot loop as it shipped with the pooled engine: a list-based
+    reorder buffer (quadratic append), per-dispatch register-set derivation,
+    per-run table construction and unconditionally materialized debug
+    events.  It is kept verbatim as (a) the benchmark baseline the
+    decode-amortization gate measures against and (b) a differential-testing
+    oracle: {!Simulator} runs it when [Config.legacy_hot_loop] is set, and
+    test_determinism asserts byte-identical traces against the optimized
+    {!Pipeline}.
+
+    A cycle-driven dataflow pipeline in the style of gem5's O3CPU, reduced to
+    the mechanisms speculation leaks need: fetch along the predicted path,
+    register renaming with undo-log recovery, a reorder buffer with in-order
+    commit, a load-store queue with store-to-load forwarding and
+    memory-dependence speculation, and squash on branch mispredictions and
+    memory-order violations.  Wrong-path instructions compute {e real} values
+    from renamed operands (instruction semantics are shared with the
+    architectural emulator via {!Amulet_emu.Exec}), so their cache, TLB and
+    MSHR side effects are faithful.
+
+    Secure-speculation countermeasures hook in at three points: the request
+    kind chosen when a load issues (InvisiSpec / SpecLFB), squash
+    notifications (CleanupSpec), and issue gating (STT taint tracking). *)
+
+open Amulet_isa
+open Amulet_emu
+
+type src = Committed of int64 | Producer of int
+type flag_src = Fcommitted of Flags.t | Fproducer of int
+type status = Dispatched | Executing | Done
+
+type entry = {
+  id : int;
+  index : int;  (** instruction index in the flattened program *)
+  pc : int;
+  inst : Inst.t;
+  srcs : (Reg.t * src) list;
+  fsrc : flag_src option;
+  dests : Reg.t list;
+  prev_renames : (Reg.t * src) list;  (** undo log for squash recovery *)
+  prev_flag_rename : flag_src option;
+  mem : (Width.t * [ `Load | `Store | `Rmw ]) option;  (** static access info *)
+  mutable status : status;
+  mutable reg_results : (Reg.t * int64) list;
+  mutable flags_result : Flags.t option;
+  mutable maddr : int option;
+  mutable load_value : int64 option;
+  mutable store_value : int64 option;
+  mutable requested : bool;  (** cache access in flight or finished *)
+  mutable pending_lines : int;
+  mutable was_spec : bool;  (** issued under speculation *)
+  mutable exposed : bool;  (** InvisiSpec/SpecLFB: made visible to caches *)
+  mutable bypassed : bool;  (** load issued past unresolved older stores *)
+  mutable done_at : int;  (** completion cycle for fixed-latency execution *)
+  mutable predicted_taken : bool;
+  mutable bp_history : int;
+  mutable resolved : bool;  (** branches: actual direction known *)
+  mutable actual_next : int option;  (** next instruction index after this *)
+  mutable tainted : bool;  (** STT data taint *)
+  mutable taint_logged : bool;
+  mutable retired : bool;
+}
+
+type run_result = {
+  cycles : int;
+  committed_insts : int;
+  squashes : int;
+  squashed_insts : int;
+  spec_issued : int;
+  mispredicts : int;
+  fault : string option;
+}
+
+type t = {
+  cfg : Config.t;
+  ms : Memsys.t;
+  bp : Branch_pred.t;
+  mdp : Mdp.t;
+  log : Event.log;
+  arch : State.t;  (** committed architectural state *)
+  flat : Program.flat;
+  all : (int, entry) Hashtbl.t;  (** every dispatched entry, by id *)
+  mutable rob : entry list;  (** oldest first *)
+  mutable rob_len : int;  (** cached [List.length rob] for O(1) full checks *)
+  rename : src array;
+  mutable flag_rename : flag_src;
+  mutable next_id : int;
+  mutable cycle : int;
+  mutable fetch_index : int option;
+  mutable fetch_resume_at : int;
+  mutable post_exit_pc : int option;
+  mutable halted : bool;
+  mutable fault : string option;
+  mutable committed_insts : int;
+  mutable squashes : int;
+  mutable squashed_insts : int;
+  mutable spec_issued : int;
+  mutable mispredicts : int;
+  mutable last_commit_cycle : int;
+  mutable bpred_order : (int * bool * int) list;  (** newest first *)
+  mutable exec_order : int list;
+      (** PCs in execution order, including wrong-path instructions (the
+          physical-probe observer of §3.2's third trace option); newest
+          first *)
+  perf : Perf.t;  (** hardware counters; trace-invisible *)
+}
+
+let create ?(perf = Perf.noop) (cfg : Config.t) (ms : Memsys.t)
+    (bp : Branch_pred.t) (mdp : Mdp.t) (log : Event.log) (arch : State.t)
+    (flat : Program.flat) =
+  {
+    cfg;
+    ms;
+    bp;
+    mdp;
+    log;
+    arch;
+    flat;
+    all = Hashtbl.create 256;
+    rob = [];
+    rob_len = 0;
+    rename = Array.init Reg.count (fun i -> Committed (State.read_reg arch (Reg.of_index i)));
+    flag_rename = Fcommitted arch.State.flags;
+    next_id = 0;
+    cycle = 0;
+    fetch_index = Some 0;
+    fetch_resume_at = 0;
+    post_exit_pc = None;
+    halted = false;
+    fault = None;
+    committed_insts = 0;
+    squashes = 0;
+    squashed_insts = 0;
+    spec_issued = 0;
+    mispredicts = 0;
+    last_commit_cycle = 0;
+    bpred_order = [];
+    exec_order = [];
+    perf;
+  }
+
+let find t id = Hashtbl.find t.all id
+
+let disasm inst = Inst.to_string inst
+
+(* ------------------------------------------------------------------ *)
+(* Value plumbing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let value_of_src t r = function
+  | Committed v -> v
+  | Producer id -> (
+      let p = find t id in
+      match List.assoc_opt r p.reg_results with
+      | Some v -> v
+      | None -> invalid_arg "Pipeline: producer has no result for register")
+
+let src_done t = function
+  | Committed _ -> true
+  | Producer id -> (find t id).status = Done
+
+let fsrc_done t = function
+  | Fcommitted _ -> true
+  | Fproducer id -> (find t id).status = Done
+
+let read_reg_of_entry t (e : entry) r =
+  match List.assoc_opt r e.srcs with
+  | Some s -> value_of_src t r s
+  | None -> invalid_arg ("Pipeline: unexpected register read " ^ Reg.name r)
+
+let flags_of_entry t (e : entry) =
+  match e.fsrc with
+  | Some (Fcommitted f) -> f
+  | Some (Fproducer id) -> (
+      match (find t id).flags_result with
+      | Some f -> f
+      | None -> invalid_arg "Pipeline: flags producer has no result")
+  | None -> Flags.initial
+
+let merge_reg_value ~old w v =
+  match w with
+  | Width.W64 -> v
+  | Width.W32 -> Width.truncate Width.W32 v
+  | Width.W16 | Width.W8 ->
+      Int64.logor (Int64.logand old (Int64.lognot (Width.mask w))) (Width.truncate w v)
+
+(* The Exec.machine view of one entry at completion time. *)
+let machine_of t (e : entry) : Exec.machine =
+  {
+    Exec.read_reg = (fun r -> read_reg_of_entry t e r);
+    write_reg =
+      (fun w r v ->
+        let old =
+          match w with
+          | Width.W8 | Width.W16 -> read_reg_of_entry t e r
+          | Width.W32 | Width.W64 -> 0L
+        in
+        e.reg_results <- (r, merge_reg_value ~old w v) :: List.remove_assoc r e.reg_results);
+    read_flags = (fun () -> flags_of_entry t e);
+    write_flags = (fun f -> e.flags_result <- Some f);
+    load =
+      (fun _w _addr ->
+        match e.load_value with
+        | Some v -> v
+        | None -> invalid_arg "Pipeline: load value not captured");
+    store = (fun _w _addr v -> e.store_value <- Some v);
+  }
+
+(* Read [width] bytes at [addr]: committed memory overlaid with the store
+   data of older, already-executed in-flight stores (store-to-load
+   forwarding).  Bytes outside the sandbox read as zero, matching the
+   emulator. *)
+let overlay_read t (load : entry) addr width =
+  let mem = t.arch.State.mem in
+  let older_stores =
+    List.filter
+      (fun (e : entry) ->
+        e.id < load.id
+        &&
+        match e.mem, e.maddr, e.store_value with
+        | Some (_, (`Store | `Rmw)), Some _, Some _ -> true
+        | _ -> false)
+      t.rob
+  in
+  let n = Width.bytes width in
+  let v = ref 0L in
+  for i = n - 1 downto 0 do
+    let a = addr + i in
+    let byte = ref (Memory.read_byte mem a) in
+    if Memory.in_bounds mem a then
+      List.iter
+        (fun (e : entry) ->
+          match e.mem, e.maddr, e.store_value with
+          | Some (sw, _), Some sa, Some sv ->
+              if a >= sa && a < sa + Width.bytes sw then
+                byte := Int64.to_int (Int64.shift_right_logical sv (8 * (a - sa))) land 0xFF
+          | _ -> ())
+        older_stores;
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int !byte)
+  done;
+  !v
+
+let ranges_overlap a1 n1 a2 n2 = a1 < a2 + n2 && a2 < a1 + n1
+
+(* ------------------------------------------------------------------ *)
+(* Speculation and taint                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* An instruction is speculative while an older branch is unresolved or an
+   older store has an unresolved address (the "Futuristic" threat model of
+   InvisiSpec/STT collapses to this for our squash sources). *)
+let is_speculative t (e : entry) =
+  List.exists
+    (fun (o : entry) ->
+      o.id < e.id
+      && ((Inst.is_cond_branch o.inst && not o.resolved)
+         || (Inst.is_store o.inst && o.maddr = None)))
+    t.rob
+
+let producer_tainted t = function
+  | Committed _ -> false
+  | Producer id ->
+      let p = find t id in
+      p.tainted && not p.retired
+
+let flag_producer_tainted t = function
+  | Some (Fproducer id) ->
+      let p = find t id in
+      p.tainted && not p.retired
+  | Some (Fcommitted _) | None -> false
+
+(* STT taint recomputation, oldest-to-youngest, every cycle: a speculative
+   load's result is tainted; taint propagates through the dataflow; taint
+   clears automatically when the defining load reaches its visibility point
+   (no older unresolved branches / stores). *)
+let recompute_taints t =
+  List.iter
+    (fun (e : entry) ->
+      let src_taint =
+        List.exists (fun (_, s) -> producer_tainted t s) e.srcs
+        || flag_producer_tainted t e.fsrc
+      in
+      let access_taint = Inst.is_load e.inst && is_speculative t e in
+      e.tainted <- access_taint || src_taint)
+    t.rob
+
+let addr_regs_of e =
+  match Inst.mem_access e.inst with
+  | Some (m, _, _) -> Operand.address_regs (Operand.Mem m)
+  | None -> []
+
+let address_tainted t (e : entry) =
+  List.exists
+    (fun r ->
+      match List.assoc_opt r e.srcs with
+      | Some s -> producer_tainted t s
+      | None -> false)
+    (addr_regs_of e)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch / fetch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rob_full t = t.rob_len >= t.cfg.rob_size
+
+let dedup_regs regs =
+  List.fold_left (fun acc r -> if List.memq r acc then acc else r :: acc) [] regs
+
+let dispatch t index =
+  let inst = Program.get t.flat index in
+  let pc = Program.pc_of_index t.flat index in
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let srcs =
+    List.map (fun r -> (r, t.rename.(Reg.index r))) (dedup_regs (Inst.source_regs inst))
+  in
+  let fsrc = if Inst.reads_flags inst then Some t.flag_rename else None in
+  let dests = Inst.dest_regs inst in
+  let prev_renames = List.map (fun r -> (r, t.rename.(Reg.index r))) dests in
+  let prev_flag_rename = if Inst.writes_flags inst then Some t.flag_rename else None in
+  let e =
+    {
+      id;
+      index;
+      pc;
+      inst;
+      srcs;
+      fsrc;
+      dests;
+      prev_renames;
+      prev_flag_rename;
+      mem = (match Inst.mem_access inst with Some (_, w, d) -> Some (w, d) | None -> None);
+      status = Dispatched;
+      reg_results = [];
+      flags_result = None;
+      maddr = None;
+      load_value = None;
+      store_value = None;
+      requested = false;
+      pending_lines = 0;
+      was_spec = false;
+      exposed = false;
+      bypassed = false;
+      done_at = max_int;
+      predicted_taken = false;
+      bp_history = 0;
+      resolved = not (Inst.is_cond_branch inst);
+      actual_next = None;
+      tainted = false;
+      taint_logged = false;
+      retired = false;
+    }
+  in
+  List.iter (fun r -> t.rename.(Reg.index r) <- Producer id) dests;
+  if Inst.writes_flags inst then t.flag_rename <- Fproducer id;
+  Hashtbl.add t.all id e;
+  t.rob <- t.rob @ [ e ];
+  t.rob_len <- t.rob_len + 1;
+  Amulet_obs.Obs.incr t.perf.Perf.fetched;
+  Event.record t.log (Event.Fetched { cycle = t.cycle; pc; disasm = disasm inst });
+  (* instructions with no execution stage complete at dispatch *)
+  (match inst with
+  | Inst.Nop | Inst.Fence ->
+      e.status <- Done;
+      e.actual_next <- Some (index + 1);
+      t.exec_order <- e.pc :: t.exec_order
+  | Inst.Exit ->
+      e.status <- Done;
+      t.exec_order <- e.pc :: t.exec_order
+  | Inst.Jmp (Inst.Abs target) ->
+      e.status <- Done;
+      e.actual_next <- Some target;
+      t.exec_order <- e.pc :: t.exec_order
+  | _ -> ());
+  e
+
+let target_index inst =
+  match Inst.branch_target inst with
+  | Some (Inst.Abs i) -> i
+  | Some (Inst.Label _) | None -> invalid_arg "Pipeline: unresolved branch"
+
+let fetch_stage t =
+  if t.halted then ()
+  else if t.cycle < t.fetch_resume_at then ()
+  else
+    match t.fetch_index with
+    | None -> (
+        (* past the end of the test: the front-end keeps prefetching
+           sequential lines into L1I until Exit commits (KV1/KV2) *)
+        match t.post_exit_pc with
+        | None -> ()
+        | Some pp ->
+            Memsys.fetch_touch t.ms ~now:t.cycle ~pc:pp;
+            t.post_exit_pc <- Some (pp + t.cfg.line_bytes))
+    | Some start ->
+        let idx = ref (Some start) in
+        let fetched = ref 0 in
+        let continue_ = ref true in
+        while !continue_ && !fetched < t.cfg.fetch_width && not (rob_full t) do
+          match !idx with
+          | None -> continue_ := false
+          | Some i ->
+              if i < 0 || i >= Program.length t.flat then begin
+                t.fault <- Some (Printf.sprintf "fetch escaped code region (index %d)" i);
+                t.halted <- true;
+                continue_ := false
+              end
+              else begin
+                let inst = Program.get t.flat i in
+                let pc = Program.pc_of_index t.flat i in
+                Memsys.fetch_touch t.ms ~now:t.cycle ~pc;
+                let e = dispatch t i in
+                incr fetched;
+                match inst with
+                | Inst.Exit ->
+                    idx := None;
+                    t.post_exit_pc <- Some (pc + t.flat.Program.inst_size);
+                    continue_ := false
+                | Inst.Jmp (Inst.Abs target) -> idx := Some target
+                | Inst.Jcc (_, Inst.Abs target) ->
+                    let taken = Branch_pred.predict t.bp ~pc in
+                    e.predicted_taken <- taken;
+                    e.bp_history <- Branch_pred.history t.bp;
+                    Branch_pred.speculate_history t.bp ~taken;
+                    let next = if taken then target else i + 1 in
+                    let target_pc = Program.pc_of_index t.flat next in
+                    t.bpred_order <- (pc, taken, target_pc) :: t.bpred_order;
+                    Event.record t.log
+                      (Event.Predicted { cycle = t.cycle; pc; taken; target = target_pc });
+                    idx := Some next
+                | _ -> idx := Some (i + 1)
+              end
+        done;
+        t.fetch_index <- !idx
+
+(* ------------------------------------------------------------------ *)
+(* Squash                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Squash all entries with id >= bound, newest first (undo-log recovery). *)
+let squash_from t ~bound ~reason =
+  let keep, gone = List.partition (fun (e : entry) -> e.id < bound) t.rob in
+  if gone <> [] then begin
+    t.squashes <- t.squashes + 1;
+    t.squashed_insts <- t.squashed_insts + List.length gone;
+    Amulet_obs.Obs.incr t.perf.Perf.squashes;
+    Amulet_obs.Obs.add t.perf.Perf.squashed_insts (List.length gone);
+    let newest_first = List.rev gone in
+    List.iter
+      (fun (e : entry) ->
+        List.iter (fun (r, prev) -> t.rename.(Reg.index r) <- prev) e.prev_renames;
+        (match e.prev_flag_rename with
+        | Some p -> t.flag_rename <- p
+        | None -> ());
+        Memsys.cancel t.ms ~now:t.cycle ~rob_id:e.id;
+        Event.record t.log (Event.Squashed { cycle = t.cycle; pc = e.pc; reason }))
+      newest_first;
+    (* branch history repair: rewind to the oldest squashed branch *)
+    (match
+       List.find_opt (fun (e : entry) -> Inst.is_cond_branch e.inst) gone
+     with
+    | Some b -> Branch_pred.set_history t.bp b.bp_history
+    | None -> ());
+    t.rob <- keep;
+    t.rob_len <- t.rob_len - List.length gone
+  end
+
+let redirect_fetch t ~index =
+  t.fetch_index <- Some index;
+  t.post_exit_pc <- None;
+  t.fetch_resume_at <- t.cycle + 1 + t.cfg.redirect_penalty
+
+(* ------------------------------------------------------------------ *)
+(* Issue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let exec_latency t inst =
+  match inst with
+  | Inst.Imul _ -> t.cfg.imul_latency
+  | Inst.Jcc _ -> t.cfg.branch_latency
+  | _ -> 1
+
+(* SpecLFB UV6: `isReallyUnsafe` is cleared when there is no older unsafe
+   (speculative) load in the load-store queue. *)
+let speclfb_has_older_unsafe_load t (e : entry) =
+  List.exists
+    (fun (o : entry) ->
+      o.id < e.id && Inst.is_load o.inst && is_speculative t o)
+    t.rob
+
+(* Memory-ordering readiness of a load against older stores. Returns
+   [`Ready of bypassed] or [`Wait]. *)
+let load_ordering_ready t (e : entry) addr width =
+  let bypassed = ref false in
+  let blocked = ref false in
+  List.iter
+    (fun (o : entry) ->
+      if o.id < e.id && (not !blocked) && Inst.is_store o.inst then
+        match o.maddr, o.store_value with
+        | None, _ ->
+            (* older store address unknown: consult the predictor *)
+            if Mdp.predict_bypass t.mdp ~pc:e.pc then bypassed := true
+            else blocked := true
+        | Some sa, None ->
+            (* address known, data not yet produced (e.g. an RMW waiting on
+               its own load): wait only on overlap *)
+            let sw = match o.mem with Some (w, _) -> Width.bytes w | None -> 0 in
+            if ranges_overlap addr (Width.bytes width) sa sw then blocked := true
+        | Some _, Some _ -> ())
+    t.rob;
+  if !blocked then `Wait else `Ready !bypassed
+
+let stt_cfg t = match t.cfg.defense with Config.Stt c -> Some c | _ -> None
+
+let taint_block t (e : entry) =
+  if not e.taint_logged then begin
+    e.taint_logged <- true;
+    Event.record t.log (Event.Taint_blocked { cycle = t.cycle; pc = e.pc })
+  end
+
+(* Try to begin execution of entry [e]; true if it issued. *)
+let try_issue t (e : entry) =
+  let srcs_ready =
+    List.for_all (fun (_, s) -> src_done t s) e.srcs
+    && (match e.fsrc with None -> true | Some f -> fsrc_done t f)
+  in
+  if not srcs_ready then false
+  else
+    match e.mem with
+    | None ->
+        e.status <- Executing;
+        e.done_at <- t.cycle + exec_latency t e.inst;
+        t.exec_order <- e.pc :: t.exec_order;
+        true
+    | Some (width, dir) -> (
+        let addr =
+          match Exec.mem_request ~read_reg:(read_reg_of_entry t e) e.inst with
+          | Some (a, _, _) -> a
+          | None -> invalid_arg "Pipeline: memory entry without request"
+        in
+        let a_tainted = stt_cfg t <> None && address_tainted t e in
+        match dir with
+        | `Load | `Rmw -> (
+            (* STT gates loads with tainted addresses *)
+            if a_tainted then begin
+              taint_block t e;
+              false
+            end
+            else
+              match load_ordering_ready t e addr width with
+              | `Wait -> false
+              | `Ready bypassed
+                when t.cfg.defense = Config.Delay_on_miss
+                     && (is_speculative t e || bypassed)
+                     && List.exists
+                          (fun line -> not (Memsys.l1d_has_line t.ms line))
+                          (Memsys.lines_of_access t.ms ~addr ~width) ->
+                  (* selective delay: a speculative miss waits for safety *)
+                  ignore bypassed;
+                  false
+              | `Ready bypassed ->
+                  e.maddr <- Some addr;
+                  e.bypassed <- bypassed;
+                  let spec = is_speculative t e || bypassed in
+                  e.was_spec <- spec;
+                  if spec then begin
+                    t.spec_issued <- t.spec_issued + 1;
+                    Amulet_obs.Obs.incr t.perf.Perf.spec_issued
+                  end;
+                  Memsys.tlb_access t.ms ~now:t.cycle ~addr ~tainted:false
+                    ~by_store:false;
+                  e.load_value <- Some (overlay_read t e addr width);
+                  let kind =
+                    match t.cfg.defense with
+                    | Config.Invisispec _ | Config.Ghostminion ->
+                        if spec then Memsys.Spec_load else Memsys.Demand_load
+                    | Config.Speclfb cfg ->
+                        if not spec then Memsys.Demand_load
+                        else if
+                          cfg.Config.lfb_patched_first_load
+                          || speclfb_has_older_unsafe_load t e
+                        then Memsys.Spec_load
+                        else begin
+                          (* UV6: the first speculative load in the LSQ is
+                             treated as safe and installs normally *)
+                          Event.record t.log
+                            (Event.Lfb_unprotected
+                               {
+                                 cycle = t.cycle;
+                                 pc = e.pc;
+                                 line = Memsys.line_of t.ms addr;
+                               });
+                          Memsys.Demand_load
+                        end
+                    | Config.Baseline | Config.Cleanupspec _ | Config.Stt _
+                    | Config.Delay_on_miss ->
+                        Memsys.Demand_load
+                  in
+                  e.pending_lines <-
+                    Memsys.request_access t.ms ~now:t.cycle ~rob_id:e.id ~pc:e.pc
+                      ~addr ~width ~kind ~spec;
+                  e.requested <- true;
+                  e.status <- Executing;
+                  e.done_at <- max_int;
+                  t.exec_order <- e.pc :: t.exec_order;
+                  true)
+        | `Store ->
+            (* STT: the KV3 bug lets tainted stores execute (and fill the
+               TLB); the patched variant gates them like loads *)
+            (match stt_cfg t with
+            | Some { Config.stt_patched_store_tlb = true } when a_tainted ->
+                taint_block t e;
+                false
+            | _ ->
+                e.maddr <- Some addr;
+                e.was_spec <- is_speculative t e;
+                if e.was_spec then begin
+                  t.spec_issued <- t.spec_issued + 1;
+                  Amulet_obs.Obs.incr t.perf.Perf.spec_issued
+                end;
+                Memsys.tlb_access t.ms ~now:t.cycle ~addr ~tainted:a_tainted
+                  ~by_store:true;
+                (* CleanupSpec lets speculative stores modify the cache at
+                   execute (undo is supposed to clean them: UV3/UV4) *)
+                (match t.cfg.defense with
+                | Config.Cleanupspec _ ->
+                    ignore
+                      (Memsys.request_access t.ms ~now:t.cycle ~rob_id:e.id
+                         ~pc:e.pc ~addr ~width ~kind:Memsys.Store_install
+                         ~spec:e.was_spec)
+                | _ -> ());
+                e.status <- Executing;
+                e.done_at <- t.cycle + 1;
+                t.exec_order <- e.pc :: t.exec_order;
+                true))
+
+let issue_stage t =
+  let issued = ref 0 in
+  let fence_seen = ref false in
+  List.iter
+    (fun (e : entry) ->
+      if e.inst = Inst.Fence then fence_seen := true
+      else if (not !fence_seen) && e.status = Dispatched && !issued < t.cfg.issue_width
+      then if try_issue t e then incr issued)
+    t.rob;
+  ignore !issued
+
+(* ------------------------------------------------------------------ *)
+(* Completion, branch resolution, memory-order violations              *)
+(* ------------------------------------------------------------------ *)
+
+(* A store (or RMW) has produced its address+data: younger loads that
+   already captured a value from overlapping bytes read stale data. *)
+let check_memdep_violation t (s : entry) =
+  match s.mem, s.maddr with
+  | Some (sw, (`Store | `Rmw)), Some sa ->
+      let victim =
+        List.find_opt
+          (fun (l : entry) ->
+            l.id > s.id
+            && Inst.is_load l.inst
+            && l.load_value <> None
+            &&
+            match l.mem, l.maddr with
+            | Some (lw, (`Load | `Rmw)), Some la ->
+                ranges_overlap sa (Width.bytes sw) la (Width.bytes lw)
+            | _ -> false)
+          t.rob
+      in
+      (match victim with
+      | None -> ()
+      | Some l ->
+          Mdp.train_violation t.mdp ~pc:l.pc;
+          Event.record t.log
+            (Event.Squashed { cycle = t.cycle; pc = l.pc; reason = Event.Memdep_violation });
+          squash_from t ~bound:l.id ~reason:Event.Memdep_violation;
+          redirect_fetch t ~index:l.index)
+  | _ -> ()
+
+let resolve_branch t (e : entry) =
+  let actual_next =
+    match e.actual_next with Some i -> i | None -> invalid_arg "unresolved branch"
+  in
+  let taken = actual_next <> e.index + 1 in
+  let predicted_next =
+    if e.predicted_taken then target_index e.inst else e.index + 1
+  in
+  Branch_pred.train t.bp ~pc:e.pc ~history:e.bp_history ~taken
+    ~target:(Program.pc_of_index t.flat actual_next);
+  e.resolved <- true;
+  if actual_next <> predicted_next then begin
+    t.mispredicts <- t.mispredicts + 1;
+    Amulet_obs.Obs.incr t.perf.Perf.mispredicts;
+    squash_from t ~bound:(e.id + 1) ~reason:Event.Branch_mispredict;
+    (* repair history: the branch's own bit was wrong *)
+    Branch_pred.set_history t.bp e.bp_history;
+    Branch_pred.speculate_history t.bp ~taken;
+    redirect_fetch t ~index:actual_next
+  end
+
+(* Run the shared semantics for entry [e] and mark it done. *)
+let complete t (e : entry) =
+  let mc = machine_of t e in
+  let outcome = Exec.step mc e.inst in
+  (match outcome with
+  | Exec.Next -> e.actual_next <- Some (e.index + 1)
+  | Exec.Jump i -> e.actual_next <- Some i
+  | Exec.Exited -> e.actual_next <- None);
+  (* instructions that conditionally skip their write (CMOVcc not taken,
+     zero-count shifts) must still supply a result to consumers *)
+  List.iter
+    (fun r ->
+      if not (List.mem_assoc r e.reg_results) then
+        e.reg_results <- (r, read_reg_of_entry t e r) :: e.reg_results)
+    e.dests;
+  e.status <- Done;
+  Event.record t.log
+    (Event.Executed
+       { cycle = t.cycle; pc = e.pc; disasm = disasm e.inst; spec = e.was_spec });
+  if Inst.is_cond_branch e.inst then resolve_branch t e;
+  if Inst.is_store e.inst then check_memdep_violation t e
+
+let completion_ready t (e : entry) =
+  e.status = Executing
+  &&
+  match e.mem with
+  | Some (_, (`Load | `Rmw)) -> e.requested && e.pending_lines = 0
+  | Some (_, `Store) | None -> e.done_at <= t.cycle
+
+(* Complete everything ready this cycle, oldest first; squashes restart the
+   scan since the ROB changed under us. *)
+let complete_stage t =
+  let rec go () =
+    match List.find_opt (completion_ready t) t.rob with
+    | None -> ()
+    | Some e ->
+        complete t e;
+        go ()
+  in
+  go ()
+
+let apply_responses t =
+  List.iter
+    (fun (rob_id, _line) ->
+      match Hashtbl.find_opt t.all rob_id with
+      | Some e when e.status = Executing && e.pending_lines > 0 && not e.retired ->
+          if List.memq e t.rob then e.pending_lines <- e.pending_lines - 1
+      | Some _ | None -> ())
+    (Memsys.take_responses t.ms ~now:t.cycle)
+
+(* ------------------------------------------------------------------ *)
+(* Commit                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let commit_entry t (e : entry) =
+  List.iter (fun (r, v) -> State.write_reg t.arch r v) e.reg_results;
+  (match e.flags_result with Some f -> t.arch.State.flags <- f | None -> ());
+  (match e.mem, e.maddr with
+  | Some (w, (`Store | `Rmw)), Some addr ->
+      (match e.store_value with
+      | Some v -> Memory.write t.arch.State.mem w addr v
+      | None -> invalid_arg "Pipeline: committing store without data");
+      (* cache install at commit for defenses that do not allow speculative
+         stores into the cache (CleanupSpec installed at execute) *)
+      (match t.cfg.defense with
+      | Config.Cleanupspec _ -> ()
+      | Config.Baseline | Config.Invisispec _ | Config.Stt _ | Config.Speclfb _
+      | Config.Delay_on_miss | Config.Ghostminion ->
+          ignore
+            (Memsys.request_access t.ms ~now:t.cycle ~rob_id:(-1) ~pc:e.pc ~addr ~width:w
+               ~kind:Memsys.Store_install ~spec:false))
+  | _ -> ());
+  if e.bypassed then Mdp.train_correct t.mdp ~pc:e.pc;
+  (* release the rename mapping if still pointing at this entry *)
+  List.iter
+    (fun (r, v) ->
+      match t.rename.(Reg.index r) with
+      | Producer id when id = e.id -> t.rename.(Reg.index r) <- Committed v
+      | _ -> ())
+    e.reg_results;
+  (match t.flag_rename, e.flags_result with
+  | Fproducer id, Some f when id = e.id -> t.flag_rename <- Fcommitted f
+  | _ -> ());
+  e.retired <- true;
+  t.committed_insts <- t.committed_insts + 1;
+  Amulet_obs.Obs.incr t.perf.Perf.retired;
+  t.last_commit_cycle <- t.cycle;
+  Event.record t.log
+    (Event.Committed { cycle = t.cycle; pc = e.pc; disasm = disasm e.inst })
+
+(* InvisiSpec / SpecLFB: once a speculatively-issued load reaches its safe
+   point (no older squash sources remain), expose it to the cache hierarchy:
+   an Expose request installs the speculative-buffer / LFB line into L1.
+   This happens before commit, matching the defenses' "Futuristic" modes;
+   a stalled Expose that has not completed when the test ends leaves the
+   line out of the final cache state (the UV2 observable). *)
+let expose_stage t =
+  match t.cfg.defense with
+  | Config.Invisispec _ | Config.Speclfb _ | Config.Ghostminion ->
+      List.iter
+        (fun (e : entry) ->
+          if
+            e.status = Done && e.was_spec && (not e.exposed)
+            && Inst.is_load e.inst
+            && not (is_speculative t e)
+          then begin
+            e.exposed <- true;
+            (match e.mem, e.maddr with
+            | Some (w, _), Some addr ->
+                List.iter
+                  (fun line ->
+                    Memsys.request_expose t.ms ~now:t.cycle ~rob_id:e.id ~line)
+                  (Memsys.lines_of_access t.ms ~addr ~width:w)
+            | _ -> ());
+            Memsys.release_spec_entries t.ms ~rob_id:e.id
+          end)
+        t.rob
+  | Config.Baseline | Config.Cleanupspec _ | Config.Stt _ | Config.Delay_on_miss
+    ->
+      ()
+
+let commit_stage t =
+  let n = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !n < t.cfg.commit_width do
+    match t.rob with
+    | [] -> continue_ := false
+    | head :: rest ->
+        if head.status = Done && head.resolved then begin
+          commit_entry t head;
+          t.rob <- rest;
+          t.rob_len <- t.rob_len - 1;
+          incr n;
+          if head.inst = Inst.Exit then begin
+            t.halted <- true;
+            continue_ := false
+          end
+        end
+        else continue_ := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let step_cycle t =
+  t.cycle <- t.cycle + 1;
+  Amulet_obs.Obs.incr t.perf.Perf.cycles;
+  Amulet_obs.Obs.add t.perf.Perf.rob_occupancy t.rob_len;
+  Memsys.tick t.ms ~now:t.cycle;
+  apply_responses t;
+  if stt_cfg t <> None then recompute_taints t;
+  complete_stage t;
+  expose_stage t;
+  issue_stage t;
+  fetch_stage t;
+  commit_stage t;
+  if t.cycle - t.last_commit_cycle > t.cfg.deadlock_cycles then begin
+    t.fault <- Some "pipeline deadlock";
+    t.halted <- true
+  end
+
+let run t : run_result =
+  Amulet_obs.Obs.incr t.perf.Perf.runs;
+  while (not t.halted) && t.fault = None && t.cycle < t.cfg.max_cycles do
+    step_cycle t
+  done;
+  if (not t.halted) && t.fault = None then t.fault <- Some "cycle limit exceeded";
+  (* post-exit drain: short-latency fills (exposes, L2 handshakes) land in
+     the final state; memory-latency and MSHR-starved requests do not *)
+  for _ = 1 to t.cfg.drain_cycles do
+    t.cycle <- t.cycle + 1;
+    Memsys.tick t.ms ~now:t.cycle
+  done;
+  {
+    cycles = t.cycle;
+    committed_insts = t.committed_insts;
+    squashes = t.squashes;
+    squashed_insts = t.squashed_insts;
+    spec_issued = t.spec_issued;
+    mispredicts = t.mispredicts;
+    fault = t.fault;
+  }
+
+let branch_prediction_order t = List.rev t.bpred_order
+let execution_order t = List.rev t.exec_order
+let cycles t = t.cycle

@@ -1,13 +1,8 @@
-(** The out-of-order core: a cycle-driven dataflow pipeline in the style of
-    gem5's O3CPU, reduced to the mechanisms speculation leaks need.  Driven
-    exclusively through {!Simulator}; this interface exposes only what that
-    facade uses.
-
-    The hot loop runs over a preallocated ring-buffer ROB and an id-indexed
-    entry arena, consumes the shared {!Amulet_isa.Decoded} program cache,
-    and is rewound with {!reset} between runs so steady state reuses every
-    structure.  {!Pipeline_legacy} is the pre-optimization snapshot this
-    implementation must match bit for bit. *)
+(** Pre-optimization snapshot of the out-of-order core: the list-ROB,
+    allocate-per-dispatch hot loop kept as the benchmark baseline and as a
+    differential-testing oracle for the optimized {!Pipeline}.  Selected via
+    [Config.legacy_hot_loop]; behaviour (traces, counters, faults) is
+    required to match {!Pipeline} bit for bit. *)
 
 open Amulet_isa
 open Amulet_emu
@@ -27,14 +22,9 @@ type run_result = {
 val create :
   ?perf:Perf.t ->
   Config.t -> Memsys.t -> Branch_pred.t -> Mdp.t -> Event.log -> State.t ->
-  Decoded.t -> t
+  Program.flat -> t
 (** [perf] (default {!Perf.noop}) is the resolved hardware-counter bundle;
     counting never affects simulated behaviour. *)
-
-val reset : t -> arch:State.t -> Decoded.t -> unit
-(** Rewind the pipeline for a fresh run of [dec] over [arch], reusing the
-    ROB ring, entry arena and scratch buffers.  Equivalent to (but far
-    cheaper than) building a new pipeline with {!create}. *)
 
 val run : t -> run_result
 (** Run to completion (Exit, fault, or cycle limit), then drain. *)

@@ -23,10 +23,26 @@ type t = {
   mutable total_cycles : int;
   mutable total_insts : int;
   mutable runs : int;
+  mutable pipe : Pipeline.t option;
+      (** the reusable pipeline: built on first run, rewound with
+          {!Pipeline.reset} for every run after *)
+  mutable dec_cache : Decoded.t option;
+      (** last decoded test program, keyed by physical equality of the flat;
+          one slot suffices because executors run all inputs of a program
+          back to back (the prime program has its own slot below) *)
+  mutable prime_flat : Program.flat option;
+  mutable prime_dec : Decoded.t option;
+  mutable decodes : int;  (** programs decoded over this simulator's life *)
+  m_decodes : Amulet_obs.Obs.counter;
+  mutable orders_live : bool;
+      (** order traces of the last run live in [pipe] (extracted lazily);
+          false after a restore or a legacy-pipeline run *)
   mutable last_bpred_order : (int * bool * int) list;
-      (** (pc, predicted taken, predicted target) of the last run *)
+      (** (pc, predicted taken, predicted target) of the last run, when not
+          [orders_live] *)
   mutable last_exec_order : int list;
-      (** PCs in execution order (incl. wrong-path) of the last run *)
+      (** PCs in execution order (incl. wrong-path) of the last run, when
+          not [orders_live] *)
 }
 
 type run_stats = {
@@ -70,17 +86,50 @@ let default_boot_insts = 20_000
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run_flat t flat : run_stats =
-  let p = Pipeline.create ~perf:t.perf t.cfg t.ms t.bp t.mdp t.log t.arch flat in
-  let r = Pipeline.run p in
-  t.last_bpred_order <- Pipeline.branch_prediction_order p;
-  t.last_exec_order <- Pipeline.execution_order p;
-  t.total_cycles <- t.total_cycles + r.Pipeline.cycles;
-  t.total_insts <- t.total_insts + r.Pipeline.committed_insts;
+let finish_run t ~cycles ~committed_insts =
+  t.total_cycles <- t.total_cycles + cycles;
+  t.total_insts <- t.total_insts + committed_insts;
   t.runs <- t.runs + 1;
   (* drain per-run transient state; persistent state (caches, predictors)
      survives for the next run *)
-  Memsys.reset_transient t.ms |> ignore;
+  Memsys.reset_transient t.ms |> ignore
+
+(* The original per-run path: build a fresh legacy pipeline (and throw it
+   away).  Kept as the benchmark baseline and differential-testing oracle. *)
+let run_flat_legacy t flat : run_stats =
+  let p =
+    Pipeline_legacy.create ~perf:t.perf t.cfg t.ms t.bp t.mdp t.log t.arch flat
+  in
+  let r = Pipeline_legacy.run p in
+  t.orders_live <- false;
+  t.last_bpred_order <- Pipeline_legacy.branch_prediction_order p;
+  t.last_exec_order <- Pipeline_legacy.execution_order p;
+  finish_run t ~cycles:r.Pipeline_legacy.cycles
+    ~committed_insts:r.Pipeline_legacy.committed_insts;
+  {
+    cycles = r.Pipeline_legacy.cycles;
+    committed_insts = r.Pipeline_legacy.committed_insts;
+    squashes = r.Pipeline_legacy.squashes;
+    squashed_insts = r.Pipeline_legacy.squashed_insts;
+    spec_issued = r.Pipeline_legacy.spec_issued;
+    mispredicts = r.Pipeline_legacy.mispredicts;
+    fault = r.Pipeline_legacy.fault;
+  }
+
+(* The hot path: rewind the persistent pipeline over a pre-decoded program. *)
+let run_decoded t (dec : Decoded.t) : run_stats =
+  let p =
+    match t.pipe with
+    | Some p -> p
+    | None ->
+        let p = Pipeline.create ~perf:t.perf t.cfg t.ms t.bp t.mdp t.log t.arch dec in
+        t.pipe <- Some p;
+        p
+  in
+  Pipeline.reset p ~arch:t.arch dec;
+  let r = Pipeline.run p in
+  t.orders_live <- true;
+  finish_run t ~cycles:r.Pipeline.cycles ~committed_insts:r.Pipeline.committed_insts;
   {
     cycles = r.Pipeline.cycles;
     committed_insts = r.Pipeline.committed_insts;
@@ -90,6 +139,25 @@ let run_flat t flat : run_stats =
     mispredicts = r.Pipeline.mispredicts;
     fault = r.Pipeline.fault;
   }
+
+let note_decode t =
+  t.decodes <- t.decodes + 1;
+  Amulet_obs.Obs.incr t.m_decodes
+
+(* Decode [flat] once per program: repeat runs of the same flat (every input
+   of a test case) hit the cache. *)
+let decode_for t flat =
+  match t.dec_cache with
+  | Some d when Decoded.flat d == flat -> d
+  | _ ->
+      let d = Decoded.decode flat in
+      t.dec_cache <- Some d;
+      note_decode t;
+      d
+
+let run_flat t flat : run_stats =
+  if t.cfg.Config.legacy_hot_loop then run_flat_legacy t flat
+  else run_decoded t (decode_for t flat)
 
 (** Create a simulator.  [boot_insts > 0] runs the synthetic warm-boot
     workload, making creation cost realistic (AMuLeT-Naive pays it per
@@ -112,6 +180,13 @@ let create ?(metrics = Amulet_obs.Obs.noop) ?(boot_insts = default_boot_insts)
       total_cycles = 0;
       total_insts = 0;
       runs = 0;
+      pipe = None;
+      dec_cache = None;
+      prime_flat = None;
+      prime_dec = None;
+      decodes = 0;
+      m_decodes = Amulet_obs.Obs.counter metrics "engine.sim.decodes";
+      orders_live = false;
       last_bpred_order = [];
       last_exec_order = [];
     }
@@ -184,10 +259,30 @@ let prime_program (cfg : Config.t) =
     realistic path: it costs simulated instructions).  R15 is zeroed for
     absolute addressing and the TLB/L1I are reset afterwards via simulator
     hooks, as the real harness does. *)
+(* The prime program is a pure function of the config: build and decode it
+   once per simulator.  It keeps its own cache slot so that alternating
+   prime/test runs (the Opt executor primes before every input) don't thrash
+   the single-entry test-program slot. *)
+let prime_decoded t =
+  match t.prime_dec with
+  | Some d -> d
+  | None ->
+      let flat = prime_program t.cfg in
+      let d = Decoded.decode flat in
+      t.prime_flat <- Some flat;
+      t.prime_dec <- Some d;
+      note_decode t;
+      d
+
 let prime_with_fills t =
   let saved_r15 = State.read_reg t.arch Reg.R15 in
   State.write_reg t.arch Reg.R15 0L;
-  let stats = run_flat t (prime_program t.cfg) in
+  let stats =
+    if t.cfg.Config.legacy_hot_loop then
+      (* faithful baseline: the original rebuilt the fill program per call *)
+      run_flat_legacy t (prime_program t.cfg)
+    else run_decoded t (prime_decoded t)
+  in
   State.write_reg t.arch Reg.R15 saved_r15;
   Memsys.reset_tlb t.ms;
   Memsys.reset_l1i t.ms;
@@ -210,8 +305,19 @@ let bp_state t =
 
 let access_order t = Memsys.access_order t.ms
 let clear_access_order t = Memsys.clear_access_order t.ms
-let branch_prediction_order t = t.last_bpred_order
-let execution_order t = t.last_exec_order
+
+(* Order traces are materialized lazily from the persistent pipeline's
+   scratch buffers: only utrace formats that actually observe ordering pay
+   for the list construction. *)
+let branch_prediction_order t =
+  if t.orders_live then
+    match t.pipe with Some p -> Pipeline.branch_prediction_order p | None -> []
+  else t.last_bpred_order
+
+let execution_order t =
+  if t.orders_live then
+    match t.pipe with Some p -> Pipeline.execution_order p | None -> []
+  else t.last_exec_order
 
 (* ------------------------------------------------------------------ *)
 (* Predictor context snapshots (violation validation, §3.2)            *)
@@ -263,6 +369,7 @@ let restore t (s : snapshot) =
   Memory.blit ~src:s.s_mem ~dst:t.arch.State.mem;
   Memsys.reset_transient t.ms;
   Memsys.clear_access_order t.ms;
+  t.orders_live <- false;
   t.last_bpred_order <- [];
   t.last_exec_order <- []
 
@@ -278,3 +385,4 @@ let reset_l1i t = Memsys.reset_l1i t.ms
 let total_cycles t = t.total_cycles
 let total_insts t = t.total_insts
 let runs t = t.runs
+let decodes t = t.decodes

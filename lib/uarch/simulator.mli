@@ -106,3 +106,9 @@ val reset_l1i : t -> unit
 val total_cycles : t -> int
 val total_insts : t -> int
 val runs : t -> int
+
+val decodes : t -> int
+(** Programs decoded into the shared {!Amulet_isa.Decoded} cache over this
+    simulator's lifetime (boot and prime programs included): with the cache
+    working, this stays proportional to the number of distinct programs,
+    not the number of inputs. *)

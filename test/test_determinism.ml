@@ -85,6 +85,147 @@ let test_same_engine_repeatable () =
   checkb "full counter set repeats" true (counters a = counters b);
   checkb "violations repeat" true (violation_keys a = violation_keys b)
 
+(* ------------------------------------------------------------------ *)
+(* Hot-loop equivalence: the optimized pipeline (ring-buffer ROB,
+   wakeup scheduling, pre-decoded programs) against its frozen
+   pre-optimization snapshot (Pipeline_legacy), and the fused ctrace
+   fast path against plain per-instruction emulation.                  *)
+(* ------------------------------------------------------------------ *)
+
+open Amulet_isa
+open Amulet_contracts
+module Generator = Amulet_corpus.Generator
+
+(* the released (bug-bearing) presets the paper's campaigns target *)
+let released =
+  [
+    Defense.baseline;
+    Defense.invisispec;
+    Defense.cleanupspec;
+    Defense.stt;
+    Defense.speclfb;
+  ]
+
+let gen_cases ?(pages = 1) ~programs ~inputs ~seed () =
+  let rng = Rng.create ~seed in
+  Array.init programs (fun _ ->
+      let flat = Generator.generate_flat rng in
+      let ins = Array.init inputs (fun _ -> Input.generate rng ~pages) in
+      (flat, ins))
+
+let outcomes_of ?sim_config ?(kind = Engine.Pooled) d cases =
+  let eng =
+    Engine.create ~boot_insts:100 ?sim_config ~kind ~mode:Executor.Opt d
+      (Stats.create ())
+  in
+  Array.map (fun (flat, ins) -> (Engine.run_batch eng flat ins).Engine.outcomes)
+    cases
+
+let check_outcomes_equal ~what a b =
+  Array.iteri
+    (fun p oa ->
+      let ob = b.(p) in
+      checki (what ^ ": same outcome count") (Array.length oa) (Array.length ob);
+      Array.iteri
+        (fun i xa ->
+          let ctx = Printf.sprintf "%s: program %d input %d" what p i in
+          match (xa, ob.(i)) with
+          | Some (xa : Executor.outcome), Some xb ->
+              checkb (ctx ^ ": utrace byte-identical") true
+                (Utrace.equal xa.Executor.trace xb.Executor.trace);
+              checki (ctx ^ ": cycles") xa.Executor.cycles xb.Executor.cycles;
+              checkb (ctx ^ ": sim_stats") true
+                (xa.Executor.sim_stats = xb.Executor.sim_stats)
+          | None, None -> ()
+          | _ -> Alcotest.fail (ctx ^ ": one engine faulted, the other did not"))
+        oa)
+    a
+
+(* Pooled and naive engines must agree byte-for-byte on every released
+   preset (the cross-engine guarantee the campaign service relies on). *)
+let test_presets_cross_engine () =
+  List.iter
+    (fun (d : Defense.t) ->
+      let cases =
+        gen_cases ~pages:d.Defense.sandbox_pages ~programs:2 ~inputs:4 ~seed:91
+          ()
+      in
+      let pooled = outcomes_of ~kind:Engine.Pooled d cases in
+      let naive = outcomes_of ~kind:Engine.Naive d cases in
+      check_outcomes_equal ~what:(d.Defense.name ^ " pooled-vs-naive") pooled
+        naive)
+    released
+
+(* The frozen pre-optimization pipeline is the differential oracle for the
+   hot-loop rewrite: same traces, same cycle counts, same pipeline stats. *)
+let test_legacy_hot_loop_oracle () =
+  List.iter
+    (fun (d : Defense.t) ->
+      let cases =
+        gen_cases ~pages:d.Defense.sandbox_pages ~programs:2 ~inputs:6 ~seed:92
+          ()
+      in
+      let legacy_cfg =
+        { (Defense.config d) with Amulet_uarch.Config.legacy_hot_loop = true }
+      in
+      let optim = outcomes_of d cases in
+      let legacy = outcomes_of ~sim_config:legacy_cfg d cases in
+      check_outcomes_equal ~what:(d.Defense.name ^ " optimized-vs-legacy") optim
+        legacy)
+    released
+
+(* The straight-line ctrace fast path (fused basic blocks over a pre-decoded
+   program) must be observation-identical to plain stepping. *)
+let test_ctrace_fast_slow () =
+  let rng = Rng.create ~seed:93 in
+  for _ = 1 to 4 do
+    let flat = Generator.generate_flat rng in
+    let decoded = Decoded.decode flat in
+    for _ = 1 to 3 do
+      let input = Input.generate rng ~pages:1 in
+      let fast =
+        Leakage_model.collect ~decoded Contract.ct_cond flat (Input.to_state input)
+      in
+      let slow = Leakage_model.collect Contract.ct_cond flat (Input.to_state input) in
+      checkb "ctrace byte-identical" true
+        (Observation.equal_trace fast.Leakage_model.ctrace
+           slow.Leakage_model.ctrace);
+      checkb "ctrace hash" true
+        (fast.Leakage_model.ctrace_hash = slow.Leakage_model.ctrace_hash);
+      checkb "shape hash" true
+        (fast.Leakage_model.shape_hash = slow.Leakage_model.shape_hash);
+      checkb "final state hash" true
+        (fast.Leakage_model.final_state_hash = slow.Leakage_model.final_state_hash);
+      checki "arch steps" fast.Leakage_model.arch_steps slow.Leakage_model.arch_steps;
+      checki "spec steps" fast.Leakage_model.spec_steps slow.Leakage_model.spec_steps;
+      checkb "fault" true (fast.Leakage_model.fault = slow.Leakage_model.fault)
+    done
+  done
+
+(* Steady-state allocation regression guard: once the pooled engine is warm
+   (arena grown, program decoded, scratch buffers sized), each additional
+   input must stay within a fixed minor-heap budget.  The pre-optimization
+   hot loop allocates ~100k minor words per input (per-run decode plus
+   per-cycle scan closures); the optimized loop measures ~9k.  The bound
+   sits between the two with headroom on both sides. *)
+let test_gc_steady_state () =
+  let cases = gen_cases ~programs:2 ~inputs:12 ~seed:94 () in
+  let inputs_total = 2 * 12 in
+  let eng =
+    Engine.create ~boot_insts:100 ~mode:Executor.Opt Defense.speclfb
+      (Stats.create ())
+  in
+  Array.iter (fun (flat, ins) -> ignore (Engine.run_batch eng flat ins)) cases;
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  Array.iter (fun (flat, ins) -> ignore (Engine.run_batch eng flat ins)) cases;
+  let per_input = (Gc.minor_words () -. w0) /. float_of_int inputs_total in
+  checkb
+    (Printf.sprintf "steady-state minor words per input (%.0f) under 25000"
+       per_input)
+    true
+    (per_input < 25_000.)
+
 let () =
   Alcotest.run "determinism"
     [
@@ -95,5 +236,16 @@ let () =
           Alcotest.test_case "trace invisibility" `Slow test_telemetry_invisible;
           Alcotest.test_case "same-engine repeatability" `Slow
             test_same_engine_repeatable;
+        ] );
+      ( "hot loop",
+        [
+          Alcotest.test_case "released presets cross-engine" `Slow
+            test_presets_cross_engine;
+          Alcotest.test_case "legacy hot-loop oracle" `Slow
+            test_legacy_hot_loop_oracle;
+          Alcotest.test_case "ctrace fast path identical" `Quick
+            test_ctrace_fast_slow;
+          Alcotest.test_case "steady-state allocation bound" `Quick
+            test_gc_steady_state;
         ] );
     ]
