@@ -1191,6 +1191,83 @@ let guided_bench () =
   if not (speedup_ok && engine_invariant && domain_invariant) then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Triage: violation stream -> ranked root-cause report                *)
+(* ------------------------------------------------------------------ *)
+
+(* Exercises the full triage pipeline (explain, cluster, bisect) over a
+   multi-preset violation stream and enforces its contracts: clustering
+   is invariant under stream permutation, distinct clusters never exceed
+   the findings consumed, and at least one cluster carries a bisected
+   mechanism.  Emits BENCH_triage.json (the amulet.triage/1 document,
+   path overridable via AMULET_BENCH_JSON). *)
+let triage_bench () =
+  section "Triage: violation stream to ranked root-cause report";
+  (* a small cross-defense stream: released SpecLFB + the Figure-9 STT
+     corpus, the same mixture the paper's case studies reduce *)
+  let stream = ref [] in
+  let add origin v =
+    stream := (origin, Violation_io.of_violation v) :: !stream
+  in
+  let fz =
+    Fuzzer.create
+      (Run_spec.make ~defense:Defense.speclfb ~seed:17 ~inputs:8 ~boosts:5
+         ~boot_insts:300 ())
+  in
+  let budget = scale 25 in
+  for i = 1 to budget do
+    match Fuzzer.round fz with
+    | Fuzzer.Found v -> add (Printf.sprintf "speclfb#%d" i) v
+    | _ -> ()
+  done;
+  (match Reproducers.hunt ~seed:7 Reproducers.figure9 with
+  | Some v -> add "figure9" v
+  | None -> ());
+  let stream = List.rev !stream in
+  let n = List.length stream in
+  let t0 = Unix.gettimeofday () in
+  let findings =
+    List.map (fun (o, s) -> (o, Triage.explain s)) stream
+  in
+  let t_explain = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let report = Triage.run ~bisect:true stream in
+  let t_run = Unix.gettimeofday () -. t1 in
+  let clusters = report.Triage.clusters in
+  let stable =
+    let key c =
+      (c.Triage.rank, c.Triage.cluster_signature, c.Triage.count)
+    in
+    List.map key (Triage.cluster findings)
+    = List.map key (Triage.cluster (List.rev findings))
+  in
+  let bounded =
+    List.length clusters <= report.Triage.total - report.Triage.not_reproduced
+  in
+  let named =
+    List.exists (fun c -> c.Triage.representative.Triage.mechanism <> None)
+      clusters
+  in
+  Format.printf "%a" Triage.pp_report report;
+  Format.printf
+    "stream: %d violations   explain: %.2f s (%.1f/s)   full run: %.2f s@." n
+    t_explain
+    (float_of_int n /. Float.max 1e-9 t_explain)
+    t_run;
+  if not stable then Format.printf "ERROR: clustering depends on stream order@.";
+  if not bounded then Format.printf "ERROR: more clusters than findings@.";
+  if not named then
+    Format.printf "ERROR: no cluster carries a bisected mechanism@.";
+  let json_path =
+    Option.value (Sys.getenv_opt "AMULET_BENCH_JSON") ~default:"BENCH_triage.json"
+  in
+  let oc = open_out json_path in
+  output_string oc (Triage.report_to_json report);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "wrote %s@." json_path;
+  if not (stable && bounded && named && clusters <> []) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* main                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1200,10 +1277,11 @@ let () =
   | Some "sweep" -> sweep_bench ()
   | Some "static" -> static_bench ()
   | Some "guided" -> guided_bench ()
+  | Some "triage" -> triage_bench ()
   | Some s ->
       Format.eprintf
         "unknown AMULET_BENCH_ONLY section %S (try: throughput, sweep, \
-         static, guided)@."
+         static, guided, triage)@."
         s;
       exit 2
   | None ->
@@ -1224,6 +1302,7 @@ let () =
       sweep_bench ();
       static_bench ();
       guided_bench ();
+      triage_bench ();
       extension_ghostminion ();
       extension_prefetcher ();
       extension_parallel ();

@@ -5,10 +5,11 @@
      sweep      - run the sharded multi-defense matrix sweep
      serve      - run the matrix as a crash-tolerant coordinator + workers
      worker     - join a coordinator as a campaign worker process
-     reproduce  - hunt a known vulnerability with its crafted reproducer
+     reproduce  - hunt a known vulnerability, or replay a violation/PoC file
      run        - execute an assembly file on the simulator and print traces
      analyze    - revalidate/classify/minimize a saved violation
-     explain    - violation forensics: trace + counter delta of the two runs
+     explain    - one-element triage view of a saved violation
+     triage     - cluster/bisect a violation stream into ranked root causes
      lint       - static leakage pre-analysis of a program (no simulation)
      corpus     - inspect a guided-fuzzing corpus checkpoint
      list       - show available defenses, contracts, trace formats
@@ -916,10 +917,97 @@ let reproduce_cmd =
             "Reproducer name (one of: $(b,figure4-uv1), $(b,figure6-uv2), \
              $(b,figure8-uv6), $(b,figure9-kv3), $(b,uv3-store-not-cleaned), \
              $(b,uv4-split-not-cleaned), $(b,uv5-too-much-cleaning), \
-             $(b,spectre-v4)).")
+             $(b,spectre-v4)), or the path of a saved violation or triage \
+             PoC file to replay.")
+  in
+  let sniff_magic path =
+    match In_channel.with_open_text path In_channel.input_line with
+    | Some l when String.length l >= 10 && String.sub l 0 10 = "amulet-poc" ->
+        `Poc
+    | Some l
+      when String.length l >= 16 && String.sub l 0 16 = "amulet-violation" ->
+        `Violation
+    | _ -> `Unknown
+  in
+  let replay_poc path json =
+    let p = Triage.Poc.load path in
+    let verdict = Triage.Poc.replay p in
+    let verdict_name, diff =
+      match verdict with
+      | `Match -> ("match", [])
+      | `Not_reproduced -> ("not_reproduced", [])
+      | `Diff_mismatch d -> ("diff_mismatch", d)
+    in
+    if json then
+      Output.emit
+        (Json.Obj
+           [
+             ("poc", Json.Str path);
+             ("signature", Json.Str p.Triage.Poc.signature);
+             ("verdict", Json.Str verdict_name);
+             ( "mechanism",
+               match p.Triage.Poc.mechanism with
+               | Some (name, _) -> Json.Str name
+               | None -> Json.Null );
+             ("observed_diff", Json.List (List.map (fun l -> Json.Str l) diff));
+           ])
+    else begin
+      Format.printf "poc: %s@.signature: %s@." path p.Triage.Poc.signature;
+      (match p.Triage.Poc.mechanism with
+      | Some (name, _) -> Format.printf "mechanism: %s@." name
+      | None -> ());
+      match verdict with
+      | `Match -> Format.printf "verdict: match (recorded divergence replayed)@."
+      | `Not_reproduced -> Format.printf "verdict: not reproduced@."
+      | `Diff_mismatch d ->
+          Format.printf
+            "verdict: reproduced, but the divergence differs from the \
+             recording:@.";
+          List.iter (fun l -> Format.printf "  %s@." l) d
+    end;
+    match verdict with
+    | `Match -> Output.exit_violation
+    | `Not_reproduced -> Output.exit_clean
+    | `Diff_mismatch _ -> Output.exit_fault
+  in
+  let replay_violation path json =
+    let f = Triage.explain (Violation_io.load path) in
+    if json then
+      print_endline
+        (Triage.report_to_json
+           (match f.Triage.status with
+           | Triage.Reproduced ->
+               {
+                 Triage.clusters =
+                   [
+                     {
+                       Triage.rank = 1;
+                       cluster_signature = f.Triage.signature;
+                       representative = f;
+                       members = [ path ];
+                       count = 1;
+                     };
+                   ];
+                 total = 1;
+                 not_reproduced = 0;
+               }
+           | Triage.Not_reproduced ->
+               { Triage.clusters = []; total = 1; not_reproduced = 1 }))
+    else Format.printf "%a" Triage.pp_finding f;
+    match f.Triage.status with
+    | Triage.Reproduced -> Output.exit_violation
+    | Triage.Not_reproduced -> Output.exit_clean
   in
   let run name seed json =
    Output.guarded @@ fun () ->
+    if Sys.file_exists name && not (Sys.is_directory name) then
+      match sniff_magic name with
+      | `Poc -> replay_poc name json
+      | `Violation -> replay_violation name json
+      | `Unknown ->
+          Format.eprintf "amulet: %s is not a violation or PoC file@." name;
+          Output.exit_fault
+    else
     match Reproducers.find name with
     | None ->
         Format.eprintf "amulet: unknown reproducer %S@." name;
@@ -957,8 +1045,10 @@ let reproduce_cmd =
     (Cmd.info "reproduce"
        ~doc:
          "Hunt one of the paper's known vulnerabilities with its crafted \
-          test.  Exits 1 when the planted violation is found (the expected \
-          outcome), 0 when it is not.")
+          test, or replay a saved violation / triage PoC file.  Exits 1 \
+          when the planted or recorded violation is found (the expected \
+          outcome), 0 when it is not, 2 when a PoC reproduces with a \
+          different divergence than recorded.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1037,31 +1127,23 @@ let analyze_cmd =
       | None, None, _ | _, _, None -> None
       | _, _, Some d -> Some (Defense.config ?l1d_ways:ways ?mshrs d)
     in
-    let r = Violation_io.reanalyze ~minimize:do_minimize ?sim_config stored in
-    if json then
-      Output.emit
-        (Json.Obj
-           [
-             ("defense", Json.Str stored.Violation_io.defense_name);
-             ("contract", Json.Str stored.Violation_io.contract_name);
-             ("reproduced", Json.Bool r.Violation_io.reproduced);
-             ( "signature",
-               match r.Violation_io.leak_class with
-               | Some c -> Json.Str (Analysis.class_name c)
-               | None -> Json.Null );
-           ])
-    else if not r.Violation_io.reproduced then
+    let f = Triage.explain ?sim_config stored in
+    let f =
+      if do_minimize then Triage.shrink ?sim_config f else f
+    in
+    if json then print_endline (Triage.finding_to_json f)
+    else if f.Triage.status = Triage.Not_reproduced then
       Format.printf
         "violation did NOT reproduce under a fresh context (it may need the          original campaign's microarchitectural context or an amplified          configuration: try --ways/--mshrs)@."
     else begin
-      (match r.Violation_io.leak_class with
+      (match f.Triage.leak_class with
       | Some c -> Format.printf "reproduced; signature: %s@." (Analysis.class_name c)
       | None -> ());
-      (match r.Violation_io.minimization with
+      (match f.Triage.minimized with
       | Some m -> Format.printf "%a" Minimize.pp_result m
       | None -> ())
     end;
-    if r.Violation_io.reproduced then Output.exit_violation
+    if f.Triage.status = Triage.Reproduced then Output.exit_violation
     else Output.exit_clean
   in
   let term = Term.(const run $ file $ do_minimize $ ways $ mshrs $ json_t) in
@@ -1069,8 +1151,9 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Reload a saved violation, revalidate, classify and optionally \
-          minimize it.  Exits 1 when the violation reproduces, 0 when it \
-          does not.")
+          minimize it (a thin view over the Triage pipeline; --json emits \
+          the amulet.triage/1 finding object).  Exits 1 when the violation \
+          reproduces, 0 when it does not.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1097,11 +1180,39 @@ let explain_cmd =
       | None, None, _ | _, _, None -> None
       | _, _, Some d -> Some (Defense.config ?l1d_ways:ways ?mshrs d)
     in
-    let report = Forensics.explain ?sim_config stored in
-    if json then print_endline (Forensics.to_json report)
-    else Format.printf "%a" Forensics.pp report;
-    if report.Forensics.reproduced then Output.exit_violation
-    else Output.exit_clean
+    let f = Triage.explain ?sim_config stored in
+    let f =
+      if f.Triage.status = Triage.Reproduced then Triage.bisect ?sim_config f
+      else f
+    in
+    (* a strict one-element view of the triage schema: the report either
+       holds this finding's singleton cluster or records it as dead *)
+    let report =
+      match f.Triage.status with
+      | Triage.Reproduced ->
+          {
+            Triage.clusters =
+              [
+                {
+                  Triage.rank = 1;
+                  cluster_signature = f.Triage.signature;
+                  representative = f;
+                  members = [ file ];
+                  count = 1;
+                };
+              ];
+            total = 1;
+            not_reproduced = 0;
+          }
+      | Triage.Not_reproduced ->
+          { Triage.clusters = []; total = 1; not_reproduced = 1 }
+    in
+    if json then print_endline (Triage.report_to_json report)
+    else Format.printf "%a" Triage.pp_finding f;
+    (* 1: the violation reproduces; 2: an explicit not_reproduced outcome —
+       the stored artifact no longer demonstrates anything *)
+    if f.Triage.status = Triage.Reproduced then Output.exit_violation
+    else Output.exit_fault
   in
   let term = Term.(const run $ file $ json_t $ ways $ mshrs) in
   Cmd.v
@@ -1109,9 +1220,96 @@ let explain_cmd =
        ~doc:
          "Violation forensics: re-run a saved violation's two inputs from an \
           identical microarchitectural context and report the contract-trace \
-          comparison, the trace diff, the hardware-counter delta between the \
-          two executions, and the root-cause class.  Exits 1 when the \
-          violation reproduces, 0 when it does not.")
+          comparison, the trace diff, the hardware-counter delta, the \
+          root-cause class, and the bisected mechanism — a one-element view \
+          of the amulet.triage/1 schema.  Exits 1 when the violation \
+          reproduces, 2 (with status not_reproduced) when it does not.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* triage                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let triage_cmd =
+  let sources =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SOURCE"
+          ~doc:
+            "Violation sources: saved violation/PoC files, campaign \
+             journals, or directories of either (e.g. a sweep/serve \
+             --journal-dir).")
+  in
+  let ways =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ways" ] ~doc:"Amplification: L1D ways (applied per defense).")
+  in
+  let mshrs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "mshrs" ] ~doc:"Amplification: MSHR count (applied per defense).")
+  in
+  let no_bisect =
+    Arg.(
+      value & flag
+      & info [ "no-bisect" ]
+          ~doc:"Skip mechanism bisection of cluster representatives.")
+  in
+  let do_minimize =
+    Arg.(
+      value & flag
+      & info [ "minimize" ]
+          ~doc:"Also minimize each cluster representative's program.")
+  in
+  let poc_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "poc-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write one standalone replayable PoC per cluster into $(docv) \
+             (replay with $(b,amulet reproduce) $(i,FILE)).")
+  in
+  let run sources ways mshrs no_bisect do_minimize poc_dir json =
+   Output.guarded @@ fun () ->
+    let stream = Triage.load sources in
+    let progress =
+      if json then fun _ -> ()
+      else fun m -> Format.eprintf "triage: %s@." m
+    in
+    let report =
+      Triage.run ?l1d_ways:ways ?mshrs ~bisect:(not no_bisect)
+        ~shrink:do_minimize ~progress stream
+    in
+    let poc_paths =
+      match poc_dir with
+      | Some dir ->
+          List.map (fun c -> Triage.Poc.write ~dir c) report.Triage.clusters
+      | None -> []
+    in
+    if json then print_endline (Triage.report_to_json report)
+    else begin
+      Format.printf "%a" Triage.pp_report report;
+      List.iter (fun p -> Format.printf "  poc: %s@." p) poc_paths
+    end;
+    if report.Triage.clusters <> [] then Output.exit_violation
+    else Output.exit_clean
+  in
+  let term =
+    Term.(
+      const run $ sources $ ways $ mshrs $ no_bisect $ do_minimize $ poc_dir
+      $ json_t)
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Reduce a violation stream to distinct root causes: load saved \
+          violations / journals / journal directories, cluster by \
+          divergence signature across the whole (defense x seed) matrix, \
+          bisect each cluster representative to name the responsible \
+          mechanism, and emit a ranked amulet.triage/1 report (optionally \
+          with one replayable PoC per cluster).  Exits 1 when clusters \
+          were found, 0 on an empty/clean stream, 2 on faults.")
     term
 
 (* ------------------------------------------------------------------ *)
@@ -1465,7 +1663,7 @@ let main =
   Cmd.group (Cmd.info "amulet" ~version:"1.0.0" ~doc)
     [
       fuzz_cmd; sweep_cmd; serve_cmd; worker_cmd; reproduce_cmd; run_cmd;
-      analyze_cmd; explain_cmd; lint_cmd; corpus_cmd; list_cmd;
+      analyze_cmd; explain_cmd; triage_cmd; lint_cmd; corpus_cmd; list_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

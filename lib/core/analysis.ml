@@ -183,8 +183,9 @@ let classify ~(defense : Amulet_defenses.Defense.t) (events_a : Event.t list)
     else Spectre_v1_evict
   else Unknown
 
-(** Classify by re-running the violating pair with logging enabled.  Also
-    fills in [v.signature]. *)
+(** Classify by re-running the violating pair with logging enabled.  Pure:
+    callers that want the signature recorded build a new value with
+    {!Violation.with_signature}. *)
 let classify_violation (executor : Executor.t) (v : Violation.t) : leak_class =
   let events_a =
     (Executor.run executor ~context:v.Violation.context ~log:true
@@ -201,9 +202,7 @@ let classify_violation (executor : Executor.t) (v : Violation.t) : leak_class =
     | Some d -> d
     | None -> Amulet_defenses.Defense.baseline
   in
-  let c = classify ~defense events_a events_b in
-  v.Violation.signature <- Some (class_name c);
-  c
+  classify ~defense events_a events_b
 
 (* ------------------------------------------------------------------ *)
 (* Side-by-side diff (the paper's root-cause script)                   *)

@@ -28,8 +28,9 @@ val classify :
     defense-bug signatures win over the generic Spectre classes. *)
 
 val classify_violation : Executor.t -> Violation.t -> leak_class
-(** Re-run the violating pair with logging enabled, classify, and fill in
-    the violation's [signature]. *)
+(** Re-run the violating pair with logging enabled and classify.  Pure —
+    the violation is not modified; attach the signature with
+    {!Violation.with_signature} if it should be recorded. *)
 
 val pp_side_by_side : Format.formatter -> Event.t list -> Event.t list -> unit
 (** The paper's Tables 9/10 layout: memory operations of the two runs side

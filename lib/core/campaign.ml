@@ -49,13 +49,16 @@ let count_classes classes =
    cycles: resumability depends only on (seed, i). *)
 let round_seed seed i = seed + ((i + 1) * 2654435761)
 
+(* Classify and return the signed copy of the violation: classification is
+   pure, so detection time is the one place a signature is attached. *)
 let classify_one (spec : Run_spec.t) v =
   let executor =
     Executor.create ~mode:Executor.Opt ?sim_config:spec.Run_spec.sim_config
       ~format:spec.Run_spec.trace_format spec.Run_spec.defense (Stats.create ())
   in
   Executor.start_program executor;
-  Analysis.classify_violation executor v
+  let c = Analysis.classify_violation executor v in
+  (c, Violation.with_signature (Analysis.class_name c) v)
 
 (** Run a campaign of [spec.rounds] fuzzing rounds against [spec.defense].
     [on_violation] fires as findings come in (progress reporting).
@@ -101,7 +104,8 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
   let violations = ref (List.rev base_violations) in
   let classes =
     ref
-      (if spec.Run_spec.classify then List.map (classify_one spec) base_violations
+      (if spec.Run_spec.classify then
+         List.map (fun v -> fst (classify_one spec v)) base_violations
        else [])
   in
   let detection_times = ref (List.rev base_times) in
@@ -168,7 +172,14 @@ let run ?(on_violation = fun (_ : Violation.t) -> ())
               let now = Obs.Clock.now_s () in
               detection_times := (now -. !last_find) :: !detection_times;
               last_find := now;
-              if spec.Run_spec.classify then classes := classify_one spec v :: !classes;
+              let v =
+                if spec.Run_spec.classify then begin
+                  let c, signed = classify_one spec v in
+                  classes := c :: !classes;
+                  signed
+                end
+                else v
+              in
               violations := v :: !violations;
               on_violation v;
               (match spec.Run_spec.stop_after_violations with

@@ -96,6 +96,9 @@ type report = {
   wall_s : float;
   test_cases : int;
   violations : int;
+  distinct_clusters : int;
+      (** distinct root-cause clusters across the fleet: per-defense
+          {!Sweep.Ident.dedup_key}s, summed over rows *)
   fault_counts : (Fault.cls * int) list;
   metrics : Obs.Snapshot.t;
 }
@@ -156,7 +159,19 @@ let serve (t : t) (jobs : Sweep.job list) : report =
   let m_lost = Obs.counter t.metrics "service.worker_lost" in
   let m_proto = Obs.counter t.metrics "service.protocol_errors" in
   let m_results = Obs.counter t.metrics "service.results" in
+  let m_clusters = Obs.gauge t.metrics "service.distinct_clusters" in
   let m_hb = Obs.histogram t.metrics "service.heartbeat_latency" in
+  (* live cross-worker dedup: every violation a Result carries lands here,
+     keyed per defense by its root-cause signature (identity hashes when
+     unclassified), so the gauge reports distinct clusters as they arrive *)
+  let live_clusters : (string * string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let record_clusters ~defense (r : Proto.shard_result) =
+    List.iter
+      (fun v ->
+        Hashtbl.replace live_clusters (defense, Sweep.Ident.dedup_key v) ())
+      r.Proto.violations;
+    Obs.set_gauge m_clusters (float_of_int (Hashtbl.length live_clusters))
+  in
   let faults = Fault.Counters.create () in
   let pending = ref (List.init n Fun.id) in
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
@@ -288,6 +303,11 @@ let serve (t : t) (jobs : Sweep.job list) : report =
                 (Printf.sprintf "result for unknown job %d" r.Proto.job_id)
             else begin
               Obs.incr m_results;
+              record_clusters
+                ~defense:
+                  slots.(r.Proto.job_id).s_job.Sweep.spec.Run_spec.defense
+                    .Defense.name
+                r;
               (* duplicate results for an already-resolved job are ignored
                  inside [resolve] — reassignment stays idempotent *)
               resolve
@@ -499,6 +519,12 @@ let serve (t : t) (jobs : Sweep.job list) : report =
       List.fold_left
         (fun acc (r : Sweep.Ident.row) -> acc + List.length r.violations)
         0 rows;
+    (* recomputed from the deterministic merge (not the live table) so the
+       count is scheduling-independent, like the fingerprint *)
+    distinct_clusters =
+      List.fold_left
+        (fun acc (r : Sweep.Ident.row) -> acc + Sweep.Ident.distinct r.violations)
+        0 rows;
     fault_counts = Fault.Counters.to_list faults;
     metrics = Obs.Snapshot.of_registry t.metrics;
   }
@@ -536,6 +562,7 @@ let to_json report =
     report.protocol_errors;
   add "\"wall_s\":%.3f,\"test_cases\":%d,\"violations\":%d," report.wall_s
     report.test_cases report.violations;
+  add "\"distinct_clusters\":%d," report.distinct_clusters;
   add "\"fingerprint\":%s," (str report.fingerprint);
   add "\"rows\":[";
   List.iteri
@@ -544,7 +571,9 @@ let to_json report =
       add "{\"defense\":%s,\"contract\":%s," (str r.defense) (str r.contract);
       add "\"rounds\":%d,\"discarded\":%d,\"test_cases\":%d," r.rounds
         r.discarded r.test_cases;
-      add "\"violations\":%d}" (List.length r.violations))
+      add "\"violations\":%d,\"distinct_signatures\":%d}"
+        (List.length r.violations)
+        (Sweep.Ident.distinct r.violations))
     report.rows;
   add "],";
   add "\"shards\":[";
@@ -579,12 +608,14 @@ let pp fmt report =
     (List.length report.shards)
     report.workers_joined report.worker_lost report.reassignments
     report.crashed report.wall_s;
-  Format.fprintf fmt "  %-22s %-9s %6s %6s %6s@." "defense" "contract" "rounds"
-    "tc" "viol";
+  Format.fprintf fmt "  %-22s %-9s %6s %6s %6s %8s@." "defense" "contract"
+    "rounds" "tc" "viol" "clusters";
   List.iter
     (fun (r : Sweep.Ident.row) ->
-      Format.fprintf fmt "  %-22s %-9s %6d %6d %6d@." r.defense r.contract
+      Format.fprintf fmt "  %-22s %-9s %6d %6d %6d %8d@." r.defense r.contract
         r.rounds r.test_cases
-        (List.length r.violations))
+        (List.length r.violations)
+        (Sweep.Ident.distinct r.violations))
     report.rows;
+  Format.fprintf fmt "  distinct clusters: %d@." report.distinct_clusters;
   Format.fprintf fmt "  fingerprint: %s@." report.fingerprint

@@ -80,6 +80,10 @@ type report = {
   wall_s : float;
   test_cases : int;
   violations : int;
+  distinct_clusters : int;
+      (** distinct root-cause clusters across the fleet (per-defense
+          {!Sweep.Ident.dedup_key}s, summed over rows); also streamed live
+          to the [service.distinct_clusters] gauge as results arrive *)
   fault_counts : (Fault.cls * int) list;
   metrics : Obs.Snapshot.t;
 }

@@ -1,21 +1,9 @@
-(** Violation forensics: re-execute a stored violation's two inputs from an
-    identical microarchitectural starting context with telemetry enabled,
-    and report everything that distinguishes the diverging executions.
+(** Deprecated façade: violation forensics moved into {!Triage}, which is
+    the single analysis surface behind [amulet explain], [amulet triage]
+    and PoC replay.  These aliases keep one release of source
+    compatibility and will be removed. *)
 
-    The report answers the triage questions in one place: did the finding
-    reproduce, where do the contract traces (dis)agree, which trace
-    elements differ, what root-cause signature matches, and — new with the
-    telemetry registry — how the two executions differ in hardware-counter
-    terms (fetched/squashed instructions, cache and TLB misses, MSHR
-    stalls), the delta that localises {e which} microarchitectural resource
-    carried the leak. *)
-
-open Amulet_isa
-open Amulet_contracts
-open Amulet_defenses
-module Obs = Amulet_obs.Obs
-
-type ctrace_summary = {
+type ctrace_summary = Triage.ctrace_summary = {
   length_a : int;
   length_b : int;
   hash_a : int64;
@@ -24,188 +12,9 @@ type ctrace_summary = {
   first_divergence : (int * string * string) option;
 }
 
-type report = {
-  defense_name : string;
-  contract_name : string;
-  program_text : string;
-  input_a : Input.t;
-  input_b : Input.t;
-  reproduced : bool;
-  ctrace : ctrace_summary;
-  utrace_diff : string list;
-  leak_class : Analysis.leak_class option;
-  counters_a : Obs.Snapshot.t;
-  counters_b : Obs.Snapshot.t;
-  counter_delta : Obs.Snapshot.t;
-}
+type report = Triage.finding
 
-let obs_to_string o = Format.asprintf "%a" Observation.pp o
-
-(* First position where the two observation lists disagree, with both
-   sides printed (a trace ending early shows as "<end>"). *)
-let first_divergence ta tb =
-  let rec go i a b =
-    match a, b with
-    | [], [] -> None
-    | oa :: a', ob :: b' ->
-        if Observation.equal oa ob then go (i + 1) a' b'
-        else Some (i, obs_to_string oa, obs_to_string ob)
-    | oa :: _, [] -> Some (i, obs_to_string oa, "<end>")
-    | [], ob :: _ -> Some (i, "<end>", obs_to_string ob)
-  in
-  go 0 ta tb
-
-let summarize_ctraces (ra : Leakage_model.result) (rb : Leakage_model.result) =
-  {
-    length_a = List.length ra.Leakage_model.ctrace;
-    length_b = List.length rb.Leakage_model.ctrace;
-    hash_a = ra.Leakage_model.ctrace_hash;
-    hash_b = rb.Leakage_model.ctrace_hash;
-    equal =
-      Observation.equal_trace ra.Leakage_model.ctrace rb.Leakage_model.ctrace;
-    first_divergence =
-      first_divergence ra.Leakage_model.ctrace rb.Leakage_model.ctrace;
-  }
-
-let uarch_only = Obs.Snapshot.filter (fun n -> String.length n >= 6 && String.sub n 0 6 = "uarch.")
-
-let explain ?sim_config (s : Violation_io.stored) : report =
-  let defense =
-    Option.value (Defense.find s.Violation_io.defense_name)
-      ~default:Defense.baseline
-  in
-  let contract =
-    Option.value
-      (Contract.find s.Violation_io.contract_name)
-      ~default:defense.Defense.contract
-  in
-  let flat = s.Violation_io.program in
-  let metrics = Obs.create () in
-  let ex =
-    Executor.create ?sim_config ~mode:Executor.Opt defense
-      (Stats.create ~metrics ())
-  in
-  Executor.start_program ex;
-  (* run A once fresh, only to capture a starting context both inputs can
-     then share — exactly the validation discipline of the fuzzer *)
-  let oa0 = Executor.run ex flat s.Violation_io.input_a in
-  let ctx = oa0.Executor.context in
-  let snap () = Obs.Snapshot.of_registry metrics in
-  let s0 = snap () in
-  let oa = Executor.run ex ~context:ctx ~log:true flat s.Violation_io.input_a in
-  let s1 = snap () in
-  let ob = Executor.run ex ~context:ctx ~log:true flat s.Violation_io.input_b in
-  let s2 = snap () in
-  let counters_a = uarch_only (Obs.Snapshot.diff ~older:s0 ~newer:s1) in
-  let counters_b = uarch_only (Obs.Snapshot.diff ~older:s1 ~newer:s2) in
-  let ra =
-    Leakage_model.collect contract flat (Input.to_state s.Violation_io.input_a)
-  in
-  let rb =
-    Leakage_model.collect contract flat (Input.to_state s.Violation_io.input_b)
-  in
-  let reproduced = not (Utrace.equal oa.Executor.trace ob.Executor.trace) in
-  {
-    defense_name = s.Violation_io.defense_name;
-    contract_name = s.Violation_io.contract_name;
-    program_text = Format.asprintf "%a" Program.pp_flat flat;
-    input_a = s.Violation_io.input_a;
-    input_b = s.Violation_io.input_b;
-    reproduced;
-    ctrace = summarize_ctraces ra rb;
-    utrace_diff = Utrace.diff oa.Executor.trace ob.Executor.trace;
-    leak_class =
-      (if reproduced then
-         Some (Analysis.classify ~defense oa.Executor.events ob.Executor.events)
-       else None);
-    counters_a;
-    counters_b;
-    counter_delta = Obs.Snapshot.diff ~older:counters_a ~newer:counters_b;
-  }
-
-let of_violation ?sim_config (v : Violation.t) : report =
-  explain ?sim_config (Violation_io.of_violation v)
-
-let pp fmt (r : report) =
-  Format.fprintf fmt "defense: %s  contract: %s@." r.defense_name
-    r.contract_name;
-  Format.fprintf fmt "reproduced: %b%s@." r.reproduced
-    (match r.leak_class with
-    | Some c -> "  class: " ^ Analysis.class_name c
-    | None -> "");
-  Format.fprintf fmt "contract traces: %d vs %d observations, %s@."
-    r.ctrace.length_a r.ctrace.length_b
-    (if r.ctrace.equal then "equal (as a violation requires)"
-     else "DIFFERENT — not a contract violation");
-  (match r.ctrace.first_divergence with
-  | Some (i, a, b) ->
-      Format.fprintf fmt "  first divergence at %d: %s vs %s@." i a b
-  | None -> ());
-  (match r.utrace_diff with
-  | [] -> Format.fprintf fmt "utrace diff: (none)@."
-  | lines ->
-      Format.fprintf fmt "utrace diff:@.";
-      List.iter (fun l -> Format.fprintf fmt "  %s@." l) lines);
-  Format.fprintf fmt "counter delta (B - A):@.%a" Obs.Snapshot.pp
-    r.counter_delta
-
-(* ------------------------------------------------------------------ *)
-(* JSON                                                                *)
-(* ------------------------------------------------------------------ *)
-
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let to_json (r : report) =
-  let buf = Buffer.create 1024 in
-  let str s = "\"" ^ json_escape s ^ "\"" in
-  Buffer.add_string buf "{";
-  Buffer.add_string buf (Printf.sprintf "\"defense\":%s," (str r.defense_name));
-  Buffer.add_string buf
-    (Printf.sprintf "\"contract\":%s," (str r.contract_name));
-  Buffer.add_string buf (Printf.sprintf "\"reproduced\":%b," r.reproduced);
-  Buffer.add_string buf
-    (Printf.sprintf "\"leak_class\":%s,"
-       (match r.leak_class with
-       | Some c -> str (Analysis.class_name c)
-       | None -> "null"));
-  Buffer.add_string buf
-    (Printf.sprintf
-       "\"contract_traces\":{\"length_a\":%d,\"length_b\":%d,\"hash_a\":%s,\"hash_b\":%s,\"equal\":%b,\"first_divergence\":%s},"
-       r.ctrace.length_a r.ctrace.length_b
-       (str (Printf.sprintf "0x%Lx" r.ctrace.hash_a))
-       (str (Printf.sprintf "0x%Lx" r.ctrace.hash_b))
-       r.ctrace.equal
-       (match r.ctrace.first_divergence with
-       | None -> "null"
-       | Some (i, a, b) ->
-           Printf.sprintf "{\"index\":%d,\"a\":%s,\"b\":%s}" i (str a) (str b)));
-  Buffer.add_string buf "\"utrace_diff\":[";
-  List.iteri
-    (fun i l ->
-      if i > 0 then Buffer.add_char buf ',';
-      Buffer.add_string buf (str l))
-    r.utrace_diff;
-  Buffer.add_string buf "],";
-  Buffer.add_string buf
-    (Printf.sprintf "\"counters_a\":%s," (Obs.Snapshot.to_json r.counters_a));
-  Buffer.add_string buf
-    (Printf.sprintf "\"counters_b\":%s," (Obs.Snapshot.to_json r.counters_b));
-  Buffer.add_string buf
-    (Printf.sprintf "\"counter_delta\":%s"
-       (Obs.Snapshot.to_json r.counter_delta));
-  Buffer.add_string buf "}";
-  Buffer.contents buf
+let explain ?sim_config s = Triage.explain ?sim_config s
+let of_violation = Triage.of_violation
+let pp = Triage.pp_finding
+let to_json = Triage.finding_to_json

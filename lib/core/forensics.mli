@@ -1,52 +1,35 @@
-(** Violation forensics: re-execute a stored violation's two inputs from an
-    identical microarchitectural starting context with telemetry enabled,
-    and report everything that distinguishes the diverging executions —
-    the contract-trace comparison, the microarchitectural trace diff, the
-    hardware-counter delta, and the root-cause classification. *)
+(** Deprecated façade over {!Triage}.
 
-type ctrace_summary = {
+    Violation forensics was absorbed into the triage pipeline: what used
+    to be the bespoke [Forensics.report] is now {!Triage.finding}, one
+    record (and one JSON schema, [amulet.triage/1]) shared by
+    [amulet explain], [amulet triage] and PoC replay.  These aliases keep
+    existing code compiling for one release; new code should call
+    {!Triage} directly. *)
+
+type ctrace_summary = Triage.ctrace_summary = {
   length_a : int;
   length_b : int;
   hash_a : int64;
   hash_b : int64;
-  equal : bool;  (** equal contract traces: the violation's precondition *)
+  equal : bool;
   first_divergence : (int * string * string) option;
-      (** position and printed observations where the traces first differ
-          (including one trace ending early, shown as ["<end>"]) *)
 }
+[@@ocaml.deprecated "Use Triage.ctrace_summary."]
 
-type report = {
-  defense_name : string;
-  contract_name : string;
-  program_text : string;
-  input_a : Input.t;
-  input_b : Input.t;
-  reproduced : bool;
-      (** the microarchitectural traces still differ when both inputs run
-          from the same starting context *)
-  ctrace : ctrace_summary;
-  utrace_diff : string list;  (** {!Utrace.diff} of the two traces *)
-  leak_class : Analysis.leak_class option;
-      (** root-cause signature; [None] when not reproduced *)
-  counters_a : Amulet_obs.Obs.Snapshot.t;
-      (** [uarch.*] hardware-counter delta over execution A *)
-  counters_b : Amulet_obs.Obs.Snapshot.t;
-  counter_delta : Amulet_obs.Obs.Snapshot.t;
-      (** [counters_b - counters_a]: how the diverging execution differs in
-          fetches, squashes, misses, stalls, ... *)
-}
+type report = Triage.finding
+[@@ocaml.deprecated "Use Triage.finding."]
 
 val explain :
-  ?sim_config:Amulet_uarch.Config.t -> Violation_io.stored -> report
-(** Rebuild the violation's executions: run input A fresh to obtain a
-    starting context, then re-run both inputs from that exact context with
-    live telemetry, collect both contract traces, and classify. *)
+  ?sim_config:Amulet_uarch.Config.t -> Violation_io.stored -> Triage.finding
+[@@ocaml.deprecated "Use Triage.explain."]
 
 val of_violation :
-  ?sim_config:Amulet_uarch.Config.t -> Violation.t -> report
-(** As {!explain}, for an in-memory violation (its stored projection). *)
+  ?sim_config:Amulet_uarch.Config.t -> Violation.t -> Triage.finding
+[@@ocaml.deprecated "Use Triage.of_violation."]
 
-val pp : Format.formatter -> report -> unit
+val pp : Format.formatter -> Triage.finding -> unit
+[@@ocaml.deprecated "Use Triage.pp_finding."]
 
-val to_json : report -> string
-(** Serialize the report (hand-rolled JSON, no external dependency). *)
+val to_json : Triage.finding -> string
+[@@ocaml.deprecated "Use Triage.finding_to_json."]

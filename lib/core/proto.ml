@@ -20,7 +20,7 @@ open Amulet_contracts
 open Amulet_defenses
 module Config = Amulet_uarch.Config
 
-let version = 3
+let version = 4
 
 (* Refuse absurd lengths before allocating: garbage on the socket must not
    look like a 4 GB frame. *)
@@ -417,14 +417,17 @@ let p_vsig b (v : Sweep.Ident.v) =
   p_i64 b v.Sweep.Ident.ctrace_hash;
   p_i64 b v.hash_a;
   p_i64 b v.hash_b;
-  p_str b v.program_text
+  p_str b v.program_text;
+  (* version 4: root-cause signature, for live cross-worker dedup *)
+  p_str b v.signature
 
 let g_vsig rd : Sweep.Ident.v =
   let ctrace_hash = g_i64 rd in
   let hash_a = g_i64 rd in
   let hash_b = g_i64 rd in
   let program_text = g_str rd in
-  { Sweep.Ident.ctrace_hash; hash_a; hash_b; program_text }
+  let signature = g_str rd in
+  { Sweep.Ident.ctrace_hash; hash_a; hash_b; program_text; signature }
 
 (* ------------------------------------------------------------------ *)
 (* Messages                                                            *)

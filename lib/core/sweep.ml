@@ -397,6 +397,7 @@ module Ident = struct
     hash_a : int64;
     hash_b : int64;
     program_text : string;
+    signature : string;
   }
 
   type row = {
@@ -418,6 +419,7 @@ module Ident = struct
       hash_a = v.Violation.trace_a_hash;
       hash_b = v.Violation.trace_b_hash;
       program_text = v.Violation.program_text;
+      signature = Option.value v.Violation.signature ~default:"";
     }
 
   let fingerprint rows =
@@ -436,6 +438,17 @@ module Ident = struct
           r.violations)
       rows;
     Digest.to_hex (Digest.string (Buffer.contents buf))
+
+  (* Dedup keys are deliberately NOT part of the fingerprint bytes above:
+     classification on/off must not move the determinism gate. *)
+  let dedup_key v =
+    if v.signature <> "" then "s:" ^ v.signature
+    else Printf.sprintf "h:%Lx%Lx%Lx" v.ctrace_hash v.hash_a v.hash_b
+
+  let distinct vs =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.replace tbl (dedup_key v) ()) vs;
+    Hashtbl.length tbl
 end
 
 let ident_rows report =
@@ -489,6 +502,8 @@ let to_json report =
       add "\"rounds\":%d,\"discarded\":%d,\"test_cases\":%d," r.rounds
         r.discarded r.test_cases;
       add "\"violations\":%d," (List.length r.violations);
+      add "\"distinct_signatures\":%d,"
+        (Ident.distinct (List.map Ident.of_violation r.violations));
       add "\"violation_classes\":{";
       List.iteri
         (fun j (c, k) ->

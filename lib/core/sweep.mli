@@ -115,6 +115,10 @@ module Ident : sig
     hash_a : int64;  (** {!Utrace.hash} of the violating trace pair *)
     hash_b : int64;
     program_text : string;
+    signature : string;
+        (** detection-time root-cause signature ([""] when unclassified);
+            carried for cross-worker dedup, {e not} part of the
+            fingerprint bytes *)
   }
 
   type row = {
@@ -129,7 +133,16 @@ module Ident : sig
   val of_violation : Violation.t -> v
 
   val fingerprint : row list -> string
-  (** Hex digest over the rows' bytes; wall-clock-free by construction. *)
+  (** Hex digest over the rows' bytes; wall-clock-free by construction.
+      The [signature] field is excluded: classification must not perturb
+      the determinism gate. *)
+
+  val dedup_key : v -> string
+  (** The cross-worker cluster key: the signature when present, else the
+      identity hashes.  Scoped per defense by callers. *)
+
+  val distinct : v list -> int
+  (** Number of distinct {!dedup_key}s in the list. *)
 end
 
 val ident_rows : report -> Ident.row list

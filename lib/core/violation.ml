@@ -2,8 +2,9 @@
 
     A violation is a program plus two inputs with equal contract traces but
     different (validated) microarchitectural traces — Definition 2.1 of the
-    paper.  The [signature] is filled in by {!Analysis} when the violation
-    is root-caused. *)
+    paper.  The [signature] is attached when the violation is root-caused
+    (campaign classification or {!Triage}); the record is immutable, so a
+    signed violation is a new value built by {!with_signature}. *)
 
 open Amulet_isa
 open Amulet_contracts
@@ -28,8 +29,10 @@ type t = {
   contract : Contract.t;
   defense_name : string;
   detection_seconds : float;  (** since the campaign / program batch began *)
-  mutable signature : string option;
+  signature : string option;
 }
+
+let with_signature s v = { v with signature = Some s }
 
 let pp fmt v =
   Format.fprintf fmt "=== CONTRACT VIOLATION (%s vs %s) ===@." v.defense_name

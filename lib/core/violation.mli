@@ -21,8 +21,14 @@ type t = {
   contract : Contract.t;
   defense_name : string;
   detection_seconds : float;
-  mutable signature : string option;  (** filled in by {!Analysis} *)
+  signature : string option;
+      (** root-cause signature, attached at detection time (campaign
+          classification) or by {!Triage}; never mutated afterwards *)
 }
+
+val with_signature : string -> t -> t
+(** A copy of the violation carrying the given signature.  The only
+    sanctioned way to sign a violation after construction. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -59,7 +59,17 @@ type reanalysis = {
   leak_class : Analysis.leak_class option;
   minimization : Minimize.result option;
 }
+[@@ocaml.deprecated
+  "Use Triage.finding: Triage.explain / Triage.bisect / Triage.shrink."]
 
+[@@@alert "-deprecated"]  (* the val below mentions its deprecated result *)
+
+(** Revalidate under fresh contexts, classify, and optionally minimize.
+    Deprecated: {!Triage} is the one analysis surface; this bespoke result
+    shape survives one release for source compatibility. *)
 val reanalyze :
   ?minimize:bool -> ?sim_config:Amulet_uarch.Config.t -> stored -> reanalysis
-(** Revalidate under fresh contexts, classify, and optionally minimize. *)
+[@@ocaml.deprecated
+  "Use Triage.explain (and Triage.shrink for minimization)."]
+
+[@@@alert "+deprecated"]

@@ -445,10 +445,11 @@ let test_violation_io_roundtrip () =
 let test_violation_io_reanalyze () =
   let v = find_speclfb_violation () in
   let stored = Violation_io.of_violation v in
-  let r = Violation_io.reanalyze stored in
-  checkb "reproduces under fresh context" true r.Violation_io.reproduced;
+  let f = Triage.explain stored in
+  checkb "reproduces under fresh context" true
+    (f.Triage.status = Triage.Reproduced);
   checkb "classified" true
-    (r.Violation_io.leak_class = Some Analysis.First_load_unprotected_uv6)
+    (f.Triage.leak_class = Some Analysis.First_load_unprotected_uv6)
 
 let test_minimize_shrinks_and_preserves () =
   let v = find_speclfb_violation () in

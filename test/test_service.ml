@@ -132,6 +132,7 @@ let sample_msgs () =
               hash_b = 42L;
               (* separators and control bytes must survive the wire *)
               program_text = "ld r1, [r2]\n|weird\tbytes|";
+              signature = "Spectre v1 (install-visible)";
             };
           ];
       };
